@@ -1,0 +1,324 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (printing the reproduced rows once per run), plus
+// micro-benchmarks of the core operations.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package clue_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"clue"
+	"clue/internal/experiments"
+	"clue/internal/fibgen"
+	"clue/internal/ip"
+	"clue/internal/onrtc"
+	"clue/internal/tracegen"
+	"clue/internal/trie"
+	"clue/internal/update"
+)
+
+// benchScale keeps per-iteration work bounded so the full bench suite
+// finishes in minutes; raise toward experiments.Full to approach paper
+// sizes.
+var benchScale = experiments.Scale{
+	FIBSize:     10000,
+	Packets:     150000,
+	Warmup:      40000,
+	Updates:     10000,
+	Routers:     12,
+	RouterScale: 40,
+	Seed:        1,
+}
+
+// printOnce emits each figure's reproduced rows a single time per run so
+// the bench log doubles as the experiment report.
+var printGuard sync.Map
+
+func printOnce(key, body string) {
+	if _, loaded := printGuard.LoadOrStore(key, true); !loaded {
+		fmt.Println(body)
+	}
+}
+
+func benchFIB(b *testing.B, n int, seed int64) *trie.Trie {
+	b.Helper()
+	fib, err := fibgen.Generate(fibgen.Config{Seed: seed, Routes: n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fib
+}
+
+// --- Per-figure benchmarks -------------------------------------------
+
+func BenchmarkFig8Compression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8Compression(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig8", res.Render())
+		b.ReportMetric(res.MeanRatio, "ratio")
+	}
+}
+
+func BenchmarkFig9Partition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9Partition(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig9", res.Render())
+	}
+}
+
+func BenchmarkFig10to14TTF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTTF(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("ttf", res.RenderFig10()+"\n"+res.RenderFig11()+"\n"+
+			res.RenderFig12()+"\n"+res.RenderFig13()+"\n"+res.RenderFig14())
+		b.ReportMetric(res.CLUEMean.Total(), "clue-ttf-ns")
+		b.ReportMetric(res.CLPLMean.Total(), "clpl-ttf-ns")
+	}
+}
+
+func BenchmarkTable2Workload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Table2Workload(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("table2", res.Render())
+		b.ReportMetric(res.PerTCAMPct[0], "tcam1-pct")
+	}
+}
+
+func BenchmarkFig15LoadBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig15LoadBalance(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("fig15", res.Render())
+		b.ReportMetric(res.Speedup, "speedup")
+		b.ReportMetric(res.HitRate, "hitrate")
+	}
+}
+
+func BenchmarkFig16Fig17DRedSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DRedSweep(benchScale, []int{128, 512, 1024, 2048})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("sweep", res.RenderFig16()+"\n"+res.RenderFig17())
+	}
+}
+
+// --- Core-operation micro-benchmarks ---------------------------------
+
+func BenchmarkONRTCCompress(b *testing.B) {
+	fib := benchFIB(b, 50000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		onrtc.Compress(fib)
+	}
+	b.ReportMetric(float64(fib.Len()), "routes")
+}
+
+func BenchmarkCompressedLookup(b *testing.B) {
+	fib := benchFIB(b, 50000, 4)
+	table := onrtc.Compress(fib)
+	traffic, err := tracegen.NewTraffic(
+		tracegen.PrefixesFromRoutes(table.Routes()), tracegen.TrafficConfig{Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := traffic.NextN(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table.Lookup(addrs[i&(1<<16-1)], nil)
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	fib := benchFIB(b, 50000, 5)
+	traffic, err := tracegen.NewTraffic(
+		tracegen.PrefixesFromRoutes(fib.Routes()), tracegen.TrafficConfig{Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := traffic.NextN(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fib.Lookup(addrs[i&(1<<16-1)], nil)
+	}
+}
+
+// benchUpdates pre-generates a long self-consistent stream.
+func benchUpdates(b *testing.B, fib *trie.Trie, n int) []tracegen.Update {
+	b.Helper()
+	gen, err := tracegen.NewUpdateGen(fib.Clone(), tracegen.UpdateConfig{
+		Seed: 6, Messages: n, WithdrawFrac: 0.3, NewPrefixFrac: 0.55,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gen.NextN(n)
+}
+
+// benchPipeline drives b.N messages through fresh pipelines, rebuilding
+// (off the clock) whenever the stream wraps: replaying a stream against
+// an already-churned table would not be self-consistent.
+func benchPipeline(b *testing.B, mk func() (update.Pipeline, error)) {
+	fib := benchFIB(b, 20000, 6)
+	stream := benchUpdates(b, fib, 200000)
+	pipe, err := mk()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	i := 0
+	for n := 0; n < b.N; n++ {
+		if i == len(stream) {
+			b.StopTimer()
+			if pipe, err = mk(); err != nil {
+				b.Fatal(err)
+			}
+			i = 0
+			b.StartTimer()
+		}
+		if _, err := pipe.Apply(stream[i]); err != nil {
+			b.Fatal(err)
+		}
+		i++
+	}
+}
+
+func BenchmarkUpdatePipelineCLUE(b *testing.B) {
+	benchPipeline(b, func() (update.Pipeline, error) {
+		return update.NewCLUEPipeline(benchFIB(b, 20000, 6), 4, 1024, update.DefaultCosts())
+	})
+}
+
+func BenchmarkUpdatePipelineCLPL(b *testing.B) {
+	benchPipeline(b, func() (update.Pipeline, error) {
+		return update.NewCLPLPipeline(benchFIB(b, 20000, 6), 4, 1024, update.DefaultCosts())
+	})
+}
+
+func BenchmarkSystemAnnounceWithdraw(b *testing.B) {
+	fib := benchFIB(b, 10000, 7)
+	sys, err := clue.New(fib.Routes(), clue.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := ip.MustParsePrefix("203.0.113.0/24")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Announce(p, clue.NextHop(i%14+1)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Withdraw(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineStep(b *testing.B) {
+	fib := benchFIB(b, 10000, 8)
+	sys, err := clue.New(fib.Routes(), clue.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	traffic, err := tracegen.NewTraffic(
+		tracegen.PrefixesFromRoutes(fib.Routes()), tracegen.TrafficConfig{Seed: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := traffic.NextN(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Engine().Step(addrs[i&(1<<16-1)], true)
+	}
+}
+
+// --- Ablation & extension benchmarks ----------------------------------
+
+func BenchmarkAblationDRedRule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationDRedRule(benchScale, []int{512, 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("ab-dred", res.Render())
+	}
+}
+
+func BenchmarkAblationLayouts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationLayouts(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("ab-layout", res.Render())
+	}
+}
+
+func BenchmarkAblationPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationPower(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("ab-power", res.Render())
+	}
+}
+
+func BenchmarkNSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.NSweep(benchScale, []int{2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("ext-nsweep", res.Render())
+	}
+}
+
+func BenchmarkSLPLShift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SLPLShift(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("ext-slpl", res.Render())
+	}
+}
+
+func BenchmarkAblationControlPlane(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationControlPlane(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("ab-cp", res.Render())
+	}
+}
+
+func BenchmarkUpdateInterruption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.UpdateInterruption(benchScale, []int{0, 5, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce("ext-interrupt", res.Render())
+	}
+}

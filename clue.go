@@ -1,0 +1,127 @@
+// Package clue is a Go implementation of CLUE — routing table
+// Compression, fast parallel Lookup and fast incremental UpdatE for
+// TCAM-based forwarding engines (Yang et al., ICDCS 2012).
+//
+// The package bundles three coupled mechanisms:
+//
+//   - ONRTC compression: the optimal non-overlapping representation of a
+//     routing table (≈71 % of the original size on realistic tables),
+//     which removes the priority encoder, the update domino effect and
+//     partition redundancy in one stroke.
+//   - A parallel lookup engine: the compressed table is split into even
+//     range partitions over N TCAM chips; bursty traffic is absorbed by
+//     per-chip Dynamic Redundancy (DRed) caches with the reduced-
+//     redundancy fill rule (DRed i never stores TCAM i's prefixes).
+//   - An incremental update pipeline: announce/withdraw messages flow
+//     through trie, TCAMs and DReds with O(1) TCAM movement per
+//     operation, reported as a TTF (Time-To-Fresh) breakdown.
+//
+// # Quick start
+//
+//	routes := []clue.Route{
+//	    {Prefix: clue.MustParsePrefix("10.0.0.0/8"), NextHop: 1},
+//	    {Prefix: clue.MustParsePrefix("10.1.0.0/16"), NextHop: 2},
+//	    // ... the rest of the FIB ...
+//	}
+//	sys, err := clue.New(routes, clue.Config{})
+//	if err != nil { ... }
+//	hop, ok := sys.Lookup(clue.MustParseAddr("10.1.2.3"))
+//	ttf, err := sys.Announce(clue.MustParsePrefix("192.0.2.0/24"), 7)
+//
+// For a standalone compressed table without the engine, use Compress.
+// The cmd/clue-bench binary and the repository's bench suite regenerate
+// every table and figure of the paper's evaluation; see EXPERIMENTS.md.
+package clue
+
+import (
+	"clue/internal/core"
+	"clue/internal/ip"
+	"clue/internal/onrtc"
+	"clue/internal/trie"
+	"clue/internal/update"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr = ip.Addr
+
+// Prefix is an IPv4 CIDR prefix with canonical (masked) bits.
+type Prefix = ip.Prefix
+
+// NextHop identifies a forwarding next hop; 0 (NoRoute) means absent.
+type NextHop = ip.NextHop
+
+// NoRoute is the absent next hop.
+const NoRoute = ip.NoRoute
+
+// Route is one FIB entry.
+type Route = ip.Route
+
+// ParseAddr parses dotted-quad notation.
+func ParseAddr(s string) (Addr, error) { return ip.ParseAddr(s) }
+
+// MustParseAddr is ParseAddr for trusted literals; panics on error.
+func MustParseAddr(s string) Addr { return ip.MustParseAddr(s) }
+
+// ParsePrefix parses CIDR notation, rejecting stray host bits.
+func ParsePrefix(s string) (Prefix, error) { return ip.ParsePrefix(s) }
+
+// MustParsePrefix is ParsePrefix for trusted literals; panics on error.
+func MustParsePrefix(s string) Prefix { return ip.MustParsePrefix(s) }
+
+// Config parameterises a System; zero values take the paper's defaults
+// (4 TCAMs, 8 buckets per TCAM, FIFO 256, DRed 1024, 4 clocks/lookup).
+type Config = core.Config
+
+// System is a complete CLUE forwarding engine: compressed table, N-TCAM
+// parallel lookup with dynamic redundancy, and the incremental update
+// pipeline.
+type System = core.System
+
+// TTF is an update's Time-To-Fresh breakdown in nanoseconds: Trie (TTF1,
+// control plane), TCAM (TTF2) and DRed (TTF3).
+type TTF = update.TTF
+
+// CostModel prices update operations (TCAM access, SRAM access).
+type CostModel = update.CostModel
+
+// DefaultCosts returns the paper-calibrated cost model (24 ns per TCAM
+// access, from the CYNSE70256).
+func DefaultCosts() CostModel { return update.DefaultCosts() }
+
+// RebalanceReport summarises a System.Rebalance maintenance run.
+type RebalanceReport = core.RebalanceReport
+
+// New builds a CLUE system from the original (possibly overlapping) FIB.
+func New(routes []Route, cfg Config) (*System, error) {
+	return core.New(routes, cfg)
+}
+
+// CompressionStats reports table sizes around an ONRTC run.
+type CompressionStats = onrtc.Stats
+
+// Table is a standalone ONRTC-compressed, non-overlapping routing table
+// supporting single-match lookup.
+type Table struct {
+	inner *onrtc.Table
+}
+
+// Compress builds the optimal non-overlapping table for the given routes
+// and reports size statistics. Use it when only the compression stage is
+// needed (e.g. to shrink a table for a single TCAM).
+func Compress(routes []Route) (*Table, CompressionStats) {
+	t, st := onrtc.CompressWithStats(trie.FromRoutes(routes))
+	return &Table{inner: t}, st
+}
+
+// Len returns the compressed entry count.
+func (t *Table) Len() int { return t.inner.Len() }
+
+// Routes lists the compressed entries in ascending address order.
+func (t *Table) Routes() []Route { return t.inner.Routes() }
+
+// Lookup resolves addr. At most one compressed prefix matches, so no
+// longest-prefix tie-break (priority encoder) is involved.
+func (t *Table) Lookup(addr Addr) (NextHop, bool) {
+	hop, _ := t.inner.Lookup(addr, nil)
+	return hop, hop != NoRoute
+}

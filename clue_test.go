@@ -1,0 +1,89 @@
+package clue
+
+import (
+	"testing"
+
+	"clue/internal/fibgen"
+)
+
+func sampleRoutes(t *testing.T, n int, seed int64) []Route {
+	t.Helper()
+	fib, err := fibgen.Generate(fibgen.Config{Seed: seed, Routes: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fib.Routes()
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	routes := sampleRoutes(t, 3000, 1)
+	sys, err := New(routes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original route addresses must resolve to their FIB hops.
+	hop, ok := sys.Lookup(routes[0].Prefix.First())
+	if !ok || hop == NoRoute {
+		t.Errorf("lookup of a FIB address failed: (%d, %v)", hop, ok)
+	}
+	ttf, err := sys.Announce(MustParsePrefix("198.51.100.0/24"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttf.Total() <= 0 {
+		t.Errorf("TTF = %+v", ttf)
+	}
+	hop, ok = sys.Lookup(MustParseAddr("198.51.100.1"))
+	if !ok || hop != 3 {
+		t.Errorf("lookup after announce = (%d, %v)", hop, ok)
+	}
+	if _, err := sys.Withdraw(MustParsePrefix("198.51.100.0/24")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicCompress(t *testing.T) {
+	routes := sampleRoutes(t, 5000, 2)
+	table, st := Compress(routes)
+	if st.Original != len(routes) {
+		t.Errorf("Original = %d, want %d", st.Original, len(routes))
+	}
+	if table.Len() != st.Compressed {
+		t.Errorf("Len = %d, stats say %d", table.Len(), st.Compressed)
+	}
+	if st.Ratio() >= 1 {
+		t.Errorf("ratio = %v, want < 1", st.Ratio())
+	}
+	// Forwarding equivalence spot check on route boundary addresses.
+	for _, r := range routes[:200] {
+		hop, ok := table.Lookup(r.Prefix.First())
+		if !ok {
+			t.Fatalf("no match for %s", r.Prefix.First())
+		}
+		_ = hop
+	}
+	// Disjointness means Routes are sorted and non-overlapping.
+	rs := table.Routes()
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].Prefix.Overlaps(rs[i].Prefix) {
+			t.Fatalf("overlap between %s and %s", rs[i-1].Prefix, rs[i].Prefix)
+		}
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	a, err := ParseAddr("192.0.2.1")
+	if err != nil || a.String() != "192.0.2.1" {
+		t.Errorf("ParseAddr = (%v, %v)", a, err)
+	}
+	p, err := ParsePrefix("192.0.2.0/24")
+	if err != nil || p.String() != "192.0.2.0/24" {
+		t.Errorf("ParsePrefix = (%v, %v)", p, err)
+	}
+	if _, err := ParsePrefix("192.0.2.1/24"); err == nil {
+		t.Error("host bits accepted")
+	}
+	if DefaultCosts().TCAMAccessNs != 24 {
+		t.Error("default TCAM access cost should be 24 ns")
+	}
+}

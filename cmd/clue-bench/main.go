@@ -1,0 +1,140 @@
+// Command clue-bench regenerates every table and figure of the paper's
+// evaluation section and prints them in paper-style rows.
+//
+// Usage:
+//
+//	clue-bench [-scale quick|full] [-only fig8,fig9,ttf,table2,fig15,sweep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"clue/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "clue-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("clue-bench", flag.ContinueOnError)
+	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")
+	only := fs.String("only", "", "comma-separated subset: fig8,fig9,ttf,table2,fig15,sweep,ablations,extensions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	selected := func(k string) bool { return len(want) == 0 || want[k] }
+
+	if selected("fig8") {
+		start := time.Now()
+		res, err := experiments.Fig8Compression(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res.Render())
+		fmt.Fprintf(out, "(fig8 took %s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if selected("fig9") {
+		res, err := experiments.Fig9Partition(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res.Render())
+	}
+	if selected("ttf") {
+		res, err := experiments.RunTTF(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res.RenderFig10())
+		fmt.Fprintln(out, res.RenderFig11())
+		fmt.Fprintln(out, res.RenderFig12())
+		fmt.Fprintln(out, res.RenderFig13())
+		fmt.Fprintln(out, res.RenderFig14())
+	}
+	if selected("table2") {
+		res, _, err := experiments.Table2Workload(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res.Render())
+	}
+	if selected("fig15") {
+		res, err := experiments.Fig15LoadBalance(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res.Render())
+	}
+	if selected("sweep") {
+		res, err := experiments.DRedSweep(scale, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res.RenderFig16())
+		fmt.Fprintln(out, res.RenderFig17())
+	}
+	if selected("ablations") {
+		dr, err := experiments.AblationDRedRule(scale, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, dr.Render())
+		lay, err := experiments.AblationLayouts(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, lay.Render())
+		pow, err := experiments.AblationPower(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, pow.Render())
+		cp, err := experiments.AblationControlPlane(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, cp.Render())
+	}
+	if selected("extensions") {
+		ns, err := experiments.NSweep(scale, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, ns.Render())
+		sh, err := experiments.SLPLShift(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, sh.Render())
+		ir, err := experiments.UpdateInterruption(scale, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, ir.Render())
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scale", "quick", "-only", "fig9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 9") {
+		t.Errorf("missing Figure 9 output:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "Figure 8") {
+		t.Error("-only fig9 also ran fig8")
+	}
+}
+
+func TestRunBadScale(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scale", "huge"}, &out); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunUnknownOnlyIsNoop(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "nothing-matches"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "" {
+		t.Errorf("unexpected output: %q", out.String())
+	}
+}

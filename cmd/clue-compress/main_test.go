@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clue/internal/ribio"
+)
+
+func TestRunGenerate(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gen", "3000", "-seed", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"original:", "compressed:", "leaf-pushed:", "time:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFileInputAndOutput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "fib.txt")
+	outFile := filepath.Join(dir, "compressed.txt")
+	fib := "# test FIB\n10.0.0.0/8 1\n10.1.0.0/16 1\n192.0.2.0/25 2\n192.0.2.128/25 2\n"
+	if err := os.WriteFile(in, []byte(fib), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-in", in, "-out", outFile}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	routes, err := ribio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 routes compress to 2: the redundant /16 vanishes, the /25s merge.
+	if len(routes) != 2 {
+		t.Errorf("compressed output has %d routes, want 2: %v", len(routes), routes)
+	}
+}
+
+func TestRunNoInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-in", "/does/not/exist"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunBadFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(in, []byte("not a route\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-in", in}, &out); err == nil {
+		t.Error("malformed FIB accepted")
+	}
+}

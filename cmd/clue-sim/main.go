@@ -1,0 +1,159 @@
+// Command clue-sim runs the parallel lookup simulation with tunable
+// parameters and prints throughput, speedup factor, DRed hit rate and the
+// per-TCAM load distribution.
+//
+// Usage:
+//
+//	clue-sim [-routes 50000] [-tcams 4] [-buckets 32] [-packets 1000000]
+//	         [-dred 1024] [-queue 256] [-clocks 4] [-worst] [-mech clue|clpl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"clue/internal/engine"
+	"clue/internal/fibgen"
+	"clue/internal/onrtc"
+	"clue/internal/tracegen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "clue-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("clue-sim", flag.ContinueOnError)
+	nRoutes := fs.Int("routes", 50000, "synthetic FIB size")
+	seed := fs.Int64("seed", 42, "generator seed")
+	tcams := fs.Int("tcams", 4, "TCAM chip count")
+	buckets := fs.Int("buckets", 32, "range partition count (CLUE)")
+	packets := fs.Int("packets", 1000000, "measured packets")
+	warm := fs.Int("warmup", 100000, "cache warm-up packets")
+	dredSize := fs.Int("dred", 1024, "per-TCAM DRed size")
+	queue := fs.Int("queue", 256, "per-TCAM FIFO depth")
+	clocks := fs.Int("clocks", 4, "clocks per TCAM lookup")
+	worst := fs.Bool("worst", false, "use the worst-case (hottest-together) bucket mapping")
+	mech := fs.String("mech", "clue", "mechanism: clue or clpl")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fib, err := fibgen.Generate(fibgen.Config{Seed: *seed, Routes: *nRoutes})
+	if err != nil {
+		return err
+	}
+	table := onrtc.Compress(fib)
+	traffic, err := tracegen.NewTraffic(
+		tracegen.PrefixesFromRoutes(table.Routes()),
+		tracegen.TrafficConfig{Seed: *seed},
+	)
+	if err != nil {
+		return err
+	}
+
+	var sys engine.System
+	switch *mech {
+	case "clue":
+		var mapping []int
+		if *worst {
+			mapping, err = worstMapping(table, *buckets, *tcams, *seed)
+			if err != nil {
+				return err
+			}
+		}
+		sys, err = engine.NewCLUESystem(table, *tcams, *buckets, mapping)
+	case "clpl":
+		sys, err = engine.NewCLPLSystem(fib, *tcams, (*buckets+*tcams-1)/(*tcams), nil)
+	default:
+		err = fmt.Errorf("unknown mechanism %q", *mech)
+	}
+	if err != nil {
+		return err
+	}
+
+	eng, err := engine.New(sys, engine.Config{
+		QueueDepth:   *queue,
+		DRedSize:     *dredSize,
+		LookupClocks: *clocks,
+	})
+	if err != nil {
+		return err
+	}
+	eng.Run(traffic.Next, *warm)
+	eng.ResetStats()
+	for i := 0; i < *packets; i++ {
+		eng.Step(traffic.Next(), true)
+	}
+	st := eng.Stats()
+
+	fmt.Fprintf(out, "mechanism:      %s (%d TCAMs, table %d -> %d entries)\n",
+		sys.Name(), sys.N(), fib.Len(), table.Len())
+	fmt.Fprintf(out, "throughput:     %.4f packets/clock\n", st.Throughput())
+	fmt.Fprintf(out, "speedup factor: %.3f (bound (N-1)h+1 = %.3f)\n",
+		st.SpeedupFactor(*clocks), float64(sys.N()-1)*st.HitRate()+1)
+	fmt.Fprintf(out, "dred hit rate:  %.4f (%d lookups)\n", st.HitRate(), st.DRedLookups)
+	fmt.Fprintf(out, "diverted:       %d   requeued: %d   dropped: %d\n",
+		st.Diverted, st.Requeued, st.Dropped)
+	fmt.Fprintf(out, "control plane:  %d interactions, %d SRAM visits\n", st.ControlPlane, st.SRAMVisits)
+	fmt.Fprintln(out, "per-TCAM load (home -> served):")
+	var homeSum, servedSum int64
+	for i := 0; i < sys.N(); i++ {
+		homeSum += st.PerTCAMHome[i]
+		servedSum += st.PerTCAMServed[i]
+	}
+	for i := 0; i < sys.N(); i++ {
+		fmt.Fprintf(out, "  tcam %d: %6.2f%% -> %6.2f%%\n", i+1,
+			100*float64(st.PerTCAMHome[i])/float64(max64(homeSum, 1)),
+			100*float64(st.PerTCAMServed[i])/float64(max64(servedSum, 1)))
+	}
+	return nil
+}
+
+// worstMapping measures per-bucket load offline and groups the hottest
+// buckets onto TCAM 0, reproducing Table II's construction.
+func worstMapping(table *onrtc.Table, buckets, tcams int, seed int64) ([]int, error) {
+	_, index, err := engine.BucketIndex(table, buckets)
+	if err != nil {
+		return nil, err
+	}
+	traffic, err := tracegen.NewTraffic(
+		tracegen.PrefixesFromRoutes(table.Routes()),
+		tracegen.TrafficConfig{Seed: seed},
+	)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int64, buckets)
+	for i := 0; i < 200000; i++ {
+		counts[index.Lookup(traffic.Next())]++
+	}
+	order := make([]int, buckets)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	mapping := make([]int, buckets)
+	per := (buckets + tcams - 1) / tcams
+	for rank, b := range order {
+		t := rank / per
+		if t >= tcams {
+			t = tcams - 1
+		}
+		mapping[b] = t
+	}
+	return mapping, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCLUE(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-routes", "4000", "-packets", "30000", "-warmup", "10000"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"mechanism:", "speedup factor:", "dred hit rate:", "per-TCAM load"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "control plane:  0 interactions") {
+		t.Errorf("CLUE run should report zero control-plane interactions:\n%s", s)
+	}
+}
+
+func TestRunCLUEWorstCase(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-routes", "4000", "-packets", "30000", "-warmup", "10000", "-worst"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tcam 1:") {
+		t.Errorf("missing per-TCAM rows:\n%s", out.String())
+	}
+}
+
+func TestRunCLPL(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-routes", "4000", "-packets", "30000", "-warmup", "10000", "-mech", "clpl"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "control plane:  0 interactions") {
+		t.Errorf("CLPL run should use the control plane:\n%s", out.String())
+	}
+}
+
+func TestRunBadMechanism(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mech", "magic"}, &out); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

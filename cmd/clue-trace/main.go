@@ -1,0 +1,184 @@
+// Command clue-trace generates workload files for external tooling: a
+// synthetic FIB, a destination-address packet trace, or a BGP-style
+// update trace.
+//
+// Usage:
+//
+//	clue-trace fib     -n 400000 -seed 42 -out fib.txt
+//	clue-trace packets -fib fib.txt -n 1000000 [-zipf 1.2] [-repeat 0] -out trace.txt
+//	clue-trace updates -fib fib.txt -n 100000 [-withdraw 0.2] -out updates.txt
+//
+// Formats: the FIB is "prefix next-hop" lines; the packet trace is one
+// dotted-quad address per line; the update trace is "announce prefix
+// next-hop" / "withdraw prefix" lines with a leading millisecond offset.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"clue/internal/fibgen"
+	"clue/internal/ribio"
+	"clue/internal/tracegen"
+	"clue/internal/trie"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "clue-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: clue-trace fib|packets|updates [flags]")
+	}
+	switch args[0] {
+	case "fib":
+		return runFIB(args[1:], out)
+	case "packets":
+		return runPackets(args[1:], out)
+	case "updates":
+		return runUpdates(args[1:], out)
+	}
+	return fmt.Errorf("unknown subcommand %q (want fib, packets or updates)", args[0])
+}
+
+// openOut returns the output sink: a file when -out is set, else w.
+func openOut(path string, w io.Writer) (io.Writer, func() error, error) {
+	if path == "" {
+		return w, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriter(f)
+	closer := func() error {
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return bw, closer, nil
+}
+
+// loadFIB reads the -fib file.
+func loadFIB(path string) (*trie.Trie, error) {
+	if path == "" {
+		return nil, fmt.Errorf("need -fib FILE")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	routes, err := ribio.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	return trie.FromRoutes(routes), nil
+}
+
+func runFIB(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("clue-trace fib", flag.ContinueOnError)
+	n := fs.Int("n", 100000, "route count")
+	seed := fs.Int64("seed", 42, "generator seed")
+	outFile := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fib, err := fibgen.Generate(fibgen.Config{Seed: *seed, Routes: *n})
+	if err != nil {
+		return err
+	}
+	w, done, err := openOut(*outFile, out)
+	if err != nil {
+		return err
+	}
+	if err := ribio.Write(w, fib.Routes()); err != nil {
+		done()
+		return err
+	}
+	return done()
+}
+
+func runPackets(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("clue-trace packets", flag.ContinueOnError)
+	fibFile := fs.String("fib", "", "FIB file the destinations are drawn from")
+	n := fs.Int("n", 100000, "packet count")
+	seed := fs.Int64("seed", 42, "generator seed")
+	zipf := fs.Float64("zipf", 1.2, "Zipf skew exponent (>1)")
+	repeat := fs.Float64("repeat", 0, "probability of repeating the previous prefix")
+	outFile := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fib, err := loadFIB(*fibFile)
+	if err != nil {
+		return err
+	}
+	traffic, err := tracegen.NewTraffic(
+		tracegen.PrefixesFromRoutes(fib.Routes()),
+		tracegen.TrafficConfig{Seed: *seed, ZipfS: *zipf, Repeat: *repeat},
+	)
+	if err != nil {
+		return err
+	}
+	w, done, err := openOut(*outFile, out)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < *n; i++ {
+		if _, err := fmt.Fprintln(w, traffic.Next()); err != nil {
+			done()
+			return err
+		}
+	}
+	return done()
+}
+
+func runUpdates(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("clue-trace updates", flag.ContinueOnError)
+	fibFile := fs.String("fib", "", "FIB file the updates churn")
+	n := fs.Int("n", 100000, "message count")
+	seed := fs.Int64("seed", 42, "generator seed")
+	withdraw := fs.Float64("withdraw", 0.2, "withdraw fraction")
+	outFile := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fib, err := loadFIB(*fibFile)
+	if err != nil {
+		return err
+	}
+	gen, err := tracegen.NewUpdateGen(fib, tracegen.UpdateConfig{
+		Seed: *seed, Messages: *n, WithdrawFrac: *withdraw,
+	})
+	if err != nil {
+		return err
+	}
+	w, done, err := openOut(*outFile, out)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < *n; i++ {
+		u := gen.Next()
+		var line string
+		if u.Kind == tracegen.Withdraw {
+			line = fmt.Sprintf("%d withdraw %s", u.At.Milliseconds(), u.Prefix)
+		} else {
+			line = fmt.Sprintf("%d announce %s %d", u.At.Milliseconds(), u.Prefix, u.Hop)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			done()
+			return err
+		}
+	}
+	return done()
+}

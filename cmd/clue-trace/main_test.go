@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFIB(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "fib.txt")
+	var out strings.Builder
+	if err := run([]string{"fib", "-n", "2000", "-seed", "3", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFIBSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFIB(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines < 2000 {
+		t.Errorf("FIB file has %d lines, want >= 2000", lines)
+	}
+	if !strings.Contains(string(data), "/") {
+		t.Error("no prefixes in FIB output")
+	}
+}
+
+func TestFIBToStdout(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"fib", "-n", "500"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "\n") < 500 {
+		t.Error("short stdout FIB")
+	}
+}
+
+func TestPacketsSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	fib := writeFIB(t, dir)
+	var out strings.Builder
+	if err := run([]string{"packets", "-fib", fib, "-n", "1000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1000 {
+		t.Fatalf("got %d packets", len(lines))
+	}
+	// Every line is a dotted quad.
+	if strings.Count(lines[0], ".") != 3 {
+		t.Errorf("bad packet line %q", lines[0])
+	}
+}
+
+func TestUpdatesSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	fib := writeFIB(t, dir)
+	var out strings.Builder
+	if err := run([]string{"updates", "-fib", fib, "-n", "500"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "announce") || !strings.Contains(s, "withdraw") {
+		t.Errorf("update trace missing kinds:\n%.300s", s)
+	}
+	if strings.Count(s, "\n") != 500 {
+		t.Errorf("got %d lines", strings.Count(s, "\n"))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"packets", "-n", "10"}, &out); err == nil {
+		t.Error("packets without -fib accepted")
+	}
+	if err := run([]string{"updates", "-fib", "/does/not/exist"}, &out); err == nil {
+		t.Error("missing FIB accepted")
+	}
+	if err := run([]string{"packets", "-fib", "/does/not/exist"}, &out); err == nil {
+		t.Error("missing FIB accepted")
+	}
+	if err := run([]string{"fib", "-bogus"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package clue_test
+
+import (
+	"fmt"
+
+	"clue"
+)
+
+// ExampleCompress demonstrates the compression stage alone: redundant
+// more-specifics collapse and same-hop siblings merge, leaving a
+// disjoint table.
+func ExampleCompress() {
+	routes := []clue.Route{
+		{Prefix: clue.MustParsePrefix("10.0.0.0/8"), NextHop: 1},
+		{Prefix: clue.MustParsePrefix("10.1.0.0/16"), NextHop: 1},      // redundant
+		{Prefix: clue.MustParsePrefix("192.168.0.0/17"), NextHop: 2},   // merges
+		{Prefix: clue.MustParsePrefix("192.168.128.0/17"), NextHop: 2}, // with this
+	}
+	table, st := clue.Compress(routes)
+	fmt.Printf("%d -> %d entries\n", st.Original, st.Compressed)
+	for _, r := range table.Routes() {
+		fmt.Println(r)
+	}
+	// Output:
+	// 4 -> 2 entries
+	// 10.0.0.0/8 -> 1
+	// 192.168.0.0/16 -> 2
+}
+
+// ExampleTable_Lookup shows single-match lookup over a compressed table:
+// a different-hop specific splits its cover, preserving LPM semantics
+// without any longest-prefix tie-break at lookup time.
+func ExampleTable_Lookup() {
+	routes := []clue.Route{
+		{Prefix: clue.MustParsePrefix("10.0.0.0/8"), NextHop: 1},
+		{Prefix: clue.MustParsePrefix("10.128.0.0/9"), NextHop: 2},
+	}
+	table, _ := clue.Compress(routes)
+	for _, s := range []string{"10.1.2.3", "10.200.0.1", "11.0.0.1"} {
+		hop, ok := table.Lookup(clue.MustParseAddr(s))
+		fmt.Println(s, hop, ok)
+	}
+	// Output:
+	// 10.1.2.3 1 true
+	// 10.200.0.1 2 true
+	// 11.0.0.1 0 false
+}

@@ -1,0 +1,120 @@
+// Full-router: the complete CLUE system under simultaneous load — Zipf
+// traffic through the cycle engine while a BGP update storm churns the
+// table through the control plane, with a mid-run rebalance. This is the
+// integration the paper argues for: compression, lookup and update
+// working as one system rather than three isolated mechanisms.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clue"
+	"clue/internal/fibgen"
+	"clue/internal/tracegen"
+)
+
+const (
+	tableSize   = 15000
+	phaseClocks = 120000
+	updatesPerK = 10 // update messages per 1000 clocks
+)
+
+func main() {
+	fib, err := fibgen.Generate(fibgen.Config{Seed: 99, Routes: tableSize})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := clue.New(fib.Routes(), clue.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("router up: %d FIB routes -> %d TCAM entries (%.0f%%), %d chips\n",
+		sys.FIBLen(), sys.TableLen(), 100*sys.CompressionRatio(), sys.TCAMs())
+
+	traffic, err := tracegen.NewTraffic(
+		tracegen.PrefixesFromRoutes(fib.Routes()),
+		tracegen.TrafficConfig{Seed: 99, Repeat: 0.3},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	updates, err := tracegen.NewUpdateGen(fib.Clone(), tracegen.UpdateConfig{
+		Seed: 99, Messages: phaseClocks, WithdrawFrac: 0.3, NewPrefixFrac: 0.55,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// refFib mirrors every applied update so the final consistency check
+	// compares the data plane against the true control-plane state.
+	refFib := fib.Clone()
+
+	phase := func(name string, withUpdates bool) {
+		eng := sys.Engine()
+		eng.ResetStats()
+		applied, errs := 0, 0
+		var totalTTF clue.TTF
+		for c := 0; c < phaseClocks; c++ {
+			eng.Step(traffic.Next(), true)
+			if withUpdates && (c*updatesPerK)/1000 > applied {
+				applied++
+				u := updates.Next()
+				var ttf clue.TTF
+				var err error
+				if u.Kind == tracegen.Withdraw {
+					ttf, err = sys.Withdraw(u.Prefix)
+					refFib.Delete(u.Prefix, nil)
+				} else {
+					ttf, err = sys.Announce(u.Prefix, u.Hop)
+					refFib.Insert(u.Prefix, u.Hop, nil)
+				}
+				if err != nil {
+					errs++
+					continue
+				}
+				totalTTF = totalTTF.Add(ttf)
+			}
+		}
+		st := eng.Stats()
+		fmt.Printf("\n%s:\n", name)
+		fmt.Printf("  throughput %.4f pkt/clk, mean latency %.1f clk, dred hit rate %.3f\n",
+			st.Throughput(), st.MeanLatency(), st.HitRate())
+		if withUpdates {
+			mean := totalTTF.Scale(1 / float64(applied))
+			fmt.Printf("  %d updates applied (mean TTF %.0f ns: trie %.0f + tcam %.0f + dred %.0f), %d errors\n",
+				applied, mean.Total(), mean.Trie, mean.TCAM, mean.DRed, errs)
+			fmt.Printf("  table now %d entries (FIB %d)\n", sys.TableLen(), sys.FIBLen())
+		}
+	}
+
+	phase("phase 1: traffic only", false)
+	phase("phase 2: traffic + update storm", true)
+
+	rep, err := sys.Rebalance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrebalance: %d entries reloaded, max chip occupancy %d -> %d\n",
+		rep.Entries, rep.MaxBefore, rep.MaxAfter)
+
+	phase("phase 3: traffic after rebalance", false)
+
+	// End-to-end consistency: the data plane must agree with the true
+	// control-plane state on every probe, including withdrawn space.
+	probes := traffic.NextN(20000)
+	wrong := 0
+	for _, a := range probes {
+		want, _ := refFib.Lookup(a, nil)
+		got, ok := sys.Lookup(a)
+		if !ok {
+			got = clue.NoRoute
+		}
+		if got != want {
+			wrong++
+		}
+	}
+	fmt.Printf("\nconsistency: %d/%d probe lookups agree with the control plane\n", len(probes)-wrong, len(probes))
+	if wrong > 0 {
+		log.Fatal("data plane diverged from control plane")
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a small FIB, stand up a CLUE system, look up
+// addresses, apply routing updates and read the TTF costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clue"
+)
+
+func main() {
+	// A toy FIB with the paper's Figure 2 structure: a covering route
+	// whose inner child owns a different next hop, plus some siblings.
+	routes := []clue.Route{
+		{Prefix: clue.MustParsePrefix("10.0.0.0/8"), NextHop: 1},
+		{Prefix: clue.MustParsePrefix("10.32.0.0/11"), NextHop: 2},
+		{Prefix: clue.MustParsePrefix("172.16.0.0/12"), NextHop: 3},
+		{Prefix: clue.MustParsePrefix("172.16.0.0/16"), NextHop: 3}, // redundant: vanishes
+		{Prefix: clue.MustParsePrefix("192.168.0.0/17"), NextHop: 4},
+		{Prefix: clue.MustParsePrefix("192.168.128.0/17"), NextHop: 4}, // merges with its sibling
+		{Prefix: clue.MustParsePrefix("198.51.100.0/24"), NextHop: 5},
+		{Prefix: clue.MustParsePrefix("203.0.113.0/24"), NextHop: 6},
+		{Prefix: clue.MustParsePrefix("8.8.8.0/24"), NextHop: 7},
+		{Prefix: clue.MustParsePrefix("9.9.9.0/24"), NextHop: 8},
+		{Prefix: clue.MustParsePrefix("1.1.1.0/24"), NextHop: 9},
+		{Prefix: clue.MustParsePrefix("2.2.2.0/24"), NextHop: 10},
+	}
+
+	// Stage 1 — compression only: the optimal non-overlapping table.
+	table, st := clue.Compress(routes)
+	fmt.Printf("compressed %d routes to %d disjoint prefixes (%.0f%%):\n",
+		st.Original, st.Compressed, 100*st.Ratio())
+	for _, r := range table.Routes() {
+		fmt.Printf("  %-18s -> %d\n", r.Prefix, r.NextHop)
+	}
+
+	// Stage 2 — the full system: 2 TCAMs, 4 range buckets.
+	sys, err := clue.New(routes, clue.Config{TCAMs: 2, Buckets: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range []string{"10.1.2.3", "10.40.0.1", "192.168.200.1", "4.4.4.4"} {
+		addr := clue.MustParseAddr(a)
+		if hop, ok := sys.Lookup(addr); ok {
+			fmt.Printf("lookup %-15s -> next hop %d\n", a, hop)
+		} else {
+			fmt.Printf("lookup %-15s -> no route\n", a)
+		}
+	}
+
+	// Stage 3 — incremental updates with TTF accounting.
+	ttf, err := sys.Announce(clue.MustParsePrefix("10.64.0.0/10"), 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("announce 10.64.0.0/10: TTF1=%.0fns TTF2=%.0fns TTF3=%.0fns (total %.0fns)\n",
+		ttf.Trie, ttf.TCAM, ttf.DRed, ttf.Total())
+	hop, _ := sys.Lookup(clue.MustParseAddr("10.65.0.1"))
+	fmt.Printf("lookup 10.65.0.1 now -> next hop %d\n", hop)
+
+	ttf, err = sys.Withdraw(clue.MustParsePrefix("10.64.0.0/10"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("withdraw: total TTF %.0fns; table back to %d entries\n", ttf.Total(), sys.TableLen())
+}

@@ -1,0 +1,103 @@
+// Update-storm: replay a burst of BGP updates (the paper motivates 35K
+// messages/second peaks) through the CLUE and CLPL update pipelines and
+// compare their TTF breakdowns — the §IV/§V.C experiment in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clue/internal/fibgen"
+	"clue/internal/tracegen"
+	"clue/internal/trie"
+	"clue/internal/update"
+)
+
+const (
+	tableSize = 20000
+	messages  = 30000
+	caches    = 4
+	cacheSize = 1024
+)
+
+func main() {
+	fibCLUE, err := fibgen.Generate(fibgen.Config{Seed: 7, Routes: tableSize})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fibCLPL := fibCLUE.Clone()
+	stream, err := buildStream(fibCLUE)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cluePipe, err := update.NewCLUEPipeline(fibCLUE, caches, cacheSize, update.DefaultCosts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	clplPipe, err := update.NewCLPLPipeline(fibCLPL, caches, cacheSize, update.DefaultCosts())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Warm the redundancy stores with Zipf traffic so invalidations hit
+	// real content.
+	traffic, err := tracegen.NewTraffic(
+		tracegen.PrefixesFromRoutes(cluePipe.Updater().Table().Routes()),
+		tracegen.TrafficConfig{Seed: 7},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm := traffic.NextN(50000)
+	cluePipe.Warm(warm)
+	clplPipe.Warm(warm)
+
+	clueTTF, err := update.Replay(cluePipe, stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clplTTF, err := update.Replay(clplPipe, stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs, ps := update.Summarise(clueTTF), update.Summarise(clplTTF)
+
+	fmt.Printf("replayed %d updates through both pipelines\n\n", messages)
+	fmt.Printf("%-22s %12s %12s %9s\n", "mean per message", "CLUE", "CLPL", "CLPL/CLUE")
+	row := func(name string, c, p float64) {
+		ratio := 0.0
+		if c > 0 {
+			ratio = p / c
+		}
+		fmt.Printf("%-22s %10.1fns %10.1fns %8.1fx\n", name, c, p, ratio)
+	}
+	row("TTF1 (trie)", cs.Mean.Trie, ps.Mean.Trie)
+	row("TTF2 (TCAM)", cs.Mean.TCAM, ps.Mean.TCAM)
+	row("TTF3 (DRed)", cs.Mean.DRed, ps.Mean.DRed)
+	row("TTF2+TTF3", cs.Mean.TCAM+cs.Mean.DRed, ps.Mean.TCAM+ps.Mean.DRed)
+	row("total", cs.Mean.Total(), ps.Mean.Total())
+
+	budget := 1e9 / 35000.0 // ns available per message at the peak rate
+	fmt.Printf("\nat the paper's 35K updates/second peak, each message has %.0fns;\n", budget)
+	fmt.Printf("CLUE's data-plane share (TTF2+TTF3 = %.0fns) uses %.1f%% of it,\n",
+		cs.Mean.TCAM+cs.Mean.DRed, 100*(cs.Mean.TCAM+cs.Mean.DRed)/budget)
+	fmt.Printf("CLPL's (%.0fns) uses %.1f%%.\n",
+		ps.Mean.TCAM+ps.Mean.DRed, 100*(ps.Mean.TCAM+ps.Mean.DRed)/budget)
+}
+
+// buildStream makes a flap-heavy update trace against a snapshot of the
+// table (the generator churns its own copy, leaving fib untouched for
+// the pipelines).
+func buildStream(fib *trie.Trie) ([]tracegen.Update, error) {
+	gen, err := tracegen.NewUpdateGen(fib.Clone(), tracegen.UpdateConfig{
+		Seed:          7,
+		Messages:      messages,
+		WithdrawFrac:  0.30,
+		NewPrefixFrac: 0.55,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return gen.NextN(messages), nil
+}

@@ -1,0 +1,3 @@
+module clue
+
+go 1.22

@@ -1,0 +1,165 @@
+// Package dred implements the Dynamic Redundancy stores used for load
+// balancing in the parallel lookup engine: a bounded LRU prefix cache
+// (Cache) and a per-engine group of them (Group) with the two fill
+// policies the paper compares.
+//
+// CLUE's DRed i never serves traffic whose home is TCAM i (the balancer
+// only diverts *away* from the home chip), so a hit prefix from TCAM i is
+// inserted into every DRed except i — the "reduced dynamic redundancy" in
+// the paper's title: at N=4, 3/4 of CLPL's cache space buys the same hit
+// rate. CLPL's logical caches instead insert the (RRC-ME expanded) prefix
+// into all N caches, including the home's.
+//
+// Cached prefixes may overlap only in hop-consistent ways (disjoint ONRTC
+// prefixes for CLUE; RRC-ME expansions for CLPL, which by construction
+// never shadow a longer route), so lookups use longest-prefix match.
+package dred
+
+import (
+	"container/list"
+
+	"clue/internal/ip"
+	"clue/internal/trie"
+)
+
+// Stats accumulates cache activity for hit-rate reporting.
+type Stats struct {
+	// Lookups is the number of probe operations.
+	Lookups int64
+	// Hits is the number of probes that matched a cached prefix.
+	Hits int64
+	// Inserts is the number of fill operations that added an entry.
+	Inserts int64
+	// Evictions is the number of LRU evictions caused by fills.
+	Evictions int64
+	// Invalidations is the number of entries removed by routing updates.
+	Invalidations int64
+}
+
+// HitRate returns Hits/Lookups, or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Cache is a bounded LRU prefix cache with longest-prefix-match lookup.
+// The zero value is not usable; call NewCache.
+type Cache struct {
+	capacity int
+	match    *trie.Trie
+	order    *list.List // front = most recently used; values are ip.Prefix
+	elems    map[ip.Prefix]*list.Element
+	stats    Stats
+}
+
+// NewCache creates a cache holding at most capacity prefixes. A zero or
+// negative capacity yields a cache that never stores anything (useful as
+// a disabled DRed in ablations).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		match:    trie.New(),
+		order:    list.New(),
+		elems:    make(map[ip.Prefix]*list.Element),
+	}
+}
+
+// Capacity returns the cache's entry limit.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of cached prefixes.
+func (c *Cache) Len() int { return len(c.elems) }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the activity counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Lookup probes the cache with addr. A hit refreshes the entry's LRU
+// position.
+func (c *Cache) Lookup(addr ip.Addr) (ip.NextHop, ip.Prefix, bool) {
+	c.stats.Lookups++
+	hop, p := c.match.Lookup(addr, nil)
+	if hop == ip.NoRoute {
+		return ip.NoRoute, ip.Prefix{}, false
+	}
+	c.stats.Hits++
+	c.order.MoveToFront(c.elems[p])
+	return hop, p, true
+}
+
+// Insert fills the cache with r, evicting the least recently used entry
+// if full. Re-inserting a present prefix refreshes it (and its hop).
+func (c *Cache) Insert(r ip.Route) {
+	if c.capacity <= 0 {
+		return
+	}
+	if e, ok := c.elems[r.Prefix]; ok {
+		c.order.MoveToFront(e)
+		c.match.Insert(r.Prefix, r.NextHop, nil)
+		return
+	}
+	if len(c.elems) >= c.capacity {
+		c.evictLRU()
+	}
+	c.elems[r.Prefix] = c.order.PushFront(r.Prefix)
+	c.match.Insert(r.Prefix, r.NextHop, nil)
+	c.stats.Inserts++
+}
+
+func (c *Cache) evictLRU() {
+	back := c.order.Back()
+	if back == nil {
+		return
+	}
+	p, ok := back.Value.(ip.Prefix)
+	if !ok {
+		// The list only ever holds prefixes; treat corruption as empty.
+		c.order.Remove(back)
+		return
+	}
+	c.order.Remove(back)
+	delete(c.elems, p)
+	c.match.Delete(p, nil)
+	c.stats.Evictions++
+}
+
+// Contains reports whether prefix p is cached (exact match, no LPM).
+func (c *Cache) Contains(p ip.Prefix) bool {
+	_, ok := c.elems[p]
+	return ok
+}
+
+// Invalidate removes prefix p if cached, returning whether it was present.
+// CLUE's DRed update on a withdraw is exactly this single probe.
+func (c *Cache) Invalidate(p ip.Prefix) bool {
+	e, ok := c.elems[p]
+	if !ok {
+		return false
+	}
+	c.order.Remove(e)
+	delete(c.elems, p)
+	c.match.Delete(p, nil)
+	c.stats.Invalidations++
+	return true
+}
+
+// InvalidateOverlapping removes every cached entry overlapping p and
+// returns how many were removed. CLPL must do this on routing updates
+// because its cached RRC-ME expansions can be invalidated by any change
+// inside or above them.
+func (c *Cache) InvalidateOverlapping(p ip.Prefix) int {
+	var victims []ip.Prefix
+	for q := range c.elems {
+		if q.Overlaps(p) {
+			victims = append(victims, q)
+		}
+	}
+	for _, q := range victims {
+		c.Invalidate(q)
+	}
+	return len(victims)
+}

@@ -1,0 +1,261 @@
+package dred
+
+import (
+	"math/rand"
+	"testing"
+
+	"clue/internal/ip"
+)
+
+func pfx(s string) ip.Prefix { return ip.MustParsePrefix(s) }
+func addr(s string) ip.Addr  { return ip.MustParseAddr(s) }
+func rt(p string, h ip.NextHop) ip.Route {
+	return ip.Route{Prefix: pfx(p), NextHop: h}
+}
+
+func TestCacheBasicHitMiss(t *testing.T) {
+	c := NewCache(4)
+	c.Insert(rt("10.0.0.0/8", 1))
+	hop, via, ok := c.Lookup(addr("10.1.2.3"))
+	if !ok || hop != 1 || via != pfx("10.0.0.0/8") {
+		t.Errorf("Lookup = (%d, %s, %v)", hop, via, ok)
+	}
+	if _, _, ok := c.Lookup(addr("11.0.0.0")); ok {
+		t.Error("miss returned ok")
+	}
+	s := c.Stats()
+	if s.Lookups != 2 || s.Hits != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", s.HitRate())
+	}
+}
+
+func TestHitRateZeroLookups(t *testing.T) {
+	if (Stats{}).HitRate() != 0 {
+		t.Error("HitRate with no lookups should be 0")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Insert(rt("10.0.0.0/8", 1))
+	c.Insert(rt("11.0.0.0/8", 2))
+	// Touch 10/8 so 11/8 becomes LRU.
+	if _, _, ok := c.Lookup(addr("10.0.0.1")); !ok {
+		t.Fatal("expected hit")
+	}
+	c.Insert(rt("12.0.0.0/8", 3))
+	if c.Contains(pfx("11.0.0.0/8")) {
+		t.Error("LRU entry 11/8 not evicted")
+	}
+	if !c.Contains(pfx("10.0.0.0/8")) || !c.Contains(pfx("12.0.0.0/8")) {
+		t.Error("wrong entries evicted")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", c.Stats().Evictions)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheReinsertRefreshes(t *testing.T) {
+	c := NewCache(2)
+	c.Insert(rt("10.0.0.0/8", 1))
+	c.Insert(rt("11.0.0.0/8", 2))
+	// Refresh 10/8 by re-insert (with a new hop) instead of lookup.
+	c.Insert(rt("10.0.0.0/8", 9))
+	c.Insert(rt("12.0.0.0/8", 3))
+	if c.Contains(pfx("11.0.0.0/8")) {
+		t.Error("11/8 should have been the LRU victim")
+	}
+	hop, _, ok := c.Lookup(addr("10.0.0.1"))
+	if !ok || hop != 9 {
+		t.Errorf("refreshed hop = (%d, %v), want (9, true)", hop, ok)
+	}
+	if c.Stats().Inserts != 3 {
+		t.Errorf("Inserts = %d, want 3 (refresh doesn't count)", c.Stats().Inserts)
+	}
+}
+
+func TestCacheZeroCapacity(t *testing.T) {
+	c := NewCache(0)
+	c.Insert(rt("10.0.0.0/8", 1))
+	if c.Len() != 0 {
+		t.Error("zero-capacity cache stored an entry")
+	}
+	if _, _, ok := c.Lookup(addr("10.0.0.1")); ok {
+		t.Error("zero-capacity cache hit")
+	}
+}
+
+func TestCacheLPMOverOverlappingEntries(t *testing.T) {
+	c := NewCache(4)
+	c.Insert(rt("10.0.0.0/8", 1))
+	c.Insert(rt("10.1.0.0/16", 2))
+	hop, _, ok := c.Lookup(addr("10.1.0.5"))
+	if !ok || hop != 2 {
+		t.Errorf("LPM hop = %d, want 2", hop)
+	}
+	hop, _, ok = c.Lookup(addr("10.2.0.5"))
+	if !ok || hop != 1 {
+		t.Errorf("fallback hop = %d, want 1", hop)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(4)
+	c.Insert(rt("10.0.0.0/8", 1))
+	if !c.Invalidate(pfx("10.0.0.0/8")) {
+		t.Error("Invalidate of present prefix returned false")
+	}
+	if c.Invalidate(pfx("10.0.0.0/8")) {
+		t.Error("Invalidate of absent prefix returned true")
+	}
+	if _, _, ok := c.Lookup(addr("10.0.0.1")); ok {
+		t.Error("hit after invalidation")
+	}
+	if c.Stats().Invalidations != 1 {
+		t.Errorf("Invalidations = %d, want 1", c.Stats().Invalidations)
+	}
+}
+
+func TestCacheInvalidateOverlapping(t *testing.T) {
+	c := NewCache(8)
+	c.Insert(rt("10.0.0.0/8", 1))
+	c.Insert(rt("10.1.0.0/16", 2))
+	c.Insert(rt("11.0.0.0/8", 3))
+	n := c.InvalidateOverlapping(pfx("10.0.0.0/9"))
+	if n != 2 {
+		t.Errorf("InvalidateOverlapping removed %d, want 2 (the /8 above and /16 below)", n)
+	}
+	if !c.Contains(pfx("11.0.0.0/8")) {
+		t.Error("unrelated entry removed")
+	}
+}
+
+func TestCacheEvictionKeepsMatchConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewCache(16)
+	for i := 0; i < 2000; i++ {
+		p := ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(9)+16)
+		c.Insert(ip.Route{Prefix: p, NextHop: ip.NextHop(rng.Intn(4) + 1)})
+		if c.Len() > 16 {
+			t.Fatalf("cache exceeded capacity: %d", c.Len())
+		}
+	}
+	// Every cached prefix must still be matchable; every evicted one not
+	// (probe exact first addresses where no shorter entry covers).
+	hits := 0
+	for q := range c.elems {
+		if _, _, ok := c.Lookup(q.First()); ok {
+			hits++
+		}
+	}
+	if hits != c.Len() {
+		t.Errorf("only %d of %d cached entries matchable", hits, c.Len())
+	}
+}
+
+func TestGroupInsertExcept(t *testing.T) {
+	g, err := NewGroup(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.InsertExcept(1, rt("10.0.0.0/8", 1))
+	for i := 0; i < 4; i++ {
+		want := i != 1
+		if got := g.Cache(i).Contains(pfx("10.0.0.0/8")); got != want {
+			t.Errorf("cache %d contains = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestGroupInsertAll(t *testing.T) {
+	g, err := NewGroup(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.InsertAll(rt("10.0.0.0/8", 1))
+	for i := 0; i < 3; i++ {
+		if !g.Cache(i).Contains(pfx("10.0.0.0/8")) {
+			t.Errorf("cache %d missing entry", i)
+		}
+	}
+	if n := g.Invalidate(pfx("10.0.0.0/8")); n != 3 {
+		t.Errorf("group Invalidate removed from %d caches, want 3", n)
+	}
+}
+
+func TestGroupInvalidateOverlapping(t *testing.T) {
+	g, err := NewGroup(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.InsertAll(rt("10.0.0.0/8", 1))
+	g.InsertAll(rt("10.1.0.0/16", 2))
+	if n := g.InvalidateOverlapping(pfx("10.0.0.0/8")); n != 4 {
+		t.Errorf("removed %d entries, want 4", n)
+	}
+}
+
+func TestGroupStatsAggregation(t *testing.T) {
+	g, err := NewGroup(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.InsertAll(rt("10.0.0.0/8", 1))
+	g.Cache(0).Lookup(addr("10.0.0.1"))
+	g.Cache(1).Lookup(addr("11.0.0.1"))
+	s := g.Stats()
+	if s.Lookups != 2 || s.Hits != 1 || s.Inserts != 2 {
+		t.Errorf("aggregated stats = %+v", s)
+	}
+	g.ResetStats()
+	if s := g.Stats(); s.Lookups != 0 {
+		t.Errorf("stats after reset = %+v", s)
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	if _, err := NewGroup(0, 8); err == nil {
+		t.Error("NewGroup(0) succeeded")
+	}
+	g, err := NewGroup(1, 8)
+	if err != nil || g.N() != 1 {
+		t.Errorf("NewGroup(1) = (%v, %v)", g, err)
+	}
+}
+
+// Property: with a working set smaller than capacity, the steady-state
+// hit rate approaches 1; with a much larger uniform set it stays low.
+func TestCacheHitRateRegimes(t *testing.T) {
+	small := NewCache(64)
+	rng := rand.New(rand.NewSource(8))
+	working := make([]ip.Route, 32)
+	for i := range working {
+		working[i] = ip.Route{Prefix: ip.MustPrefix(ip.Addr(rng.Uint32()), 24), NextHop: 1}
+	}
+	for i := 0; i < 5000; i++ {
+		r := working[rng.Intn(len(working))]
+		if _, _, ok := small.Lookup(r.Prefix.First()); !ok {
+			small.Insert(r)
+		}
+	}
+	if hr := small.Stats().HitRate(); hr < 0.95 {
+		t.Errorf("small working set hit rate = %v, want > 0.95", hr)
+	}
+
+	big := NewCache(64)
+	for i := 0; i < 5000; i++ {
+		p := ip.MustPrefix(ip.Addr(rng.Uint32()), 24)
+		if _, _, ok := big.Lookup(p.First()); !ok {
+			big.Insert(ip.Route{Prefix: p, NextHop: 1})
+		}
+	}
+	if hr := big.Stats().HitRate(); hr > 0.2 {
+		t.Errorf("uniform large set hit rate = %v, want < 0.2", hr)
+	}
+}

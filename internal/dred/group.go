@@ -1,0 +1,93 @@
+package dred
+
+import (
+	"fmt"
+
+	"clue/internal/ip"
+)
+
+// Group is the set of per-TCAM redundancy caches in a parallel lookup
+// engine, with the two fill disciplines the paper compares.
+type Group struct {
+	caches []*Cache
+}
+
+// NewGroup creates n caches of the given per-cache capacity.
+func NewGroup(n, capacity int) (*Group, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dred: group needs at least 1 cache, got %d", n)
+	}
+	g := &Group{caches: make([]*Cache, n)}
+	for i := range g.caches {
+		g.caches[i] = NewCache(capacity)
+	}
+	return g, nil
+}
+
+// N returns the number of caches in the group.
+func (g *Group) N() int { return len(g.caches) }
+
+// Cache returns cache i.
+func (g *Group) Cache(i int) *Cache { return g.caches[i] }
+
+// InsertExcept fills every cache except home with r — CLUE's reduced
+// dynamic redundancy rule (DRed i never stores TCAM i's prefixes because
+// DRed i is never probed for TCAM i's traffic).
+func (g *Group) InsertExcept(home int, r ip.Route) {
+	for i, c := range g.caches {
+		if i == home {
+			continue
+		}
+		c.Insert(r)
+	}
+}
+
+// InsertAll fills every cache with r — CLPL's logical-cache rule.
+func (g *Group) InsertAll(r ip.Route) {
+	for _, c := range g.caches {
+		c.Insert(r)
+	}
+}
+
+// Invalidate removes prefix p from every cache, returning the number of
+// caches that held it.
+func (g *Group) Invalidate(p ip.Prefix) int {
+	n := 0
+	for _, c := range g.caches {
+		if c.Invalidate(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// InvalidateOverlapping removes all entries overlapping p from every
+// cache, returning the total removed.
+func (g *Group) InvalidateOverlapping(p ip.Prefix) int {
+	n := 0
+	for _, c := range g.caches {
+		n += c.InvalidateOverlapping(p)
+	}
+	return n
+}
+
+// Stats sums the activity counters across all caches.
+func (g *Group) Stats() Stats {
+	var total Stats
+	for _, c := range g.caches {
+		s := c.Stats()
+		total.Lookups += s.Lookups
+		total.Hits += s.Hits
+		total.Inserts += s.Inserts
+		total.Evictions += s.Evictions
+		total.Invalidations += s.Invalidations
+	}
+	return total
+}
+
+// ResetStats zeroes every cache's counters.
+func (g *Group) ResetStats() {
+	for _, c := range g.caches {
+		c.ResetStats()
+	}
+}

@@ -1,0 +1,371 @@
+package engine
+
+import (
+	"fmt"
+
+	"clue/internal/dred"
+	"clue/internal/ip"
+)
+
+// Config sets the simulator's timing and sizing parameters. Zero values
+// take the paper's §V.D settings.
+type Config struct {
+	// QueueDepth is the per-TCAM FIFO size (paper: 256).
+	QueueDepth int
+	// DRedSize is the per-TCAM DRed capacity in prefixes (paper: 1024).
+	DRedSize int
+	// LookupClocks is the TCAM service time per lookup (paper: 4).
+	LookupClocks int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.DRedSize == 0 {
+		c.DRedSize = 1024
+	}
+	if c.LookupClocks == 0 {
+		c.LookupClocks = 4
+	}
+	return c
+}
+
+// job is a packet in flight.
+type job struct {
+	addr ip.Addr
+	// dredOnly marks a diverted packet: it may only probe the serving
+	// TCAM's DRed, never its main partitions.
+	dredOnly bool
+	home     int
+	// arrived is the clock at which the packet entered the engine, for
+	// latency accounting.
+	arrived int64
+}
+
+// Stats aggregates a simulation run.
+type Stats struct {
+	// Clocks is the number of simulated clock cycles.
+	Clocks int64
+	// Arrived counts packets offered to the engine.
+	Arrived int64
+	// Resolved counts packets that found their next hop.
+	Resolved int64
+	// NoRoute counts packets whose address matched no entry.
+	NoRoute int64
+	// Dropped counts packets lost because every eligible queue was full.
+	Dropped int64
+	// Requeued counts DRed misses sent back to their home TCAM.
+	Requeued int64
+	// Diverted counts packets sent to a non-home TCAM's DRed.
+	Diverted int64
+	// PerTCAMServed counts lookups executed by each TCAM (home + DRed).
+	PerTCAMServed []int64
+	// PerTCAMHome counts packets whose home was each TCAM (the
+	// pre-balancing "Original" distribution of Figure 15).
+	PerTCAMHome []int64
+	// DRedLookups and DRedHits measure the dynamic redundancy path.
+	DRedLookups int64
+	DRedHits    int64
+	// ControlPlane counts control-plane round trips for cache fills
+	// (zero for CLUE by construction).
+	ControlPlane int64
+	// SRAMVisits counts control-plane trie node touches for fills.
+	SRAMVisits int64
+	// LatencySum and LatencyMax track per-packet clocks from arrival to
+	// resolution (queueing + service).
+	LatencySum int64
+	LatencyMax int64
+}
+
+// HitRate returns the DRed hit rate h.
+func (s Stats) HitRate() float64 {
+	if s.DRedLookups == 0 {
+		return 0
+	}
+	return float64(s.DRedHits) / float64(s.DRedLookups)
+}
+
+// Throughput returns resolved packets per clock.
+func (s Stats) Throughput() float64 {
+	if s.Clocks == 0 {
+		return 0
+	}
+	return float64(s.Resolved) / float64(s.Clocks)
+}
+
+// SpeedupFactor returns throughput normalised to a single TCAM's service
+// rate: t = resolved × LookupClocks / clocks. It is the paper's t.
+func (s Stats) SpeedupFactor(lookupClocks int) float64 {
+	return s.Throughput() * float64(lookupClocks)
+}
+
+// MeanLatency returns the average clocks from packet arrival to
+// resolution.
+func (s Stats) MeanLatency() float64 {
+	if s.Resolved == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Resolved)
+}
+
+// Engine drives a System clock by clock.
+type Engine struct {
+	sys    System
+	cfg    Config
+	dreds  *dred.Group
+	queues [][]job
+	// pending holds DRed-missed packets waiting for space in their home
+	// queue (the paper's "sent back and repeat step a").
+	pending [][]job
+	busy    []int
+	// now is the monotonic simulation clock; unlike stats.Clocks it is
+	// never reset, so in-flight packets keep valid arrival stamps across
+	// ResetStats.
+	now   int64
+	stats Stats
+	// onResolve, when set, observes every resolved packet (tests and
+	// trace validation).
+	onResolve func(addr ip.Addr, hop ip.NextHop)
+}
+
+// New builds an engine around a system.
+func New(sys System, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.QueueDepth < 1 || cfg.LookupClocks < 1 || cfg.DRedSize < 0 {
+		return nil, fmt.Errorf("engine: invalid config %+v", cfg)
+	}
+	g, err := dred.NewGroup(sys.N(), cfg.DRedSize)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		sys:     sys,
+		cfg:     cfg,
+		dreds:   g,
+		queues:  make([][]job, sys.N()),
+		pending: make([][]job, sys.N()),
+		busy:    make([]int, sys.N()),
+	}
+	e.stats.PerTCAMServed = make([]int64, sys.N())
+	e.stats.PerTCAMHome = make([]int64, sys.N())
+	return e, nil
+}
+
+// SetResolveHook installs an observer called with every resolved
+// packet's address and chosen next hop.
+func (e *Engine) SetResolveHook(fn func(addr ip.Addr, hop ip.NextHop)) {
+	e.onResolve = fn
+}
+
+// DReds exposes the engine's cache group (for the update pipeline, which
+// must invalidate cached prefixes when routes change).
+func (e *Engine) DReds() *dred.Group { return e.dreds }
+
+// System returns the mechanism under simulation.
+func (e *Engine) System() System { return e.sys }
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a copy of the run statistics.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.PerTCAMServed = append([]int64(nil), e.stats.PerTCAMServed...)
+	s.PerTCAMHome = append([]int64(nil), e.stats.PerTCAMHome...)
+	return s
+}
+
+// ResetStats zeroes counters (e.g. after cache warm-up) while keeping
+// queues and cache contents.
+func (e *Engine) ResetStats() {
+	e.stats = Stats{
+		PerTCAMServed: make([]int64, e.sys.N()),
+		PerTCAMHome:   make([]int64, e.sys.N()),
+	}
+}
+
+// Stall makes TCAM i unavailable for the given number of clocks, on top
+// of any in-progress lookup — the cost of applying update writes/moves to
+// the chip, which is exactly the lookup interruption the paper's §IV
+// argues updates must minimise.
+func (e *Engine) Stall(i, clocks int) {
+	if i < 0 || i >= len(e.busy) || clocks <= 0 {
+		return
+	}
+	e.busy[i] += clocks
+}
+
+// Step advances the simulation one clock: the packet (if any) arrives,
+// then every TCAM progresses. Passing hasPacket=false idles the arrival
+// (drain phase).
+func (e *Engine) Step(addr ip.Addr, hasPacket bool) {
+	e.now++
+	e.stats.Clocks++
+	if hasPacket {
+		e.arrive(addr)
+	}
+	e.service()
+}
+
+// StepMulti advances one clock with any number of packet arrivals — for
+// configurations whose aggregate service rate exceeds one packet per
+// clock (N > LookupClocks), where the paper's one-arrival-per-clock
+// convention would cap the measurable speedup.
+func (e *Engine) StepMulti(addrs []ip.Addr) {
+	e.now++
+	e.stats.Clocks++
+	for _, a := range addrs {
+		e.arrive(a)
+	}
+	e.service()
+}
+
+// Run feeds n packets from next (one per clock), then drains the queues.
+func (e *Engine) Run(next func() ip.Addr, n int) {
+	for i := 0; i < n; i++ {
+		e.Step(next(), true)
+	}
+	e.Drain()
+}
+
+// Drain advances clocks without arrivals until all queues and pending
+// buffers empty (bounded, in case of pathological requeue loops).
+func (e *Engine) Drain() {
+	limit := e.stats.Clocks + int64(e.cfg.LookupClocks)*(int64(e.cfg.QueueDepth)+8)*int64(e.sys.N())*4
+	for !e.idle() && e.stats.Clocks < limit {
+		e.Step(0, false)
+	}
+}
+
+func (e *Engine) idle() bool {
+	for i := range e.queues {
+		if len(e.queues[i]) > 0 || len(e.pending[i]) > 0 || e.busy[i] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// arrive implements the Adaptive Load Balancing Logic's admission rule.
+func (e *Engine) arrive(addr ip.Addr) {
+	e.stats.Arrived++
+	home := e.sys.Home(addr)
+	e.stats.PerTCAMHome[home]++
+	e.admit(job{addr: addr, home: home, arrived: e.now})
+}
+
+// admit places a packet: home queue first; if full, the shortest queue as
+// a redundancy-only job; if that is full too (or the mechanism cannot
+// serve this packet elsewhere), the packet is dropped.
+func (e *Engine) admit(j job) {
+	if len(e.queues[j.home]) < e.cfg.QueueDepth {
+		j.dredOnly = false
+		e.queues[j.home] = append(e.queues[j.home], j)
+		return
+	}
+	// Static-redundancy mechanisms (SLPL) can only divert packets whose
+	// matching prefix was pre-replicated.
+	if sr, ok := e.sys.(StaticReplicator); ok && !sr.ServesDiverted(j.addr) {
+		e.stats.Dropped++
+		return
+	}
+	idlest, best := -1, e.cfg.QueueDepth
+	for i := range e.queues {
+		if i == j.home {
+			continue
+		}
+		if len(e.queues[i]) < best {
+			idlest, best = i, len(e.queues[i])
+		}
+	}
+	if idlest < 0 {
+		e.stats.Dropped++
+		return
+	}
+	j.dredOnly = true
+	e.stats.Diverted++
+	e.queues[idlest] = append(e.queues[idlest], j)
+}
+
+// service advances every TCAM one clock, starting a new lookup when free.
+func (e *Engine) service() {
+	for i := range e.queues {
+		// Refill home queue from the pending (DRed-missed) buffer
+		// before serving, preserving arrival order.
+		for len(e.pending[i]) > 0 && len(e.queues[i]) < e.cfg.QueueDepth {
+			e.queues[i] = append(e.queues[i], e.pending[i][0])
+			e.pending[i] = e.pending[i][1:]
+		}
+		if e.busy[i] > 0 {
+			e.busy[i]--
+			continue
+		}
+		if len(e.queues[i]) == 0 {
+			continue
+		}
+		j := e.queues[i][0]
+		e.queues[i] = e.queues[i][1:]
+		e.busy[i] = e.cfg.LookupClocks - 1
+		e.stats.PerTCAMServed[i]++
+		e.resolve(i, j)
+	}
+}
+
+// finish records a resolved packet's latency and notifies the hook.
+func (e *Engine) finish(j job, hop ip.NextHop) {
+	e.stats.Resolved++
+	lat := e.now - j.arrived
+	e.stats.LatencySum += lat
+	if lat > e.stats.LatencyMax {
+		e.stats.LatencyMax = lat
+	}
+	if e.onResolve != nil {
+		e.onResolve(j.addr, hop)
+	}
+}
+
+// resolve completes a lookup at TCAM i.
+func (e *Engine) resolve(i int, j job) {
+	if j.dredOnly {
+		e.stats.DRedLookups++
+		if _, static := e.sys.(StaticReplicator); static {
+			// SLPL: the diverted packet is served by the replica in
+			// this chip's main partitions (guaranteed present by the
+			// admit filter).
+			hop, _, ok := e.sys.Chip(i).Lookup(j.addr)
+			if ok {
+				e.stats.DRedHits++
+				e.finish(j, hop)
+				return
+			}
+			e.stats.Requeued++
+			j.dredOnly = false
+			e.pending[j.home] = append(e.pending[j.home], j)
+			return
+		}
+		if hop, _, ok := e.dreds.Cache(i).Lookup(j.addr); ok {
+			e.stats.DRedHits++
+			e.finish(j, hop)
+			return
+		}
+		// Miss: back to the home TCAM (step c of the mechanism). The
+		// packet waits in the pending buffer until the home queue has
+		// room.
+		e.stats.Requeued++
+		j.dredOnly = false
+		e.pending[j.home] = append(e.pending[j.home], j)
+		return
+	}
+	hop, p, ok := e.sys.Chip(i).Lookup(j.addr)
+	if !ok {
+		e.stats.NoRoute++
+		return
+	}
+	e.finish(j, hop)
+	rep := e.sys.Fill(e.dreds, i, j.addr, ip.Route{Prefix: p, NextHop: hop})
+	if rep.ControlPlane {
+		e.stats.ControlPlane++
+	}
+	e.stats.SRAMVisits += int64(rep.SRAMVisits)
+}

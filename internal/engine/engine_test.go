@@ -1,0 +1,477 @@
+package engine
+
+import (
+	"testing"
+
+	"clue/internal/fibgen"
+	"clue/internal/ip"
+	"clue/internal/onrtc"
+	"clue/internal/tracegen"
+	"clue/internal/trie"
+)
+
+// testTable builds a FIB + compressed table of moderate size.
+func testTable(t *testing.T, routes int, seed int64) (*trie.Trie, *onrtc.Table) {
+	t.Helper()
+	fib, err := fibgen.Generate(fibgen.Config{Seed: seed, Routes: routes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fib, onrtc.Compress(fib)
+}
+
+func testTraffic(t *testing.T, table *onrtc.Table, seed int64) *tracegen.Traffic {
+	t.Helper()
+	tr, err := tracegen.NewTraffic(tracegen.PrefixesFromRoutes(table.Routes()), tracegen.TrafficConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewCLUESystemValidation(t *testing.T) {
+	_, table := testTable(t, 2000, 1)
+	if _, err := NewCLUESystem(table, 1, 4, nil); err == nil {
+		t.Error("tcams=1 accepted")
+	}
+	if _, err := NewCLUESystem(table, 4, 2, nil); err == nil {
+		t.Error("buckets < tcams accepted")
+	}
+	if _, err := NewCLUESystem(table, 4, 8, []int{0}); err == nil {
+		t.Error("short mapping accepted")
+	}
+	if _, err := NewCLUESystem(table, 4, 8, []int{9, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("out-of-range mapping accepted")
+	}
+}
+
+func TestCLUESystemHomeMatchesChipContent(t *testing.T) {
+	_, table := testTable(t, 2000, 2)
+	sys, err := NewCLUESystem(table, 4, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every route must be stored in the chip its range indexes to.
+	for _, r := range table.Routes() {
+		home := sys.Home(r.Prefix.First())
+		if !sys.Chip(home).Contains(r.Prefix) {
+			t.Fatalf("route %s not in home chip %d", r.Prefix, home)
+		}
+	}
+}
+
+func TestEngineResolvesAllWithCorrectHops(t *testing.T) {
+	fib, table := testTable(t, 2000, 3)
+	sys, err := NewCLUESystem(table, 4, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	e.SetResolveHook(func(a ip.Addr, hop ip.NextHop) {
+		want, _ := fib.Lookup(a, nil)
+		if hop != want {
+			wrong++
+		}
+	})
+	tr := testTraffic(t, table, 3)
+	e.Run(tr.Next, 20000)
+	s := e.Stats()
+	if wrong != 0 {
+		t.Errorf("%d packets resolved with a wrong hop", wrong)
+	}
+	if s.Resolved+s.Dropped+s.NoRoute != s.Arrived {
+		t.Errorf("accounting broken: resolved %d + dropped %d + noroute %d != arrived %d",
+			s.Resolved, s.Dropped, s.NoRoute, s.Arrived)
+	}
+	if s.NoRoute != 0 {
+		t.Errorf("traffic drawn from table prefixes produced %d no-routes", s.NoRoute)
+	}
+	if s.Resolved == 0 {
+		t.Error("nothing resolved")
+	}
+}
+
+func TestEngineBalancedNearFullSpeedup(t *testing.T) {
+	_, table := testTable(t, 4000, 4)
+	sys, err := NewCLUESystem(table, 4, 32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTraffic(t, table, 4)
+	e.Run(tr.Next, 50000)
+	s := e.Stats()
+	// Round-robin bucket striping spreads even Zipf-hot buckets; the
+	// engine should sustain nearly the arrival rate.
+	if tp := s.Throughput(); tp < 0.85 {
+		t.Errorf("balanced throughput = %.3f packets/clock, want > 0.85", tp)
+	}
+}
+
+// worstCaseMapping maps the hottest buckets all to TCAM 0 (Table II's
+// construction) by measuring per-bucket traffic offline.
+func worstCaseMapping(t *testing.T, table *onrtc.Table, buckets, tcams int, seed int64) []int {
+	t.Helper()
+	_, ix, err := BucketIndex(table, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTraffic(t, table, seed)
+	counts := make([]int64, buckets)
+	for i := 0; i < 50000; i++ {
+		counts[ix.Lookup(tr.Next())]++
+	}
+	order := make([]int, buckets)
+	for i := range order {
+		order[i] = i
+	}
+	// Sort bucket ids by traffic, descending (insertion sort, small n).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && counts[order[j]] > counts[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	mapping := make([]int, buckets)
+	per := buckets / tcams
+	for rank, b := range order {
+		mapping[b] = rank / per
+		if mapping[b] >= tcams {
+			mapping[b] = tcams - 1
+		}
+	}
+	return mapping
+}
+
+func TestEngineWorstCaseRespectsTheoryBound(t *testing.T) {
+	fib, table := testTable(t, 4000, 5)
+	_ = fib
+	mapping := worstCaseMapping(t, table, 32, 4, 5)
+	sys, err := NewCLUESystem(table, 4, 32, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTraffic(t, table, 5)
+	// Warm the caches, then measure.
+	e.Run(tr.Next, 20000)
+	e.ResetStats()
+	for i := 0; i < 100000; i++ {
+		e.Step(tr.Next(), true)
+	}
+	s := e.Stats()
+	if s.Diverted == 0 {
+		t.Fatal("worst-case mapping produced no diversions; test is vacuous")
+	}
+	h := s.HitRate()
+	tFactor := s.SpeedupFactor(e.Config().LookupClocks)
+	bound := 3*h + 1
+	if tFactor < bound*0.9 {
+		t.Errorf("speedup %.3f below theory bound (N-1)h+1 = %.3f", tFactor, bound)
+	}
+	if h < 0.5 {
+		t.Errorf("hit rate %.3f unexpectedly low for Zipf traffic with 1024-entry DReds", h)
+	}
+}
+
+func TestEngineDRedSizeDrivesHitRate(t *testing.T) {
+	_, table := testTable(t, 4000, 6)
+	mapping := worstCaseMapping(t, table, 32, 4, 6)
+	hits := make([]float64, 0, 2)
+	for _, size := range []int{32, 2048} {
+		sys, err := NewCLUESystem(table, 4, 32, mapping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(sys, Config{DRedSize: size})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := testTraffic(t, table, 6)
+		e.Run(tr.Next, 15000)
+		e.ResetStats()
+		for i := 0; i < 60000; i++ {
+			e.Step(tr.Next(), true)
+		}
+		hits = append(hits, e.Stats().HitRate())
+	}
+	if hits[1] <= hits[0] {
+		t.Errorf("hit rate did not grow with DRed size: %v", hits)
+	}
+}
+
+func TestCLPLSystemBasics(t *testing.T) {
+	fib, _ := testTable(t, 2000, 7)
+	sys, err := NewCLPLSystem(fib, 4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != 4 || sys.Name() != "clpl" {
+		t.Errorf("N=%d Name=%s", sys.N(), sys.Name())
+	}
+	// Home-chip LPM must agree with the full FIB everywhere.
+	tr := testTraffic(t, onrtc.Compress(fib), 7)
+	for i := 0; i < 5000; i++ {
+		a := tr.Next()
+		want, _ := fib.Lookup(a, nil)
+		got, _, ok := sys.Chip(sys.Home(a)).Lookup(a)
+		if !ok || got != want {
+			t.Fatalf("CLPL home lookup(%s) = (%d, %v), want %d", a, got, ok, want)
+		}
+	}
+}
+
+func TestNewCLPLSystemValidation(t *testing.T) {
+	fib, _ := testTable(t, 500, 8)
+	if _, err := NewCLPLSystem(fib, 1, 4, nil); err == nil {
+		t.Error("tcams=1 accepted")
+	}
+	if _, err := NewCLPLSystem(fib, 4, 0, nil); err == nil {
+		t.Error("partsPerTCAM=0 accepted")
+	}
+	if _, err := NewCLPLSystem(trie.New(), 4, 4, nil); err == nil {
+		t.Error("empty fib accepted")
+	}
+}
+
+func TestCLPLEngineUsesControlPlane(t *testing.T) {
+	fib, table := testTable(t, 2000, 9)
+	sys, err := NewCLPLSystem(fib, 4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	e.SetResolveHook(func(a ip.Addr, hop ip.NextHop) {
+		want, _ := fib.Lookup(a, nil)
+		if hop != want {
+			wrong++
+		}
+	})
+	tr := testTraffic(t, table, 9)
+	e.Run(tr.Next, 20000)
+	s := e.Stats()
+	if wrong != 0 {
+		t.Errorf("%d CLPL packets resolved with wrong hop (RRC-ME safety violated)", wrong)
+	}
+	if s.ControlPlane == 0 {
+		t.Error("CLPL engine reported zero control-plane interactions")
+	}
+	if s.SRAMVisits == 0 {
+		t.Error("CLPL engine reported zero SRAM visits")
+	}
+}
+
+func TestCLUEEngineNoControlPlane(t *testing.T) {
+	_, table := testTable(t, 2000, 10)
+	sys, err := NewCLUESystem(table, 4, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTraffic(t, table, 10)
+	e.Run(tr.Next, 20000)
+	if cp := e.Stats().ControlPlane; cp != 0 {
+		t.Errorf("CLUE engine performed %d control-plane interactions, want 0", cp)
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	_, table := testTable(t, 1000, 11)
+	sys, err := NewCLUESystem(table, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(sys, Config{QueueDepth: -1}); err == nil {
+		t.Error("negative QueueDepth accepted")
+	}
+	e, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := e.Config()
+	if cfg.QueueDepth != 256 || cfg.DRedSize != 1024 || cfg.LookupClocks != 4 {
+		t.Errorf("defaults = %+v, want paper settings 256/1024/4", cfg)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := Stats{Clocks: 100, Resolved: 50, DRedLookups: 10, DRedHits: 8}
+	if s.Throughput() != 0.5 {
+		t.Errorf("Throughput = %v", s.Throughput())
+	}
+	if s.SpeedupFactor(4) != 2.0 {
+		t.Errorf("SpeedupFactor = %v", s.SpeedupFactor(4))
+	}
+	if s.HitRate() != 0.8 {
+		t.Errorf("HitRate = %v", s.HitRate())
+	}
+	var zero Stats
+	if zero.Throughput() != 0 || zero.HitRate() != 0 {
+		t.Error("zero stats should have zero rates")
+	}
+}
+
+func TestResetStatsKeepsCaches(t *testing.T) {
+	_, table := testTable(t, 1000, 12)
+	sys, err := NewCLUESystem(table, 4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTraffic(t, table, 12)
+	e.Run(tr.Next, 5000)
+	cached := 0
+	for i := 0; i < 4; i++ {
+		cached += e.DReds().Cache(i).Len()
+	}
+	e.ResetStats()
+	s := e.Stats()
+	if s.Arrived != 0 || s.Clocks != 0 {
+		t.Errorf("stats not reset: %+v", s)
+	}
+	after := 0
+	for i := 0; i < 4; i++ {
+		after += e.DReds().Cache(i).Len()
+	}
+	if after != cached {
+		t.Errorf("ResetStats changed cache contents: %d -> %d", cached, after)
+	}
+}
+
+func TestLatencyAccounting(t *testing.T) {
+	_, table := testTable(t, 2000, 30)
+	sys, err := NewCLUESystem(table, 4, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTraffic(t, table, 30)
+	e.Run(tr.Next, 20000)
+	s := e.Stats()
+	// Every resolution takes at least the service time minus the same-
+	// clock start; with LookupClocks=4 the mean must be >= ~1 clock and
+	// bounded by the queue capacity times service time.
+	if s.MeanLatency() < 1 {
+		t.Errorf("mean latency = %.2f clocks, implausibly low", s.MeanLatency())
+	}
+	if s.LatencyMax < int64(s.MeanLatency()) {
+		t.Errorf("max latency %d below mean %.2f", s.LatencyMax, s.MeanLatency())
+	}
+	limit := int64(e.Config().QueueDepth*e.Config().LookupClocks*8) + 64
+	if s.LatencyMax > limit {
+		t.Errorf("max latency %d clocks exceeds plausible bound %d", s.LatencyMax, limit)
+	}
+	if (Stats{}).MeanLatency() != 0 {
+		t.Error("zero stats MeanLatency should be 0")
+	}
+}
+
+func TestStallReducesThroughput(t *testing.T) {
+	_, table := testTable(t, 2000, 31)
+	mk := func() *Engine {
+		sys, err := NewCLUESystem(table, 4, 8, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(sys, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	smooth := mk()
+	tr := testTraffic(t, table, 31)
+	for i := 0; i < 40000; i++ {
+		smooth.Step(tr.Next(), true)
+	}
+	stalled := mk()
+	tr2 := testTraffic(t, table, 31)
+	for i := 0; i < 40000; i++ {
+		stalled.Step(tr2.Next(), true)
+		if i%10 == 0 {
+			// Heavy update load: stall every chip regularly.
+			for c := 0; c < 4; c++ {
+				stalled.Stall(c, 8)
+			}
+		}
+	}
+	if stalled.Stats().Throughput() >= smooth.Stats().Throughput() {
+		t.Errorf("stalls did not reduce throughput: %.3f vs %.3f",
+			stalled.Stats().Throughput(), smooth.Stats().Throughput())
+	}
+	// Out-of-range and non-positive stalls are ignored.
+	stalled.Stall(-1, 5)
+	stalled.Stall(99, 5)
+	stalled.Stall(0, 0)
+}
+
+func TestRequeuedPacketsEventuallyResolve(t *testing.T) {
+	// Tiny DReds force misses; the engine must still resolve everything
+	// once arrivals stop (pending packets drain back through homes).
+	_, table := testTable(t, 2000, 32)
+	mapping := worstCaseMapping(t, table, 32, 4, 32)
+	sys, err := NewCLUESystem(table, 4, 32, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(sys, Config{DRedSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTraffic(t, table, 32)
+	for i := 0; i < 5000; i++ {
+		e.Step(tr.Next(), true)
+	}
+	e.Drain()
+	s := e.Stats()
+	if s.Requeued == 0 {
+		t.Fatal("tiny DReds produced no requeues; test vacuous")
+	}
+	if s.Resolved+s.Dropped+s.NoRoute != s.Arrived {
+		t.Errorf("packets lost: resolved %d + dropped %d + noroute %d != arrived %d",
+			s.Resolved, s.Dropped, s.NoRoute, s.Arrived)
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	_, table := testTable(t, 2000, 33)
+	runOnce := func() Stats {
+		sys, err := NewCLUESystem(table, 4, 8, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(sys, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := testTraffic(t, table, 33)
+		e.Run(tr.Next, 20000)
+		return e.Stats()
+	}
+	a, b := runOnce(), runOnce()
+	if a.Resolved != b.Resolved || a.DRedHits != b.DRedHits || a.Clocks != b.Clocks {
+		t.Errorf("engine runs diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"clue/internal/dred"
+	"clue/internal/ip"
+	"clue/internal/partition"
+	"clue/internal/tcam"
+	"clue/internal/trie"
+)
+
+// StaticReplicator is implemented by systems whose diverted packets are
+// served from statically replicated entries in the target chip's main
+// partitions (SLPL) rather than from a DRed cache. ServesDiverted
+// reports whether the distributor may divert a packet for addr at all
+// (its whole bucket is replicated on every chip).
+type StaticReplicator interface {
+	ServesDiverted(addr ip.Addr) bool
+}
+
+// SLPLSystem is the Zheng et al. (ToN'06) baseline: ID-bit partitioning
+// into buckets mapped round-robin onto the chips, plus "pre-selected"
+// static redundancy — the statistically hottest buckets (within a 25 %
+// extra-entry budget) are replicated onto every chip, chosen from a
+// long-period traffic sample. Replicating whole buckets keeps LPM
+// correct on the replica (every route matching an address lives in that
+// address's bucket). There is no dynamic adaptation: when the live
+// traffic's hot set drifts from the sample, diversion stops helping —
+// the paper's core criticism of the approach.
+type SLPLSystem struct {
+	bits       []int // selected address bits (ascending)
+	bucketTCAM []int // bucket id -> home TCAM
+	replicated []bool
+	chips      []*tcam.Chip
+	replicas   int
+	fib        *trie.Trie
+}
+
+var _ System = (*SLPLSystem)(nil)
+var _ StaticReplicator = (*SLPLSystem)(nil)
+
+// NewSLPLSystem builds the SLPL data plane with 2^k buckets where 2^k is
+// the smallest power of two >= 8*tcams. sample supplies destination
+// addresses from the "long-period statistics" used to pre-select hot
+// buckets; redundancyBudget is the fraction of extra entries allowed
+// (the paper's 25 % => 0.25).
+func NewSLPLSystem(fib *trie.Trie, tcams int, sample []ip.Addr, redundancyBudget float64) (*SLPLSystem, error) {
+	if tcams < 2 {
+		return nil, fmt.Errorf("engine: need at least 2 TCAMs, got %d", tcams)
+	}
+	if redundancyBudget < 0 || redundancyBudget > 1 {
+		return nil, fmt.Errorf("engine: redundancy budget %v outside [0,1]", redundancyBudget)
+	}
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("engine: SLPL needs a statistics sample")
+	}
+	k := 0
+	for 1<<k < 8*tcams {
+		k++
+	}
+	res, err := partition.IDBit(fib.Routes(), k)
+	if err != nil {
+		return nil, fmt.Errorf("engine: id-bit partitioning: %w", err)
+	}
+	nb := len(res.Parts)
+	s := &SLPLSystem{
+		bits:       res.Bits,
+		bucketTCAM: make([]int, nb),
+		replicated: make([]bool, nb),
+		fib:        fib,
+	}
+	for i := range s.bucketTCAM {
+		s.bucketTCAM[i] = i % tcams
+	}
+
+	// Rank buckets by sampled traffic and replicate the hottest whole
+	// buckets onto every chip while the entry budget lasts.
+	counts := make([]int64, nb)
+	for _, a := range sample {
+		counts[partition.BucketOf(a, s.bits)]++
+	}
+	order := make([]int, nb)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	budget := int(float64(fib.Len()) * redundancyBudget)
+	var hotBuckets []int
+	for _, b := range order {
+		cost := res.Parts[b].Size() * (tcams - 1)
+		if cost == 0 || s.replicas+cost > budget {
+			continue
+		}
+		s.replicated[b] = true
+		s.replicas += cost
+		hotBuckets = append(hotBuckets, b)
+	}
+
+	perTCAM := make([][]ip.Route, tcams)
+	for b, part := range res.Parts {
+		perTCAM[s.bucketTCAM[b]] = append(perTCAM[s.bucketTCAM[b]], part.Routes...)
+	}
+	for _, b := range hotBuckets {
+		for t := 0; t < tcams; t++ {
+			if t == s.bucketTCAM[b] {
+				continue
+			}
+			perTCAM[t] = append(perTCAM[t], res.Parts[b].Routes...)
+		}
+	}
+
+	s.chips = make([]*tcam.Chip, tcams)
+	for i := range s.chips {
+		// Buckets overlap in the routes ID-bit replicates into several
+		// buckets; each chip needs one copy.
+		seen := make(map[ip.Prefix]bool, len(perTCAM[i]))
+		routes := perTCAM[i][:0]
+		for _, r := range perTCAM[i] {
+			if seen[r.Prefix] {
+				continue
+			}
+			seen[r.Prefix] = true
+			routes = append(routes, r)
+		}
+		s.chips[i] = tcam.NewChip(len(routes)*2+1024, tcam.NewPLOLayout())
+		if err := s.chips[i].Load(routes); err != nil {
+			return nil, fmt.Errorf("engine: loading TCAM %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// Name implements System.
+func (s *SLPLSystem) Name() string { return "slpl" }
+
+// N implements System.
+func (s *SLPLSystem) N() int { return len(s.chips) }
+
+// Home implements System: the selected address bits index the bucket.
+func (s *SLPLSystem) Home(addr ip.Addr) int {
+	return s.bucketTCAM[partition.BucketOf(addr, s.bits)]
+}
+
+// Chip implements System.
+func (s *SLPLSystem) Chip(i int) *tcam.Chip { return s.chips[i] }
+
+// Fill implements System: SLPL has no dynamic redundancy, so hits fill
+// nothing.
+func (s *SLPLSystem) Fill(*dred.Group, int, ip.Addr, ip.Route) FillReport {
+	return FillReport{}
+}
+
+// ServesDiverted implements StaticReplicator: a packet may be diverted
+// only when its whole bucket was pre-replicated onto every chip.
+func (s *SLPLSystem) ServesDiverted(addr ip.Addr) bool {
+	return s.replicated[partition.BucketOf(addr, s.bits)]
+}
+
+// Replicas reports the static redundancy entry count.
+func (s *SLPLSystem) Replicas() int { return s.replicas }

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"testing"
+
+	"clue/internal/ip"
+	"clue/internal/onrtc"
+)
+
+func slplSample(t *testing.T, table *onrtc.Table, n int, seed int64) []ip.Addr {
+	t.Helper()
+	tr := testTraffic(t, table, seed)
+	return tr.NextN(n)
+}
+
+func TestNewSLPLSystemValidation(t *testing.T) {
+	fib, table := testTable(t, 1000, 20)
+	sample := slplSample(t, table, 1000, 20)
+	if _, err := NewSLPLSystem(fib, 1, sample, 0.25); err == nil {
+		t.Error("tcams=1 accepted")
+	}
+	if _, err := NewSLPLSystem(fib, 4, sample, -0.1); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if _, err := NewSLPLSystem(fib, 4, sample, 1.5); err == nil {
+		t.Error("budget > 1 accepted")
+	}
+}
+
+func TestSLPLRedundancyBudget(t *testing.T) {
+	fib, table := testTable(t, 2000, 21)
+	sample := slplSample(t, table, 20000, 21)
+	sys, err := NewSLPLSystem(fib, 4, sample, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Replicas() == 0 {
+		t.Error("no replicas pre-selected")
+	}
+	if sys.Replicas() > fib.Len()/4 {
+		t.Errorf("replicas %d exceed 25%% budget of %d", sys.Replicas(), fib.Len())
+	}
+	// Zero budget: no replication, still a valid system.
+	sys0, err := NewSLPLSystem(fib.Clone(), 4, sample, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys0.Replicas() != 0 {
+		t.Errorf("tiny budget produced %d replicas", sys0.Replicas())
+	}
+}
+
+func TestSLPLHomeLookupCorrect(t *testing.T) {
+	fib, table := testTable(t, 2000, 22)
+	sample := slplSample(t, table, 10000, 22)
+	sys, err := NewSLPLSystem(fib, 4, sample, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTraffic(t, table, 22)
+	for i := 0; i < 3000; i++ {
+		a := tr.Next()
+		want, _ := fib.Lookup(a, nil)
+		got, _, ok := sys.Chip(sys.Home(a)).Lookup(a)
+		if !ok || got != want {
+			t.Fatalf("SLPL home lookup(%s) = (%d, %v), want %d", a, got, ok, want)
+		}
+	}
+}
+
+func TestSLPLDivertedServedByReplicas(t *testing.T) {
+	fib, table := testTable(t, 2000, 23)
+	sample := slplSample(t, table, 20000, 23)
+	sys, err := NewSLPLSystem(fib, 4, sample, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every divertable address must resolve correctly on EVERY chip.
+	tr := testTraffic(t, table, 23)
+	diverted := 0
+	for i := 0; i < 3000 && diverted < 300; i++ {
+		a := tr.Next()
+		if !sys.ServesDiverted(a) {
+			continue
+		}
+		diverted++
+		want, _ := fib.Lookup(a, nil)
+		for c := 0; c < sys.N(); c++ {
+			got, _, ok := sys.Chip(c).Lookup(a)
+			if !ok || got != want {
+				t.Fatalf("replica lookup of %s on chip %d = (%d, %v), want %d", a, c, got, ok, want)
+			}
+		}
+	}
+	if diverted == 0 {
+		t.Fatal("no divertable addresses found; hot set empty?")
+	}
+}
+
+func TestSLPLEngineRuns(t *testing.T) {
+	fib, table := testTable(t, 2000, 24)
+	sample := slplSample(t, table, 20000, 24)
+	sys, err := NewSLPLSystem(fib, 4, sample, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	e.SetResolveHook(func(a ip.Addr, hop ip.NextHop) {
+		want, _ := fib.Lookup(a, nil)
+		if hop != want {
+			wrong++
+		}
+	})
+	tr := testTraffic(t, table, 24)
+	e.Run(tr.Next, 30000)
+	s := e.Stats()
+	if wrong != 0 {
+		t.Errorf("%d SLPL packets resolved with wrong hop", wrong)
+	}
+	if s.ControlPlane != 0 {
+		t.Errorf("SLPL performed %d control-plane interactions", s.ControlPlane)
+	}
+	if s.Resolved == 0 {
+		t.Error("nothing resolved")
+	}
+}
+
+// TestSLPLDegradesUnderTrafficShift reproduces the paper's criticism:
+// replicas chosen from yesterday's statistics don't help when today's
+// hot set differs, so under skewed traffic SLPL's throughput falls below
+// CLUE's dynamic redundancy.
+func TestSLPLDegradesUnderTrafficShift(t *testing.T) {
+	fib, table := testTable(t, 4000, 25)
+
+	// SLPL trained on seed-A statistics, then hit with seed-B traffic
+	// (different hot prefixes).
+	sample := slplSample(t, table, 30000, 25)
+	slpl, err := NewSLPLSystem(fib.Clone(), 4, sample, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slplEng, err := New(slpl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := testTraffic(t, table, 2525) // different seed => shifted hot set
+	slplEng.Run(shifted.Next, 20000)
+	slplEng.ResetStats()
+	for i := 0; i < 80000; i++ {
+		slplEng.Step(shifted.Next(), true)
+	}
+	slplStats := slplEng.Stats()
+
+	clueSys, err := NewCLUESystem(table, 4, 32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clueEng, err := New(clueSys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted2 := testTraffic(t, table, 2525)
+	clueEng.Run(shifted2.Next, 20000)
+	clueEng.ResetStats()
+	for i := 0; i < 80000; i++ {
+		clueEng.Step(shifted2.Next(), true)
+	}
+	clueStats := clueEng.Stats()
+
+	if slplStats.Dropped == 0 {
+		t.Log("SLPL dropped nothing; traffic may not have overloaded any home")
+	}
+	if clueStats.Throughput() < slplStats.Throughput() {
+		t.Errorf("CLUE throughput %.3f below SLPL's %.3f under shifted traffic",
+			clueStats.Throughput(), slplStats.Throughput())
+	}
+}

@@ -1,0 +1,288 @@
+// Package engine implements the clock-driven parallel TCAM lookup
+// simulator of §III and §V: N TCAM chips fed by an Indexing Logic and an
+// Adaptive Load Balancing Logic, with per-chip FIFO queues and Dynamic
+// Redundancy partitions.
+//
+// The simulator reproduces the paper's timing model exactly: one packet
+// arrives per clock, each TCAM serves one lookup every LookupClocks
+// clocks (4 in the paper), FIFOs hold QueueDepth packets (256), and DRed
+// partitions hold DRedSize prefixes (1024). A packet whose home queue is
+// full is diverted to the TCAM with the shortest queue and looked up
+// *only* in that TCAM's DRed; a DRed miss sends it back to its home.
+//
+// Two System implementations select the mechanism under test: CLUE
+// (compressed disjoint table, range partitions, hit prefixes cached
+// directly into the other N−1 DReds, no control plane) and the CLPL
+// baseline (original table, sub-tree partitions with replicated covers,
+// caches filled with RRC-ME expansions via a control-plane round trip
+// into all N caches).
+package engine
+
+import (
+	"fmt"
+
+	"clue/internal/dred"
+	"clue/internal/ip"
+	"clue/internal/onrtc"
+	"clue/internal/partition"
+	"clue/internal/rrcme"
+	"clue/internal/tcam"
+	"clue/internal/trie"
+)
+
+// FillReport describes the cache-update work a home-TCAM hit triggered,
+// so the engine can account control-plane interactions (the cost CLUE's
+// design eliminates).
+type FillReport struct {
+	// ControlPlane is true when the fill required a control-plane round
+	// trip (CLPL's RRC-ME computation).
+	ControlPlane bool
+	// SRAMVisits counts control-plane trie node touches for the fill.
+	SRAMVisits int
+}
+
+// System is the mechanism under test: it owns the chips and the home
+// mapping, and defines the DRed fill rule.
+type System interface {
+	// Name identifies the mechanism ("clue" or "clpl").
+	Name() string
+	// N returns the number of TCAM chips.
+	N() int
+	// Home returns the TCAM responsible for addr.
+	Home(addr ip.Addr) int
+	// Chip returns TCAM i's main store.
+	Chip(i int) *tcam.Chip
+	// Fill updates the DRed group after TCAM home matched route for
+	// addr.
+	Fill(g *dred.Group, home int, addr ip.Addr, matched ip.Route) FillReport
+}
+
+// CLUESystem is the paper's proposed mechanism over a compressed table.
+type CLUESystem struct {
+	index   *partition.Index
+	mapping []int // bucket -> TCAM
+	chips   []*tcam.Chip
+}
+
+var _ System = (*CLUESystem)(nil)
+
+// NewCLUESystem builds the CLUE data plane: the compressed table is split
+// into buckets (≥ tcams, e.g. 32 in Table II) with the CLUE partition
+// algorithm, and mapping assigns each bucket to a TCAM. A nil mapping
+// spreads buckets round-robin. Chip capacity is sized to the largest
+// assignment plus headroom for update churn.
+func NewCLUESystem(table *onrtc.Table, tcams, buckets int, mapping []int) (*CLUESystem, error) {
+	if tcams < 2 {
+		return nil, fmt.Errorf("engine: need at least 2 TCAMs, got %d", tcams)
+	}
+	if buckets < tcams {
+		return nil, fmt.Errorf("engine: buckets (%d) must be >= tcams (%d)", buckets, tcams)
+	}
+	res, index, err := partition.CLUE(table.Routes(), buckets)
+	if err != nil {
+		return nil, fmt.Errorf("engine: partitioning: %w", err)
+	}
+	if mapping == nil {
+		mapping = make([]int, buckets)
+		for i := range mapping {
+			mapping[i] = i % tcams
+		}
+	}
+	if len(mapping) != buckets {
+		return nil, fmt.Errorf("engine: mapping has %d entries for %d buckets", len(mapping), buckets)
+	}
+	perTCAM := make([][]ip.Route, tcams)
+	for b, part := range res.Parts {
+		t := mapping[b]
+		if t < 0 || t >= tcams {
+			return nil, fmt.Errorf("engine: mapping[%d] = %d out of range", b, t)
+		}
+		perTCAM[t] = append(perTCAM[t], part.Routes...)
+	}
+	chips := make([]*tcam.Chip, tcams)
+	for i := range chips {
+		// Real deployments provision TCAM well above the current table
+		// so update churn (and split expansion) never hits the ceiling.
+		capacity := len(perTCAM[i])*2 + 1024
+		chips[i] = tcam.NewChip(capacity, tcam.NewDisjointLayout())
+		if err := chips[i].Load(perTCAM[i]); err != nil {
+			return nil, fmt.Errorf("engine: loading TCAM %d: %w", i, err)
+		}
+	}
+	return &CLUESystem{index: index, mapping: mapping, chips: chips}, nil
+}
+
+// Name implements System.
+func (s *CLUESystem) Name() string { return "clue" }
+
+// N implements System.
+func (s *CLUESystem) N() int { return len(s.chips) }
+
+// Home implements System: range-index lookup, then the bucket mapping.
+func (s *CLUESystem) Home(addr ip.Addr) int {
+	return s.mapping[s.index.Lookup(addr)]
+}
+
+// Chip implements System.
+func (s *CLUESystem) Chip(i int) *tcam.Chip { return s.chips[i] }
+
+// Fill implements System: the matched prefix is disjoint, so it is cached
+// directly into every DRed except the home's — entirely in the data
+// plane.
+func (s *CLUESystem) Fill(g *dred.Group, home int, _ ip.Addr, matched ip.Route) FillReport {
+	g.InsertExcept(home, matched)
+	return FillReport{}
+}
+
+// CLPLSystem is the baseline mechanism over the original table.
+type CLPLSystem struct {
+	fib       *trie.Trie
+	roots     *trie.Trie // carve-root prefix -> partition id + 1 (as hop)
+	partTCAM  []int      // partition id -> TCAM
+	chips     []*tcam.Chip
+	residualP int
+}
+
+var _ System = (*CLPLSystem)(nil)
+
+// NewCLPLSystem builds the CLPL data plane: sub-tree partitions of the
+// uncompressed FIB (with replicated covering routes), assigned to TCAMs
+// by mapping (partition id -> TCAM; nil = round-robin). partsPerTCAM
+// controls carving granularity (the paper's engines carve several
+// partitions per chip). The number of carved partitions is data-dependent
+// and roughly tcams*partsPerTCAM; pass a mapping sized by a prior
+// Partitions() probe when constructing skewed (worst-case) layouts.
+func NewCLPLSystem(fib *trie.Trie, tcams, partsPerTCAM int, mapping []int) (*CLPLSystem, error) {
+	if tcams < 2 {
+		return nil, fmt.Errorf("engine: need at least 2 TCAMs, got %d", tcams)
+	}
+	if partsPerTCAM < 1 {
+		return nil, fmt.Errorf("engine: partsPerTCAM must be >= 1, got %d", partsPerTCAM)
+	}
+	res, err := partition.SubTree(fib, tcams*partsPerTCAM)
+	if err != nil {
+		return nil, fmt.Errorf("engine: sub-tree partitioning: %w", err)
+	}
+	if mapping == nil {
+		mapping = make([]int, len(res.Parts))
+		for i := range mapping {
+			mapping[i] = i % tcams
+		}
+	}
+	if len(mapping) != len(res.Parts) {
+		return nil, fmt.Errorf("engine: mapping has %d entries for %d partitions", len(mapping), len(res.Parts))
+	}
+	s := &CLPLSystem{
+		fib:       fib,
+		roots:     trie.New(),
+		partTCAM:  make([]int, len(res.Parts)),
+		residualP: -1,
+	}
+	perTCAM := make([][]ip.Route, tcams)
+	for i, part := range res.Parts {
+		t := mapping[i]
+		if t < 0 || t >= tcams {
+			return nil, fmt.Errorf("engine: mapping[%d] = %d out of range", i, t)
+		}
+		s.partTCAM[i] = t
+		perTCAM[t] = append(perTCAM[t], part.Routes...)
+		// Deeper carves overwrite shallower ones only if the same root
+		// repeats, which cannot happen; the residual is rooted at /0.
+		if part.Root == (ip.Prefix{}) {
+			s.residualP = i
+		}
+		s.roots.Insert(part.Root, ip.NextHop(i+1), nil)
+	}
+	if s.residualP < 0 {
+		// All routes were carved; route unmatched space to partition 0.
+		s.residualP = 0
+	}
+	s.chips = make([]*tcam.Chip, tcams)
+	for i := range s.chips {
+		// Two partitions on the same chip may both carry a replica of
+		// the same covering route; the chip needs only one copy.
+		seen := make(map[ip.Prefix]bool, len(perTCAM[i]))
+		routes := perTCAM[i][:0]
+		for _, r := range perTCAM[i] {
+			if seen[r.Prefix] {
+				continue
+			}
+			seen[r.Prefix] = true
+			routes = append(routes, r)
+		}
+		capacity := len(routes)*5/4 + 64
+		s.chips[i] = tcam.NewChip(capacity, tcam.NewPLOLayout())
+		if err := s.chips[i].Load(routes); err != nil {
+			return nil, fmt.Errorf("engine: loading TCAM %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// Name implements System.
+func (s *CLPLSystem) Name() string { return "clpl" }
+
+// N implements System.
+func (s *CLPLSystem) N() int { return len(s.chips) }
+
+// Home implements System: the deepest carve root containing addr owns it
+// (replicated covers make LPM inside that partition correct); addresses
+// under no carve root belong to the residual partition.
+func (s *CLPLSystem) Home(addr ip.Addr) int {
+	return s.partTCAM[s.PartitionOf(addr)]
+}
+
+// PartitionOf returns the sub-tree partition responsible for addr
+// (offline workload analysis for worst-case mappings).
+func (s *CLPLSystem) PartitionOf(addr ip.Addr) int {
+	id, _ := s.roots.Lookup(addr, nil)
+	if id == ip.NoRoute {
+		return s.residualP
+	}
+	return int(id) - 1
+}
+
+// Partitions returns the number of carved sub-tree partitions.
+func (s *CLPLSystem) Partitions() int { return len(s.partTCAM) }
+
+// Chip implements System.
+func (s *CLPLSystem) Chip(i int) *tcam.Chip { return s.chips[i] }
+
+// Fill implements System: the matched prefix may cover longer routes, so
+// the control plane must compute the RRC-ME minimal expansion on its SRAM
+// trie and push it into all N logical caches — the round trip CLUE
+// avoids.
+func (s *CLPLSystem) Fill(g *dred.Group, _ int, addr ip.Addr, matched ip.Route) FillReport {
+	var v trie.Visits
+	exp := rrcme.MinimalExpansion(s.fib, addr, matched.Prefix, &v)
+	g.InsertAll(ip.Route{Prefix: exp, NextHop: matched.NextHop})
+	return FillReport{ControlPlane: true, SRAMVisits: v.Nodes}
+}
+
+// BucketIndex runs the CLUE partition over the table and returns the
+// buckets and range index without building chips — the offline analysis
+// step behind Table II's per-bucket workload measurement and the
+// worst-case mapping construction.
+func BucketIndex(table *onrtc.Table, buckets int) (partition.Result, *partition.Index, error) {
+	return partition.CLUE(table.Routes(), buckets)
+}
+
+// HomesForRange returns the distinct TCAMs whose bucket ranges intersect
+// [lo, hi], in ascending order. The update path uses it to place new
+// compressed prefixes: a prefix produced by a merge can span several
+// buckets, in which case every owning chip stores a copy so that any
+// home lookup in the range still matches.
+func (s *CLUESystem) HomesForRange(lo, hi ip.Addr) []int {
+	first := s.index.Lookup(lo)
+	last := s.index.Lookup(hi)
+	seen := make(map[int]bool, last-first+1)
+	var out []int
+	for b := first; b <= last; b++ {
+		t := s.mapping[b]
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clue/internal/dred"
+	"clue/internal/engine"
+	"clue/internal/ip"
+	"clue/internal/onrtc"
+	"clue/internal/stats"
+	"clue/internal/tcam"
+	"clue/internal/tracegen"
+)
+
+// AblationDRedRuleResult isolates CLUE's reduced-redundancy fill rule
+// ("DRed i never stores TCAM i's prefixes"): the same engine and table,
+// with only the fill discipline switched between insert-except-home
+// (CLUE) and insert-all (CLPL's rule), at several DRed sizes. It
+// quantifies the paper's claim that the rule buys the same hit rate from
+// 3/4 of the space at N=4.
+type AblationDRedRuleResult struct {
+	Rows []AblationDRedRow
+}
+
+// AblationDRedRow is one DRed-size point of the fill-rule ablation.
+type AblationDRedRow struct {
+	DRedSize            int
+	ExceptHome, AllHome float64 // hit rates under the two fill rules
+}
+
+// insertAllSystem wraps a CLUESystem, overriding only the fill rule.
+type insertAllSystem struct {
+	*engine.CLUESystem
+}
+
+// Fill inserts into every cache including the home's, wasting the home
+// slice exactly as CLPL's rule does.
+func (s insertAllSystem) Fill(g *dred.Group, _ int, _ ip.Addr, matched ip.Route) engine.FillReport {
+	g.InsertAll(matched)
+	return engine.FillReport{}
+}
+
+// AblationDRedRule runs the fill-rule ablation under the worst-case
+// mapping.
+func AblationDRedRule(scale Scale, sizes []int) (*AblationDRedRuleResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{256, 512, 1024, 2048}
+	}
+	t2, table, err := Table2Workload(scale)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationDRedRuleResult{}
+	for _, size := range sizes {
+		row := AblationDRedRow{DRedSize: size}
+		for variant := 0; variant < 2; variant++ {
+			base, err := engine.NewCLUESystem(table, table2TCAMs, table2Buckets, t2.Mapping)
+			if err != nil {
+				return nil, err
+			}
+			var sys engine.System = base
+			if variant == 1 {
+				sys = insertAllSystem{base}
+			}
+			pt, err := runSweepPoint(scale, sys, size)
+			if err != nil {
+				return nil, err
+			}
+			if variant == 0 {
+				row.ExceptHome = pt.HitRate
+			} else {
+				row.AllHome = pt.HitRate
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render produces the ablation table.
+func (r *AblationDRedRuleResult) Render() string {
+	tb := stats.NewTable(
+		"Ablation: DRed fill rule (insert-except-home vs insert-all) under worst case",
+		"dred size", "hit rate (except-home)", "hit rate (insert-all)",
+	)
+	for _, row := range r.Rows {
+		tb.AddRowf(row.DRedSize, fmt.Sprintf("%.4f", row.ExceptHome), fmt.Sprintf("%.4f", row.AllHome))
+	}
+	return tb.String()
+}
+
+// AblationLayoutRow compares TCAM slot layouts driving the same
+// compressed-table update stream.
+type AblationLayoutRow struct {
+	Layout       string
+	MeanAccesses float64
+	MaxAccesses  int64
+	TotalMoves   int64
+	TotalWrites  int64
+}
+
+// AblationLayoutsResult isolates CLUE's disjoint-layout claim: the same
+// ONRTC diff stream applied under the disjoint, prefix-length-ordered
+// and fully-sorted layouts.
+type AblationLayoutsResult struct {
+	Messages int
+	Rows     []AblationLayoutRow
+}
+
+// AblationLayouts replays one update stream against three chips that
+// differ only in slot layout.
+func AblationLayouts(scale Scale) (*AblationLayoutsResult, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	fib, err := scale.buildFIB(300)
+	if err != nil {
+		return nil, err
+	}
+	stream, err := scale.buildUpdates(fib.Clone(), 301)
+	if err != nil {
+		return nil, err
+	}
+	// One updater produces the canonical diff stream; each chip replays
+	// the identical ops under its own layout.
+	updater := onrtc.BuildUpdater(fib)
+	mkChips := func() []*tcam.Chip {
+		routes := updater.Table().Routes()
+		capacity := len(routes)*4 + 8192
+		chips := []*tcam.Chip{
+			tcam.NewChip(capacity, tcam.NewDisjointLayout()),
+			tcam.NewChip(capacity, tcam.NewPLOLayout()),
+			tcam.NewChip(capacity, tcam.NewNaiveLayout()),
+		}
+		for _, c := range chips {
+			if err := c.Load(routes); err != nil {
+				panic(err) // capacity is provably sufficient
+			}
+		}
+		return chips
+	}
+	chips := mkChips()
+	maxAcc := make([]int64, len(chips))
+	for _, u := range stream {
+		var diff onrtc.Diff
+		if u.Kind == tracegen.Withdraw {
+			diff = updater.Withdraw(u.Prefix)
+		} else {
+			diff = updater.Announce(u.Prefix, u.Hop)
+		}
+		for ci, c := range chips {
+			before := c.Stats().UpdateAccesses()
+			for _, op := range diff.Ops {
+				var err error
+				switch op.Kind {
+				case onrtc.OpInsert:
+					_, err = c.Insert(op.Route)
+				case onrtc.OpDelete:
+					_, err = c.Delete(op.Route.Prefix)
+				case onrtc.OpModify:
+					err = c.Modify(op.Route)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("experiments: layout %s: %w", c.LayoutName(), err)
+				}
+			}
+			if d := c.Stats().UpdateAccesses() - before; d > maxAcc[ci] {
+				maxAcc[ci] = d
+			}
+		}
+	}
+	res := &AblationLayoutsResult{Messages: len(stream)}
+	for ci, c := range chips {
+		st := c.Stats()
+		res.Rows = append(res.Rows, AblationLayoutRow{
+			Layout:       c.LayoutName(),
+			MeanAccesses: float64(st.UpdateAccesses()) / float64(len(stream)),
+			MaxAccesses:  maxAcc[ci],
+			TotalMoves:   st.Moves,
+			TotalWrites:  st.Writes,
+		})
+	}
+	return res, nil
+}
+
+// Render produces the layout ablation table.
+func (r *AblationLayoutsResult) Render() string {
+	tb := stats.NewTable(
+		fmt.Sprintf("Ablation: TCAM layout on the same %d-message ONRTC diff stream", r.Messages),
+		"layout", "mean accesses/msg", "max accesses/msg", "total moves", "total writes",
+	)
+	for _, row := range r.Rows {
+		tb.AddRowf(row.Layout, fmt.Sprintf("%.2f", row.MeanAccesses), row.MaxAccesses, row.TotalMoves, row.TotalWrites)
+	}
+	return tb.String()
+}
+
+// AblationPowerRow compares search power between a monolithic TCAM and a
+// partitioned deployment.
+type AblationPowerRow struct {
+	Setup         string
+	MeanSearched  float64
+	RelativePower float64
+}
+
+// AblationPowerResult isolates the partitioning power win the paper's
+// related work (CoolCAMs) motivates: entries activated per search.
+type AblationPowerResult struct {
+	Rows []AblationPowerRow
+}
+
+// AblationPower measures per-search activated entries for a monolithic
+// chip versus CLUE's partitioned engine.
+func AblationPower(scale Scale) (*AblationPowerResult, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	fib, err := scale.buildFIB(400)
+	if err != nil {
+		return nil, err
+	}
+	table := onrtc.Compress(fib)
+	traffic, err := scale.buildTraffic(table, 401)
+	if err != nil {
+		return nil, err
+	}
+
+	mono := tcam.NewChip(table.Len()+1024, tcam.NewDisjointLayout())
+	if err := mono.Load(table.Routes()); err != nil {
+		return nil, err
+	}
+	sys, err := engine.NewCLUESystem(table, table2TCAMs, table2Buckets, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < scale.Packets/4; i++ {
+		a := traffic.Next()
+		mono.Lookup(a)
+		sys.Chip(sys.Home(a)).Lookup(a)
+	}
+	monoMean := mono.Stats().MeanSearched()
+	var partSearched, partLookups int64
+	for i := 0; i < table2TCAMs; i++ {
+		st := sys.Chip(i).Stats()
+		partSearched += st.EntriesSearched
+		partLookups += st.Lookups
+	}
+	partMean := float64(partSearched) / float64(partLookups)
+	res := &AblationPowerResult{Rows: []AblationPowerRow{
+		{Setup: "monolithic", MeanSearched: monoMean, RelativePower: 1},
+		{Setup: fmt.Sprintf("clue %d-way", table2TCAMs), MeanSearched: partMean, RelativePower: partMean / monoMean},
+	}}
+	return res, nil
+}
+
+// Render produces the power ablation table.
+func (r *AblationPowerResult) Render() string {
+	tb := stats.NewTable(
+		"Ablation: entries activated per search (TCAM power proxy)",
+		"setup", "mean entries/search", "relative power",
+	)
+	for _, row := range r.Rows {
+		tb.AddRowf(row.Setup, fmt.Sprintf("%.0f", row.MeanSearched), fmt.Sprintf("%.3f", row.RelativePower))
+	}
+	return tb.String()
+}

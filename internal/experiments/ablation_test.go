@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationDRedRule(t *testing.T) {
+	res, err := AblationDRedRule(testScale, []int{128, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	// The except-home rule must never lose to insert-all: the home
+	// slice of an insert-all cache stores prefixes that are never
+	// probed there.
+	for _, row := range res.Rows {
+		if row.ExceptHome < row.AllHome-0.02 {
+			t.Errorf("dred=%d: except-home %.4f below insert-all %.4f",
+				row.DRedSize, row.ExceptHome, row.AllHome)
+		}
+	}
+	if !strings.Contains(res.Render(), "Ablation") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationLayouts(t *testing.T) {
+	res, err := AblationLayouts(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	byName := map[string]AblationLayoutRow{}
+	for _, row := range res.Rows {
+		byName[row.Layout] = row
+	}
+	d, p, n := byName["disjoint"], byName["plo"], byName["naive-ordered"]
+	if d.Layout == "" || p.Layout == "" || n.Layout == "" {
+		t.Fatalf("missing layouts: %+v", res.Rows)
+	}
+	// The paper's ordering: disjoint << plo << naive.
+	if d.MeanAccesses >= p.MeanAccesses {
+		t.Errorf("disjoint %.2f not below plo %.2f", d.MeanAccesses, p.MeanAccesses)
+	}
+	if p.MeanAccesses >= n.MeanAccesses {
+		t.Errorf("plo %.2f not below naive %.2f", p.MeanAccesses, n.MeanAccesses)
+	}
+	// Disjoint moves at most one entry per op, so its mean stays near
+	// the diff size. (The max can still spike: withdrawing a large
+	// covering aggregate legitimately rewrites hundreds of entries.)
+	if d.MeanAccesses > 10 {
+		t.Errorf("disjoint mean accesses/msg = %.2f, want small", d.MeanAccesses)
+	}
+	if !strings.Contains(res.Render(), "layout") {
+		t.Error("render missing content")
+	}
+}
+
+func TestAblationPower(t *testing.T) {
+	res, err := AblationPower(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	mono, part := res.Rows[0], res.Rows[1]
+	if part.MeanSearched >= mono.MeanSearched {
+		t.Errorf("partitioned search (%.0f entries) not below monolithic (%.0f)",
+			part.MeanSearched, mono.MeanSearched)
+	}
+	// 4-way even partitioning should activate roughly a quarter of the
+	// entries per search.
+	ratio := part.MeanSearched / mono.MeanSearched
+	if ratio < 0.15 || ratio > 0.40 {
+		t.Errorf("relative power = %.3f, want ≈0.25", ratio)
+	}
+	if !strings.Contains(res.Render(), "power") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationControlPlane(t *testing.T) {
+	res, err := AblationControlPlane(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	uni, pat := res.Rows[0], res.Rows[1]
+	if pat.Nodes >= uni.Nodes {
+		t.Errorf("patricia nodes %d not below unibit %d", pat.Nodes, uni.Nodes)
+	}
+	if pat.LookupVisits >= uni.LookupVisits {
+		t.Errorf("patricia lookup visits %.1f not below unibit %.1f", pat.LookupVisits, uni.LookupVisits)
+	}
+	if pat.ChurnVisits >= uni.ChurnVisits {
+		t.Errorf("patricia churn visits %.1f not below unibit %.1f", pat.ChurnVisits, uni.ChurnVisits)
+	}
+	if !strings.Contains(res.Render(), "control-plane") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clue/internal/ip"
+	"clue/internal/patricia"
+	"clue/internal/stats"
+	"clue/internal/tracegen"
+	"clue/internal/trie"
+)
+
+// ControlPlaneRow compares one control-plane trie structure.
+type ControlPlaneRow struct {
+	Structure    string
+	Nodes        int
+	LookupVisits float64 // mean per lookup
+	ChurnVisits  float64 // mean per insert/delete
+}
+
+// ControlPlaneResult is the control-plane structure ablation: the paper
+// prices TTF1 and RRC-ME in SRAM node visits; path compression
+// (Patricia) cuts both the visit counts and the SRAM footprint, shrinking
+// CLUE's only losing dimension (TTF1).
+type ControlPlaneResult struct {
+	Routes int
+	Rows   []ControlPlaneRow
+}
+
+// AblationControlPlane measures node visits for the unibit and Patricia
+// tries on the same lookup and churn workloads.
+func AblationControlPlane(scale Scale) (*ControlPlaneResult, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	fib, err := scale.buildFIB(700)
+	if err != nil {
+		return nil, err
+	}
+	routes := fib.Routes()
+	uni := trie.FromRoutes(routes)
+	pat := patricia.FromRoutes(routes)
+
+	traffic, err := tracegen.NewTraffic(tracegen.PrefixesFromRoutes(routes), tracegen.TrafficConfig{Seed: scale.Seed + 701})
+	if err != nil {
+		return nil, err
+	}
+	lookups := scale.Packets / 4
+	var uniLook, patLook trie.Visits
+	for i := 0; i < lookups; i++ {
+		a := traffic.Next()
+		uni.Lookup(a, &uniLook)
+		pat.Lookup(a, &patLook)
+	}
+
+	gen, err := tracegen.NewUpdateGen(fib.Clone(), tracegen.UpdateConfig{Seed: scale.Seed + 702, Messages: scale.Updates})
+	if err != nil {
+		return nil, err
+	}
+	var uniChurn, patChurn trie.Visits
+	churn := gen.NextN(scale.Updates)
+	for _, u := range churn {
+		if u.Kind == tracegen.Withdraw {
+			uni.Delete(u.Prefix, &uniChurn)
+			pat.Delete(u.Prefix, &patChurn)
+		} else {
+			uni.Insert(u.Prefix, u.Hop, &uniChurn)
+			pat.Insert(u.Prefix, u.Hop, &patChurn)
+		}
+	}
+	// Consistency guard: the two structures must still agree.
+	for i := 0; i < 2000; i++ {
+		a := ip.Addr(uint32(i) * 2654435761)
+		hu, _ := uni.Lookup(a, nil)
+		hp, _ := pat.Lookup(a, nil)
+		if hu != hp {
+			return nil, fmt.Errorf("experiments: control-plane structures diverged at %s: %d vs %d", a, hu, hp)
+		}
+	}
+
+	res := &ControlPlaneResult{Routes: len(routes)}
+	res.Rows = append(res.Rows,
+		ControlPlaneRow{
+			Structure:    "unibit trie",
+			Nodes:        uni.NodeCount(),
+			LookupVisits: float64(uniLook.Nodes) / float64(lookups),
+			ChurnVisits:  float64(uniChurn.Nodes) / float64(len(churn)),
+		},
+		ControlPlaneRow{
+			Structure:    "patricia trie",
+			Nodes:        pat.NodeCount(),
+			LookupVisits: float64(patLook.Nodes) / float64(lookups),
+			ChurnVisits:  float64(patChurn.Nodes) / float64(len(churn)),
+		},
+	)
+	return res, nil
+}
+
+// Render produces the comparison table.
+func (r *ControlPlaneResult) Render() string {
+	tb := stats.NewTable(
+		fmt.Sprintf("Ablation: control-plane trie structure (%d routes, visits = SRAM accesses)", r.Routes),
+		"structure", "nodes", "visits/lookup", "visits/update",
+	)
+	for _, row := range r.Rows {
+		tb.AddRowf(row.Structure, row.Nodes,
+			fmt.Sprintf("%.1f", row.LookupVisits), fmt.Sprintf("%.1f", row.ChurnVisits))
+	}
+	return tb.String()
+}

@@ -1,0 +1,133 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§V): Figure 8 (compression), Figure 9 (partition
+// comparison), Figures 10–14 (TTF series), Table II (per-bucket
+// workload), Figure 15 (load balancing), Figure 16 (speedup vs hit rate
+// with the theoretical worst case) and Figure 17 (hit rate vs DRed size).
+//
+// Each driver returns a structured result with a Render method producing
+// the paper-style rows, so the same code serves the test suite, the
+// clue-bench binary and the benchmark harness. Scale selects the size of
+// the synthetic inputs; results are deterministic per Scale and seed.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"clue/internal/fibgen"
+	"clue/internal/onrtc"
+	"clue/internal/tracegen"
+	"clue/internal/trie"
+)
+
+// Scale sizes an experiment run.
+type Scale struct {
+	// FIBSize is the route count of generated tables (Fig 9–17).
+	FIBSize int
+	// Packets is the measured packet count of engine runs.
+	Packets int
+	// Warmup is the packet count used to warm caches before measuring.
+	Warmup int
+	// Updates is the update-message count of TTF runs.
+	Updates int
+	// Routers is how many of the 12 Table I profiles Figure 8 compresses.
+	Routers int
+	// RouterScale divides the Table I route counts (1 = full size).
+	RouterScale int
+	// Seed offsets all generator seeds.
+	Seed int64
+}
+
+// Quick is sized for interactive runs and the test suite (seconds).
+var Quick = Scale{
+	FIBSize:     8000,
+	Packets:     120000,
+	Warmup:      30000,
+	Updates:     8000,
+	Routers:     12,
+	RouterScale: 40,
+	Seed:        1,
+}
+
+// Full approaches the paper's sizes (hundreds of thousands of routes);
+// minutes per experiment.
+var Full = Scale{
+	FIBSize:     300000,
+	Packets:     2000000,
+	Warmup:      300000,
+	Updates:     100000,
+	Routers:     12,
+	RouterScale: 1,
+	Seed:        1,
+}
+
+// validate rejects degenerate scales early with a clear message.
+func (s Scale) validate() error {
+	if s.FIBSize < 100 {
+		return fmt.Errorf("experiments: FIBSize %d too small", s.FIBSize)
+	}
+	if s.Packets < 1000 || s.Warmup < 0 || s.Updates < 100 {
+		return fmt.Errorf("experiments: degenerate scale %+v", s)
+	}
+	if s.Routers < 1 || s.Routers > 12 || s.RouterScale < 1 {
+		return fmt.Errorf("experiments: bad router settings %+v", s)
+	}
+	return nil
+}
+
+// buildFIB generates the experiment's reference table.
+func (s Scale) buildFIB(seedOffset int64) (*trie.Trie, error) {
+	return fibgen.Generate(fibgen.Config{Seed: s.Seed + seedOffset, Routes: s.FIBSize})
+}
+
+// buildTraffic builds a Zipf traffic source over the compressed table.
+func (s Scale) buildTraffic(table *onrtc.Table, seedOffset int64) (*tracegen.Traffic, error) {
+	return tracegen.NewTraffic(
+		tracegen.PrefixesFromRoutes(table.Routes()),
+		tracegen.TrafficConfig{Seed: s.Seed + seedOffset},
+	)
+}
+
+// compressFIB wraps onrtc.Compress with the package's error convention.
+func compressFIB(fib *trie.Trie) (*onrtc.Table, error) {
+	table := onrtc.Compress(fib)
+	if table.Len() == 0 {
+		return nil, fmt.Errorf("experiments: compression produced an empty table")
+	}
+	return table, nil
+}
+
+// hottestTogether maps buckets to TCAMs with the hottest grouped onto
+// TCAM 0 — the worst-case construction shared by several experiments.
+func hottestTogether(counts []int64, tcams int) []int {
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	mapping := make([]int, len(counts))
+	per := (len(counts) + tcams - 1) / tcams
+	for rank, b := range order {
+		t := rank / per
+		if t >= tcams {
+			t = tcams - 1
+		}
+		mapping[b] = t
+	}
+	return mapping
+}
+
+// buildUpdates builds the flap-heavy 24 h update stream used by the TTF
+// experiments.
+func (s Scale) buildUpdates(fib *trie.Trie, seedOffset int64) ([]tracegen.Update, error) {
+	gen, err := tracegen.NewUpdateGen(fib, tracegen.UpdateConfig{
+		Seed:          s.Seed + seedOffset,
+		Messages:      s.Updates,
+		WithdrawFrac:  0.30,
+		NewPrefixFrac: 0.55,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return gen.NextN(s.Updates), nil
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testScale keeps the suite fast while still exercising every driver.
+var testScale = Scale{
+	FIBSize:     4000,
+	Packets:     40000,
+	Warmup:      15000,
+	Updates:     3000,
+	Routers:     3,
+	RouterScale: 100,
+	Seed:        7,
+}
+
+func TestScaleValidate(t *testing.T) {
+	if err := (Scale{}).validate(); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if err := Quick.validate(); err != nil {
+		t.Errorf("Quick invalid: %v", err)
+	}
+	if err := Full.validate(); err != nil {
+		t.Errorf("Full invalid: %v", err)
+	}
+	bad := Quick
+	bad.Routers = 13
+	if err := bad.validate(); err == nil {
+		t.Error("13 routers accepted")
+	}
+}
+
+func TestFig8Compression(t *testing.T) {
+	res, err := Fig8Compression(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != testScale.Routers {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), testScale.Routers)
+	}
+	for _, row := range res.Rows {
+		if row.Compressed >= row.Original {
+			t.Errorf("%s: no compression (%d >= %d)", row.Router, row.Compressed, row.Original)
+		}
+		if row.LeafPushed <= row.Original {
+			t.Errorf("%s: leaf-push did not expand (%d <= %d)", row.Router, row.LeafPushed, row.Original)
+		}
+	}
+	// The paper's headline: ≈71% average.
+	if res.MeanRatio < 0.60 || res.MeanRatio > 0.82 {
+		t.Errorf("mean ratio = %.3f, want ≈0.71", res.MeanRatio)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "rrc01") || !strings.Contains(out, "mean") {
+		t.Errorf("render missing rows:\n%s", out)
+	}
+}
+
+func TestFig9Partition(t *testing.T) {
+	res, err := Fig9Partition(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	totalSubTreeRed := 0
+	for _, row := range res.Rows {
+		if row.CLUERedundant != 0 {
+			t.Errorf("n=%d: CLUE redundancy %d, want 0", row.Partitions, row.CLUERedundant)
+		}
+		totalSubTreeRed += row.SubTreeRed
+		if row.CLUEImbalance > 1.05 {
+			t.Errorf("n=%d: CLUE imbalance %.3f", row.Partitions, row.CLUEImbalance)
+		}
+		if row.IDBitImbalance <= row.CLUEImbalance {
+			t.Errorf("n=%d: ID-bit imbalance %.3f not worse than CLUE %.3f",
+				row.Partitions, row.IDBitImbalance, row.CLUEImbalance)
+		}
+	}
+	// Sub-tree partitioning must pay replication once carve points land
+	// inside the big covering aggregates (finer carvings).
+	if totalSubTreeRed == 0 {
+		t.Error("sub-tree redundancy is zero at every partition count")
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.SubTreeRed == 0 {
+		t.Errorf("n=%d: sub-tree redundancy 0, want > 0 at the finest carving", last.Partitions)
+	}
+	if !strings.Contains(res.Render(), "Figure 9") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunTTFAndRenders(t *testing.T) {
+	res, err := RunTTF(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) < 5 {
+		t.Fatalf("only %d windows", len(res.Windows))
+	}
+	// Headline shapes.
+	if res.CLUEMean.TCAM >= res.CLPLMean.TCAM {
+		t.Errorf("TTF2: clue %.1f >= clpl %.1f", res.CLUEMean.TCAM, res.CLPLMean.TCAM)
+	}
+	if res.CLUEMean.DRed >= res.CLPLMean.DRed/2 {
+		t.Errorf("TTF3: clue %.1f vs clpl %.1f, want clue far below", res.CLUEMean.DRed, res.CLPLMean.DRed)
+	}
+	if res.CLUEMean.Trie <= res.CLPLMean.Trie {
+		t.Errorf("TTF1: clue %.1f should exceed ground truth %.1f", res.CLUEMean.Trie, res.CLPLMean.Trie)
+	}
+	if res.CLUEMean.Total() >= res.CLPLMean.Total() {
+		t.Errorf("TTF total: clue %.1f >= clpl %.1f", res.CLUEMean.Total(), res.CLPLMean.Total())
+	}
+	for _, render := range []string{
+		res.RenderFig10(), res.RenderFig11(), res.RenderFig12(), res.RenderFig13(), res.RenderFig14(),
+	} {
+		if !strings.Contains(render, "clue") || !strings.Contains(render, "mean") {
+			t.Errorf("bad render:\n%s", render)
+		}
+	}
+}
+
+func TestTable2Workload(t *testing.T) {
+	res, table, err := Table2Workload(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() == 0 {
+		t.Fatal("empty table")
+	}
+	if len(res.Rows) != 32 || len(res.Mapping) != 32 {
+		t.Fatalf("rows %d mapping %d", len(res.Rows), len(res.Mapping))
+	}
+	// Shares sum to ≈100%.
+	sum := 0.0
+	for _, p := range res.PerTCAMPct {
+		sum += p
+	}
+	if sum < 99 || sum > 101 {
+		t.Errorf("per-TCAM shares sum to %.2f", sum)
+	}
+	// Worst case: TCAM1's share dominates (paper: 77.88%).
+	if res.PerTCAMPct[0] < 2*res.PerTCAMPct[1] {
+		t.Errorf("TCAM1 share %.1f%% not dominant over TCAM2 %.1f%%", res.PerTCAMPct[0], res.PerTCAMPct[1])
+	}
+	// Rows sorted hottest first.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].PartPct > res.Rows[i-1].PartPct+1e-9 {
+			t.Errorf("rows not sorted by load at %d", i)
+		}
+	}
+	if !strings.Contains(res.Render(), "Table II") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig15LoadBalance(t *testing.T) {
+	res, err := Fig15LoadBalance(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The original distribution is extremely skewed; the balanced one
+	// must be much flatter (paper's grey vs green bars).
+	maxOrig, maxBal := 0.0, 0.0
+	for i := range res.OriginalPct {
+		if res.OriginalPct[i] > maxOrig {
+			maxOrig = res.OriginalPct[i]
+		}
+		if res.BalancedPct[i] > maxBal {
+			maxBal = res.BalancedPct[i]
+		}
+	}
+	if maxOrig < 50 {
+		t.Errorf("worst-case original max share = %.1f%%, want dominant", maxOrig)
+	}
+	if maxBal >= maxOrig {
+		t.Errorf("balancing did not flatten: %.1f%% -> %.1f%%", maxOrig, maxBal)
+	}
+	if res.Speedup < 1 {
+		t.Errorf("speedup %.2f < 1", res.Speedup)
+	}
+	if !strings.Contains(res.Render(), "Figure 15") {
+		t.Error("render missing title")
+	}
+}
+
+func TestDRedSweepFig16Fig17(t *testing.T) {
+	res, err := DRedSweep(testScale, []int{64, 256, 1024, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 8 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	// Figure 16 property: every point's speedup respects the bound
+	// t >= (N-1)h + 1 (within simulation noise).
+	for _, p := range res.Points {
+		bound := float64(res.TCAMs-1)*p.HitRate + 1
+		if p.Speedup < bound*0.88 {
+			t.Errorf("%s dred=%d: speedup %.3f below bound %.3f", p.Mechanism, p.DRedSize, p.Speedup, bound)
+		}
+	}
+	// Figure 17 property: at equal DRed size, CLUE's hit rate is at
+	// least CLPL's (reduced redundancy + direct prefix caching).
+	byKey := map[[2]any]float64{}
+	for _, p := range res.Points {
+		byKey[[2]any{p.Mechanism, p.DRedSize}] = p.HitRate
+	}
+	above := 0
+	for _, size := range []int{64, 256, 1024, 4096} {
+		if byKey[[2]any{"clue", size}] >= byKey[[2]any{"clpl", size}]-0.02 {
+			above++
+		}
+	}
+	if above < 3 {
+		t.Errorf("CLUE hit rate above CLPL at only %d/4 sizes", above)
+	}
+	// Hit rate grows with DRed size for both mechanisms.
+	for _, mech := range []string{"clue", "clpl"} {
+		if byKey[[2]any{mech, 4096}] <= byKey[[2]any{mech, 64}] {
+			t.Errorf("%s: hit rate did not grow with DRed size", mech)
+		}
+	}
+	if !strings.Contains(res.RenderFig16(), "Figure 16") || !strings.Contains(res.RenderFig17(), "Figure 17") {
+		t.Error("renders missing titles")
+	}
+}

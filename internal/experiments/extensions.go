@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clue/internal/engine"
+	"clue/internal/ip"
+	"clue/internal/stats"
+)
+
+// NSweepRow is one chip-count point of the scalability sweep.
+type NSweepRow struct {
+	TCAMs   int
+	HitRate float64
+	Speedup float64
+	Bound   float64
+	PerTCAM float64 // speedup per chip (scaling efficiency)
+}
+
+// NSweepResult extends the paper's N=4 evaluation across chip counts,
+// the related-work axis (Panigrahy's 8 chips bought only a 5× speedup
+// without load balancing; CLUE should stay near N).
+type NSweepResult struct {
+	Rows []NSweepRow
+}
+
+// NSweep measures worst-case speedup at several chip counts.
+func NSweep(scale Scale, ns []int) (*NSweepResult, error) {
+	if len(ns) == 0 {
+		ns = []int{2, 4, 8}
+	}
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	fib, err := scale.buildFIB(500)
+	if err != nil {
+		return nil, err
+	}
+	table, err := compressFIB(fib)
+	if err != nil {
+		return nil, err
+	}
+	res := &NSweepResult{}
+	for _, n := range ns {
+		buckets := 8 * n
+		// Worst-case mapping for this chip count.
+		_, index, err := engine.BucketIndex(table, buckets)
+		if err != nil {
+			return nil, err
+		}
+		traffic, err := scale.buildTraffic(table, 501)
+		if err != nil {
+			return nil, err
+		}
+		counts := make([]int64, buckets)
+		for i := 0; i < scale.Packets/2; i++ {
+			counts[index.Lookup(traffic.Next())]++
+		}
+		mapping := hottestTogether(counts, n)
+		sys, err := engine.NewCLUESystem(table, n, buckets, mapping)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := engine.New(sys, engine.Config{})
+		if err != nil {
+			return nil, err
+		}
+		run, err := scale.buildTraffic(table, 501)
+		if err != nil {
+			return nil, err
+		}
+		// Offer exactly the aggregate service rate (N/LookupClocks
+		// packets per clock): the paper's one-per-clock convention only
+		// saturates N = LookupClocks.
+		rate := float64(n) / float64(eng.Config().LookupClocks)
+		offer := func(clocks int) {
+			credit := 0.0
+			for i := 0; i < clocks; i++ {
+				credit += rate
+				var batch []ip.Addr
+				for credit >= 1 {
+					batch = append(batch, run.Next())
+					credit--
+				}
+				eng.StepMulti(batch)
+			}
+		}
+		offer(scale.Warmup)
+		eng.ResetStats()
+		offer(scale.Packets)
+		st := eng.Stats()
+		h := st.HitRate()
+		t := st.SpeedupFactor(eng.Config().LookupClocks)
+		res.Rows = append(res.Rows, NSweepRow{
+			TCAMs:   n,
+			HitRate: h,
+			Speedup: t,
+			Bound:   float64(n-1)*h + 1,
+			PerTCAM: t / float64(n),
+		})
+	}
+	return res, nil
+}
+
+// Render produces the scalability table.
+func (r *NSweepResult) Render() string {
+	tb := stats.NewTable(
+		"Extension: worst-case speedup vs TCAM count",
+		"tcams", "hit rate", "speedup", "bound (N-1)h+1", "efficiency t/N",
+	)
+	for _, row := range r.Rows {
+		tb.AddRowf(row.TCAMs, fmt.Sprintf("%.4f", row.HitRate), fmt.Sprintf("%.3f", row.Speedup),
+			fmt.Sprintf("%.3f", row.Bound), fmt.Sprintf("%.3f", row.PerTCAM))
+	}
+	return tb.String()
+}
+
+// SLPLShiftRow compares the three mechanisms under one traffic condition.
+type SLPLShiftRow struct {
+	Mechanism  string
+	Throughput float64
+	Speedup    float64
+	DropRate   float64
+}
+
+// SLPLShiftResult reproduces the paper's §II argument against static
+// redundancy: SLPL trained on one traffic sample, then measured under a
+// shifted hot set, against CLPL and CLUE under the identical shifted
+// traffic.
+type SLPLShiftResult struct {
+	Rows []SLPLShiftRow
+}
+
+// SLPLShift runs the three mechanisms under shifted Zipf traffic.
+func SLPLShift(scale Scale) (*SLPLShiftResult, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	fib, err := scale.buildFIB(600)
+	if err != nil {
+		return nil, err
+	}
+	table, err := compressFIB(fib)
+	if err != nil {
+		return nil, err
+	}
+	// Yesterday's statistics for SLPL's pre-selection.
+	sampleTraffic, err := scale.buildTraffic(table, 601)
+	if err != nil {
+		return nil, err
+	}
+	sample := sampleTraffic.NextN(scale.Warmup)
+
+	run := func(sys engine.System) (SLPLShiftRow, error) {
+		eng, err := engine.New(sys, engine.Config{})
+		if err != nil {
+			return SLPLShiftRow{}, err
+		}
+		// Today's traffic: a different seed shifts which prefixes are
+		// hot.
+		shifted, err := scale.buildTraffic(table, 699)
+		if err != nil {
+			return SLPLShiftRow{}, err
+		}
+		eng.Run(shifted.Next, scale.Warmup)
+		eng.ResetStats()
+		for i := 0; i < scale.Packets; i++ {
+			eng.Step(shifted.Next(), true)
+		}
+		st := eng.Stats()
+		return SLPLShiftRow{
+			Mechanism:  sys.Name(),
+			Throughput: st.Throughput(),
+			Speedup:    st.SpeedupFactor(eng.Config().LookupClocks),
+			DropRate:   float64(st.Dropped) / float64(st.Arrived),
+		}, nil
+	}
+
+	res := &SLPLShiftResult{}
+	slpl, err := engine.NewSLPLSystem(fib.Clone(), table2TCAMs, sample, 0.25)
+	if err != nil {
+		return nil, err
+	}
+	row, err := run(slpl)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, row)
+
+	clpl, err := engine.NewCLPLSystem(fib.Clone(), table2TCAMs, table2Buckets/table2TCAMs, nil)
+	if err != nil {
+		return nil, err
+	}
+	if row, err = run(clpl); err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, row)
+
+	clue, err := engine.NewCLUESystem(table, table2TCAMs, table2Buckets, nil)
+	if err != nil {
+		return nil, err
+	}
+	if row, err = run(clue); err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, row)
+	return res, nil
+}
+
+// Render produces the mechanism comparison.
+func (r *SLPLShiftResult) Render() string {
+	tb := stats.NewTable(
+		"Extension: mechanisms under shifted traffic (SLPL trained on stale statistics)",
+		"mechanism", "throughput", "speedup", "drop rate",
+	)
+	for _, row := range r.Rows {
+		tb.AddRowf(row.Mechanism, fmt.Sprintf("%.4f", row.Throughput),
+			fmt.Sprintf("%.3f", row.Speedup), fmt.Sprintf("%.4f", row.DropRate))
+	}
+	return tb.String()
+}

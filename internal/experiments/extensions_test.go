@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNSweep(t *testing.T) {
+	res, err := NSweep(testScale, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Speedup < row.Bound*0.88 {
+			t.Errorf("N=%d: speedup %.3f below bound %.3f", row.TCAMs, row.Speedup, row.Bound)
+		}
+		if row.PerTCAM <= 0.5 {
+			t.Errorf("N=%d: scaling efficiency %.3f too low", row.TCAMs, row.PerTCAM)
+		}
+	}
+	// Speedup must grow with chip count.
+	if res.Rows[1].Speedup <= res.Rows[0].Speedup {
+		t.Errorf("speedup did not grow: N=2 %.3f, N=4 %.3f", res.Rows[0].Speedup, res.Rows[1].Speedup)
+	}
+	if !strings.Contains(res.Render(), "speedup vs TCAM count") {
+		t.Error("render missing title")
+	}
+}
+
+func TestSLPLShift(t *testing.T) {
+	res, err := SLPLShift(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	byMech := map[string]SLPLShiftRow{}
+	for _, row := range res.Rows {
+		byMech[row.Mechanism] = row
+	}
+	slpl, clue := byMech["slpl"], byMech["clue"]
+	if slpl.Mechanism == "" || clue.Mechanism == "" {
+		t.Fatalf("missing mechanisms: %+v", res.Rows)
+	}
+	// The dynamic mechanisms must not lose to stale static redundancy.
+	if clue.Throughput < slpl.Throughput-0.02 {
+		t.Errorf("CLUE throughput %.4f below stale SLPL %.4f", clue.Throughput, slpl.Throughput)
+	}
+	if !strings.Contains(res.Render(), "shifted traffic") {
+		t.Error("render missing title")
+	}
+}
+
+func TestUpdateInterruption(t *testing.T) {
+	res, err := UpdateInterruption(testScale, []int{0, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	byKey := map[string]map[int]InterruptRow{}
+	for _, row := range res.Rows {
+		if byKey[row.Mechanism] == nil {
+			byKey[row.Mechanism] = map[int]InterruptRow{}
+		}
+		byKey[row.Mechanism][row.UpdatesPerKiloClock] = row
+	}
+	for _, mech := range []string{"clue", "clpl"} {
+		quiet, busy := byKey[mech][0], byKey[mech][20]
+		if quiet.StallClocks != 0 {
+			t.Errorf("%s: stalls at zero update rate: %d", mech, quiet.StallClocks)
+		}
+		if busy.StallClocks == 0 {
+			t.Errorf("%s: no stalls at 20 upd/kclk", mech)
+		}
+		if busy.Throughput > quiet.Throughput+0.01 {
+			t.Errorf("%s: throughput rose under update load: %.4f -> %.4f",
+				mech, quiet.Throughput, busy.Throughput)
+		}
+	}
+	// The paper's point: CLPL burns far more lookup capacity per update.
+	if byKey["clpl"][20].StallClocks <= byKey["clue"][20].StallClocks {
+		t.Errorf("CLPL stall clocks %d not above CLUE's %d",
+			byKey["clpl"][20].StallClocks, byKey["clue"][20].StallClocks)
+	}
+	if !strings.Contains(res.Render(), "interrupt") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"clue/internal/fibgen"
+	"clue/internal/onrtc"
+	"clue/internal/stats"
+)
+
+// Fig8Row is one router's compression result (one bar pair in Figure 8).
+type Fig8Row struct {
+	Router     string
+	Location   string
+	Original   int
+	Compressed int
+	Ratio      float64
+	LeafPushed int
+	ORTC       int
+	Duration   time.Duration
+}
+
+// Fig8Result is the Figure 8 reproduction: FIB sizes before and after
+// ONRTC compression on the 12 Table I routers.
+type Fig8Result struct {
+	Rows []Fig8Row
+	// MeanRatio is the paper's headline average (≈0.71).
+	MeanRatio float64
+	// MeanDuration is the average compression time (paper: ≈39 ms at
+	// ≈390K routes).
+	MeanDuration time.Duration
+}
+
+// Fig8Compression compresses every router profile and reports sizes.
+func Fig8Compression(scale Scale) (*Fig8Result, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	routers, err := fibgen.ScaleRouters(scale.RouterScale)
+	if err != nil {
+		return nil, err
+	}
+	routers = routers[:scale.Routers]
+	res := &Fig8Result{}
+	ratioSum := 0.0
+	var durSum time.Duration
+	for _, r := range routers {
+		fib, err := fibgen.Generate(r.Config())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generating %s: %w", r.ID, err)
+		}
+		start := time.Now()
+		_, st := onrtc.CompressWithStats(fib)
+		dur := time.Since(start)
+		res.Rows = append(res.Rows, Fig8Row{
+			Router:     r.ID,
+			Location:   r.Location,
+			Original:   st.Original,
+			Compressed: st.Compressed,
+			Ratio:      st.Ratio(),
+			LeafPushed: st.LeafPushed,
+			ORTC:       st.ORTC,
+			Duration:   dur,
+		})
+		ratioSum += st.Ratio()
+		durSum += dur
+	}
+	res.MeanRatio = ratioSum / float64(len(res.Rows))
+	res.MeanDuration = durSum / time.Duration(len(res.Rows))
+	return res, nil
+}
+
+// Render produces the paper-style table.
+func (r *Fig8Result) Render() string {
+	tb := stats.NewTable(
+		"Figure 8: FIB size before and after ONRTC compression (with baselines)",
+		"router", "location", "original", "onrtc", "ratio", "ortc", "leaf-pushed", "time",
+	)
+	for _, row := range r.Rows {
+		tb.AddRowf(row.Router, row.Location, row.Original, row.Compressed,
+			row.Ratio, row.ORTC, row.LeafPushed, row.Duration.Round(time.Millisecond).String())
+	}
+	tb.AddRowf("mean", "", "", "", r.MeanRatio, "", "", r.MeanDuration.Round(time.Millisecond).String())
+	return tb.String()
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"clue/internal/onrtc"
+	"clue/internal/partition"
+	"clue/internal/stats"
+)
+
+// Fig9Row compares the three partition algorithms at one partition count.
+type Fig9Row struct {
+	Partitions int
+	// Per algorithm: the largest partition (what sizes the TCAM), the
+	// total redundant entries, and max/mean imbalance.
+	CLUEMax, SubTreeMax, IDBitMax             int
+	CLUERedundant, SubTreeRed, IDBitRedundant int
+	CLUEImbalance, SubTreeImb, IDBitImbalance float64
+}
+
+// Fig9Result reproduces Figure 9: partition evenness and redundancy for
+// SLPL (ID-bit), CLPL (sub-tree) and CLUE on one router's table.
+type Fig9Result struct {
+	TableSize      int
+	CompressedSize int
+	Rows           []Fig9Row
+}
+
+// Fig9Partition runs the three algorithms at 4..32 partitions.
+func Fig9Partition(scale Scale) (*Fig9Result, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	fib, err := scale.buildFIB(900)
+	if err != nil {
+		return nil, err
+	}
+	table := onrtc.Compress(fib)
+	res := &Fig9Result{TableSize: fib.Len(), CompressedSize: table.Len()}
+	// Partition counts are bucket counts: parallel engines carve several
+	// buckets per TCAM chip (8 per chip at N=4 in Table II).
+	for _, n := range []int{8, 16, 32, 64} {
+		clueRes, _, err := partition.CLUE(table.Routes(), n)
+		if err != nil {
+			return nil, err
+		}
+		stRes, err := partition.SubTree(fib, n)
+		if err != nil {
+			return nil, err
+		}
+		k := 2
+		for 1<<k < n {
+			k++
+		}
+		idRes, err := partition.IDBit(fib.Routes(), k)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig9Row{
+			Partitions:     n,
+			CLUEMax:        clueRes.MaxSize(),
+			SubTreeMax:     stRes.MaxSize(),
+			IDBitMax:       idRes.MaxSize(),
+			CLUERedundant:  clueRes.TotalRedundant(),
+			SubTreeRed:     stRes.TotalRedundant(),
+			IDBitRedundant: idRes.TotalRedundant(),
+			CLUEImbalance:  clueRes.Imbalance(),
+			SubTreeImb:     stRes.Imbalance(),
+			IDBitImbalance: idRes.Imbalance(),
+		})
+	}
+	return res, nil
+}
+
+// Render produces the paper-style comparison.
+func (r *Fig9Result) Render() string {
+	tb := stats.NewTable(
+		"Figure 9: partition comparison (SLPL=id-bit, CLPL=sub-tree, CLUE)",
+		"parts", "clue max", "clpl max", "slpl max",
+		"clue redun", "clpl redun", "slpl redun",
+		"clue imbal", "clpl imbal", "slpl imbal",
+	)
+	for _, row := range r.Rows {
+		tb.AddRowf(row.Partitions,
+			row.CLUEMax, row.SubTreeMax, row.IDBitMax,
+			row.CLUERedundant, row.SubTreeRed, row.IDBitRedundant,
+			row.CLUEImbalance, row.SubTreeImb, row.IDBitImbalance)
+	}
+	return tb.String()
+}

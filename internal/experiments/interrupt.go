@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clue/internal/engine"
+	"clue/internal/stats"
+	"clue/internal/tcam"
+	"clue/internal/tracegen"
+	"clue/internal/update"
+)
+
+// InterruptRow is one update-rate point for one mechanism.
+type InterruptRow struct {
+	Mechanism string
+	// UpdatesPerKiloClock is the applied update-message rate.
+	UpdatesPerKiloClock int
+	Throughput          float64
+	// StallClocks is the total lookup-service time consumed by updates.
+	StallClocks int64
+}
+
+// InterruptResult quantifies the paper's §IV motivation end to end:
+// TCAM update work interrupts lookup service, so a mechanism's per-update
+// access count translates directly into throughput loss as the update
+// rate grows. CLUE (≈3 accesses/update) degrades far more slowly than
+// CLPL (≈10–15 under the prefix-length-ordered layout).
+type InterruptResult struct {
+	Rows []InterruptRow
+}
+
+// UpdateInterruption sweeps the update rate for both mechanisms. Updates
+// are replayed through the mechanism's update pipeline to obtain its real
+// per-message TCAM access count, which stalls the serving engine's chip
+// for accesses × LookupClocks. (The engine's table content is held fixed:
+// the experiment isolates service-time dynamics.)
+func UpdateInterruption(scale Scale, rates []int) (*InterruptResult, error) {
+	if len(rates) == 0 {
+		rates = []int{0, 2, 5, 10, 20}
+	}
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	res := &InterruptResult{}
+	for _, mech := range []string{"clue", "clpl"} {
+		for _, rate := range rates {
+			row, err := runInterruptPoint(scale, mech, rate)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func runInterruptPoint(scale Scale, mech string, rate int) (InterruptRow, error) {
+	fib, err := scale.buildFIB(800)
+	if err != nil {
+		return InterruptRow{}, err
+	}
+	table, err := compressFIB(fib.Clone())
+	if err != nil {
+		return InterruptRow{}, err
+	}
+
+	var sys engine.System
+	var pipe update.Pipeline
+	switch mech {
+	case "clue":
+		sys, err = engine.NewCLUESystem(table, table2TCAMs, table2Buckets, nil)
+		if err != nil {
+			return InterruptRow{}, err
+		}
+		pipe, err = update.NewCLUEPipeline(fib.Clone(), table2TCAMs, 1024, update.DefaultCosts())
+	case "clpl":
+		sys, err = engine.NewCLPLSystem(fib.Clone(), table2TCAMs, table2Buckets/table2TCAMs, nil)
+		if err != nil {
+			return InterruptRow{}, err
+		}
+		pipe, err = update.NewCLPLPipeline(fib.Clone(), table2TCAMs, 1024, update.DefaultCosts())
+	default:
+		return InterruptRow{}, fmt.Errorf("experiments: unknown mechanism %q", mech)
+	}
+	if err != nil {
+		return InterruptRow{}, err
+	}
+
+	eng, err := engine.New(sys, engine.Config{})
+	if err != nil {
+		return InterruptRow{}, err
+	}
+	traffic, err := scale.buildTraffic(table, 801)
+	if err != nil {
+		return InterruptRow{}, err
+	}
+	gen, err := tracegen.NewUpdateGen(fib.Clone(), tracegen.UpdateConfig{
+		Seed: scale.Seed + 802, Messages: scale.Packets, WithdrawFrac: 0.3, NewPrefixFrac: 0.55,
+	})
+	if err != nil {
+		return InterruptRow{}, err
+	}
+
+	eng.Run(traffic.Next, scale.Warmup)
+	eng.ResetStats()
+	row := InterruptRow{Mechanism: mech, UpdatesPerKiloClock: rate}
+	clocks := scale.Packets
+	applied := 0
+	lookupClocks := eng.Config().LookupClocks
+	for c := 0; c < clocks; c++ {
+		eng.Step(traffic.Next(), true)
+		// Apply `rate` updates per 1000 clocks, spread evenly.
+		if rate > 0 && (c*rate)/1000 > applied {
+			applied++
+			u := gen.Next()
+			ttf, err := pipe.Apply(u)
+			if err != nil {
+				return InterruptRow{}, fmt.Errorf("experiments: %s update: %w", mech, err)
+			}
+			accesses := int(ttf.TCAM / tcam.AccessNs)
+			// The update occupies the chip that owns the prefix for
+			// one service slot per access.
+			home := sys.Home(u.Prefix.First())
+			stall := accesses * lookupClocks
+			eng.Stall(home, stall)
+			row.StallClocks += int64(stall)
+		}
+	}
+	row.Throughput = eng.Stats().Throughput()
+	return row, nil
+}
+
+// Render produces the throughput-vs-update-rate table.
+func (r *InterruptResult) Render() string {
+	tb := stats.NewTable(
+		"Extension: lookup throughput vs routing-update rate (updates interrupt lookups)",
+		"mechanism", "updates/kclk", "throughput", "stall clocks",
+	)
+	for _, row := range r.Rows {
+		tb.AddRowf(row.Mechanism, row.UpdatesPerKiloClock,
+			fmt.Sprintf("%.4f", row.Throughput), row.StallClocks)
+	}
+	return tb.String()
+}

@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"clue/internal/engine"
+	"clue/internal/ip"
+	"clue/internal/onrtc"
+	"clue/internal/stats"
+)
+
+// Table2Row is one bucket row of Table II.
+type Table2Row struct {
+	TCAM      int
+	Bucket    int
+	RangeLow  ip.Addr
+	RangeHigh ip.Addr
+	PartPct   float64
+	TCAMPct   float64
+}
+
+// Table2Result reproduces Table II: the compressed table split into 32
+// even buckets, per-bucket traffic share measured on Zipf traffic, and
+// the worst-case mapping (hottest 8 buckets on TCAM 1, next 8 on TCAM 2,
+// ...).
+type Table2Result struct {
+	Rows []Table2Row
+	// Mapping is bucket -> TCAM, reused by Figures 15–17.
+	Mapping []int
+	// PerTCAMPct is the resulting offered-load share per TCAM (the
+	// paper's 77.88/17.43/4.54/0.16 shape).
+	PerTCAMPct []float64
+}
+
+const (
+	table2Buckets = 32
+	table2TCAMs   = 4
+)
+
+// Table2Workload measures per-bucket load and constructs the worst-case
+// mapping.
+func Table2Workload(scale Scale) (*Table2Result, *onrtc.Table, error) {
+	if err := scale.validate(); err != nil {
+		return nil, nil, err
+	}
+	fib, err := scale.buildFIB(200)
+	if err != nil {
+		return nil, nil, err
+	}
+	table := onrtc.Compress(fib)
+	res, err := table2From(scale, table)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, table, nil
+}
+
+// table2From measures bucket loads over an existing compressed table.
+func table2From(scale Scale, table *onrtc.Table) (*Table2Result, error) {
+	parts, index, err := engine.BucketIndex(table, table2Buckets)
+	if err != nil {
+		return nil, err
+	}
+	traffic, err := scale.buildTraffic(table, 201)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int64, table2Buckets)
+	probes := scale.Packets / 2
+	for i := 0; i < probes; i++ {
+		counts[index.Lookup(traffic.Next())]++
+	}
+	order := make([]int, table2Buckets)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+
+	res := &Table2Result{
+		Mapping:    make([]int, table2Buckets),
+		PerTCAMPct: make([]float64, table2TCAMs),
+	}
+	per := table2Buckets / table2TCAMs
+	for rank, b := range order {
+		t := rank / per
+		if t >= table2TCAMs {
+			t = table2TCAMs - 1
+		}
+		res.Mapping[b] = t
+		pct := 100 * float64(counts[b]) / float64(probes)
+		res.PerTCAMPct[t] += pct
+		res.Rows = append(res.Rows, Table2Row{
+			TCAM:      t + 1,
+			Bucket:    b,
+			RangeLow:  parts.Parts[b].Low,
+			RangeHigh: parts.Parts[b].High,
+			PartPct:   pct,
+			TCAMPct:   0, // filled below once sums are known
+		})
+	}
+	for i := range res.Rows {
+		res.Rows[i].TCAMPct = res.PerTCAMPct[res.Rows[i].TCAM-1]
+	}
+	return res, nil
+}
+
+// Render produces the Table II rows.
+func (r *Table2Result) Render() string {
+	tb := stats.NewTable(
+		"Table II: workload on 32 partitions mapped worst-case onto 4 TCAMs",
+		"tcam", "bucket", "range low", "range high", "% of partition", "% of tcam",
+	)
+	for _, row := range r.Rows {
+		tb.AddRowf(row.TCAM, row.Bucket, row.RangeLow.String(), row.RangeHigh.String(),
+			fmt.Sprintf("%.2f%%", row.PartPct), fmt.Sprintf("%.2f%%", row.TCAMPct))
+	}
+	return tb.String()
+}
+
+// Fig15Result reproduces Figure 15: offered (home) load vs actually
+// served load per TCAM under the Table II worst-case mapping.
+type Fig15Result struct {
+	// OriginalPct is the pre-balancing workload share per TCAM.
+	OriginalPct []float64
+	// BalancedPct is the post-balancing served share per TCAM.
+	BalancedPct []float64
+	// Throughput and Speedup summarise the run.
+	Throughput float64
+	Speedup    float64
+	HitRate    float64
+	// MeanLatency is the average clocks from arrival to resolution.
+	MeanLatency float64
+}
+
+// Fig15LoadBalance runs the worst-case simulation with the paper's
+// parameters (FIFO 256, DRed 1024, 4 clocks/lookup).
+func Fig15LoadBalance(scale Scale) (*Fig15Result, error) {
+	t2, table, err := Table2Workload(scale)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := engine.NewCLUESystem(table, table2TCAMs, table2Buckets, t2.Mapping)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(sys, engine.Config{})
+	if err != nil {
+		return nil, err
+	}
+	traffic, err := scale.buildTraffic(table, 201)
+	if err != nil {
+		return nil, err
+	}
+	eng.Run(traffic.Next, scale.Warmup)
+	eng.ResetStats()
+	for i := 0; i < scale.Packets; i++ {
+		eng.Step(traffic.Next(), true)
+	}
+	st := eng.Stats()
+	res := &Fig15Result{
+		OriginalPct: make([]float64, table2TCAMs),
+		BalancedPct: make([]float64, table2TCAMs),
+		Throughput:  st.Throughput(),
+		Speedup:     st.SpeedupFactor(eng.Config().LookupClocks),
+		HitRate:     st.HitRate(),
+		MeanLatency: st.MeanLatency(),
+	}
+	var homeSum, servedSum int64
+	for i := 0; i < table2TCAMs; i++ {
+		homeSum += st.PerTCAMHome[i]
+		servedSum += st.PerTCAMServed[i]
+	}
+	for i := 0; i < table2TCAMs; i++ {
+		res.OriginalPct[i] = 100 * float64(st.PerTCAMHome[i]) / float64(homeSum)
+		res.BalancedPct[i] = 100 * float64(st.PerTCAMServed[i]) / float64(servedSum)
+	}
+	return res, nil
+}
+
+// Render produces the Figure 15 bars.
+func (r *Fig15Result) Render() string {
+	tb := stats.NewTable(
+		"Figure 15: load balancing under the Table II worst case",
+		"tcam", "original %", "balanced %",
+	)
+	for i := range r.OriginalPct {
+		tb.AddRowf(i+1, fmt.Sprintf("%.2f", r.OriginalPct[i]), fmt.Sprintf("%.2f", r.BalancedPct[i]))
+	}
+	tb.AddRow()
+	tb.AddRowf("speedup", fmt.Sprintf("%.2f", r.Speedup), fmt.Sprintf("hit rate %.3f", r.HitRate))
+	tb.AddRowf("latency", fmt.Sprintf("%.1f clk", r.MeanLatency), "")
+	return tb.String()
+}
+
+// SweepPoint is one DRed-size point of Figures 16 and 17.
+type SweepPoint struct {
+	Mechanism string
+	DRedSize  int
+	HitRate   float64
+	Speedup   float64
+}
+
+// SweepResult holds the DRed-size sweep both Figure 16 (speedup vs hit
+// rate, with the worst-case bound t=(N-1)h+1 and a cubic fit) and Figure
+// 17 (hit rate vs DRed size) read from.
+type SweepResult struct {
+	Points []SweepPoint
+	// CubicCLUE / CubicCLPL are least-squares cubic fits of t(h), as in
+	// the paper's Figure 16 dotted lines (nil when a fit is impossible).
+	CubicCLUE, CubicCLPL []float64
+	// TCAMs is N, for the bound line.
+	TCAMs int
+}
+
+// DRedSweep runs the worst-case engine at several DRed sizes for both
+// mechanisms.
+func DRedSweep(scale Scale, sizes []int) (*SweepResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{64, 128, 256, 512, 1024, 2048}
+	}
+	t2, table, err := Table2Workload(scale)
+	if err != nil {
+		return nil, err
+	}
+	// CLPL worst case: probe its partition loads, then map hottest
+	// partitions together, mirroring the Table II construction.
+	fibCLPL, err := scale.buildFIB(200)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := engine.NewCLPLSystem(fibCLPL, table2TCAMs, table2Buckets/table2TCAMs, nil)
+	if err != nil {
+		return nil, err
+	}
+	clplMapping, err := worstCaseCLPLMapping(scale, table, probe)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SweepResult{TCAMs: table2TCAMs}
+	for _, size := range sizes {
+		clueSys, err := engine.NewCLUESystem(table, table2TCAMs, table2Buckets, t2.Mapping)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := runSweepPoint(scale, clueSys, size)
+		if err != nil {
+			return nil, err
+		}
+		pt.Mechanism = "clue"
+		res.Points = append(res.Points, pt)
+
+		fib2, err := scale.buildFIB(200)
+		if err != nil {
+			return nil, err
+		}
+		clplSys, err := engine.NewCLPLSystem(fib2, table2TCAMs, table2Buckets/table2TCAMs, clplMapping)
+		if err != nil {
+			return nil, err
+		}
+		pt, err = runSweepPoint(scale, clplSys, size)
+		if err != nil {
+			return nil, err
+		}
+		pt.Mechanism = "clpl"
+		res.Points = append(res.Points, pt)
+	}
+	res.CubicCLUE = fitCubic(res.Points, "clue")
+	res.CubicCLPL = fitCubic(res.Points, "clpl")
+	return res, nil
+}
+
+// worstCaseCLPLMapping measures per-partition load on the probe system
+// and groups the hottest partitions onto the same TCAM.
+func worstCaseCLPLMapping(scale Scale, table *onrtc.Table, probe *engine.CLPLSystem) ([]int, error) {
+	traffic, err := scale.buildTraffic(table, 201)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int64, probe.Partitions())
+	for i := 0; i < scale.Packets/2; i++ {
+		counts[probe.PartitionOf(traffic.Next())]++
+	}
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	mapping := make([]int, len(counts))
+	per := (len(counts) + table2TCAMs - 1) / table2TCAMs
+	for rank, p := range order {
+		t := rank / per
+		if t >= table2TCAMs {
+			t = table2TCAMs - 1
+		}
+		mapping[p] = t
+	}
+	return mapping, nil
+}
+
+// runSweepPoint warms and measures one engine configuration.
+func runSweepPoint(scale Scale, sys engine.System, dredSize int) (SweepPoint, error) {
+	eng, err := engine.New(sys, engine.Config{DRedSize: dredSize})
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	// The traffic stream must be identical across mechanisms, so it is
+	// rebuilt per point from the same seed. It draws from a fixed
+	// universe of prefixes, independent of the system under test.
+	fib, err := scale.buildFIB(200)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	traffic, err := scale.buildTraffic(onrtc.Compress(fib), 201)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	eng.Run(traffic.Next, scale.Warmup)
+	eng.ResetStats()
+	for i := 0; i < scale.Packets; i++ {
+		eng.Step(traffic.Next(), true)
+	}
+	st := eng.Stats()
+	return SweepPoint{
+		DRedSize: dredSize,
+		HitRate:  st.HitRate(),
+		Speedup:  st.SpeedupFactor(eng.Config().LookupClocks),
+	}, nil
+}
+
+// fitCubic fits t(h) for one mechanism; nil when underdetermined.
+func fitCubic(points []SweepPoint, mech string) []float64 {
+	var hs, ts []float64
+	for _, p := range points {
+		if p.Mechanism == mech {
+			hs = append(hs, p.HitRate)
+			ts = append(ts, p.Speedup)
+		}
+	}
+	coeffs, err := stats.PolyFit(hs, ts, 3)
+	if err != nil {
+		return nil
+	}
+	return coeffs
+}
+
+// RenderFig16 plots speedup vs hit rate against the worst-case bound.
+func (r *SweepResult) RenderFig16() string {
+	tb := stats.NewTable(
+		"Figure 16: speedup factor vs DRed hit rate (worst-case mapping)",
+		"mechanism", "dred", "hit rate", "speedup", "bound (N-1)h+1",
+	)
+	for _, p := range r.Points {
+		bound := float64(r.TCAMs-1)*p.HitRate + 1
+		tb.AddRowf(p.Mechanism, p.DRedSize,
+			fmt.Sprintf("%.4f", p.HitRate), fmt.Sprintf("%.3f", p.Speedup), fmt.Sprintf("%.3f", bound))
+	}
+	return tb.String()
+}
+
+// RenderFig17 plots hit rate vs DRed size per mechanism.
+func (r *SweepResult) RenderFig17() string {
+	tb := stats.NewTable(
+		"Figure 17: DRed hit rate vs DRed size",
+		"dred size", "clue hit rate", "clpl hit rate",
+	)
+	bySize := map[int]map[string]float64{}
+	var sizes []int
+	for _, p := range r.Points {
+		if bySize[p.DRedSize] == nil {
+			bySize[p.DRedSize] = map[string]float64{}
+			sizes = append(sizes, p.DRedSize)
+		}
+		bySize[p.DRedSize][p.Mechanism] = p.HitRate
+	}
+	sort.Ints(sizes)
+	for _, size := range sizes {
+		tb.AddRowf(size,
+			fmt.Sprintf("%.4f", bySize[size]["clue"]),
+			fmt.Sprintf("%.4f", bySize[size]["clpl"]))
+	}
+	return tb.String()
+}

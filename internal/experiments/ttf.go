@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"clue/internal/stats"
+	"clue/internal/update"
+)
+
+// TTFWindow is one x-axis point of Figures 10–14: the mean TTF breakdown
+// of both mechanisms over a slice of the 24 h update trace.
+type TTFWindow struct {
+	// Start is the window's offset in the trace.
+	Start time.Duration
+	// Messages is how many updates the window contains.
+	Messages int
+	// CLUE and CLPL are the window's mean TTF breakdowns.
+	CLUE, CLPL update.TTF
+}
+
+// TTFResult drives Figures 10 (TTF1), 11 (TTF2), 12 (TTF3), 13
+// (TTF2+TTF3) and 14 (total TTF) from one replayed trace.
+type TTFResult struct {
+	Windows []TTFWindow
+	// CLUEMean and CLPLMean are the whole-trace means.
+	CLUEMean, CLPLMean update.TTF
+}
+
+// RunTTF replays the same flap-heavy update stream through the CLUE and
+// CLPL pipelines (caches pre-warmed with Zipf traffic) and aggregates the
+// per-message TTFs into time windows.
+func RunTTF(scale Scale) (*TTFResult, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	fibA, err := scale.buildFIB(100)
+	if err != nil {
+		return nil, err
+	}
+	fibB := fibA.Clone()
+	stream, err := scale.buildUpdates(fibA.Clone(), 101)
+	if err != nil {
+		return nil, err
+	}
+
+	cluePipe, err := update.NewCLUEPipeline(fibA, 4, 1024, update.DefaultCosts())
+	if err != nil {
+		return nil, err
+	}
+	clplPipe, err := update.NewCLPLPipeline(fibB, 4, 1024, update.DefaultCosts())
+	if err != nil {
+		return nil, err
+	}
+	traffic, err := scale.buildTraffic(cluePipe.Updater().Table(), 102)
+	if err != nil {
+		return nil, err
+	}
+	warm := traffic.NextN(scale.Warmup)
+	cluePipe.Warm(warm)
+	clplPipe.Warm(warm)
+
+	clueSeries, err := update.Replay(cluePipe, stream)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: clue replay: %w", err)
+	}
+	clplSeries, err := update.Replay(clplPipe, stream)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: clpl replay: %w", err)
+	}
+
+	const windows = 24
+	span := stream[len(stream)-1].At + 1
+	winLen := span / windows
+	if winLen == 0 {
+		winLen = 1
+	}
+	res := &TTFResult{}
+	buckets := make([][2][]update.TTF, windows)
+	for i, u := range stream {
+		w := int(u.At / winLen)
+		if w >= windows {
+			w = windows - 1
+		}
+		buckets[w][0] = append(buckets[w][0], clueSeries[i])
+		buckets[w][1] = append(buckets[w][1], clplSeries[i])
+	}
+	for w := 0; w < windows; w++ {
+		if len(buckets[w][0]) == 0 {
+			continue
+		}
+		res.Windows = append(res.Windows, TTFWindow{
+			Start:    time.Duration(w) * winLen,
+			Messages: len(buckets[w][0]),
+			CLUE:     update.Summarise(buckets[w][0]).Mean,
+			CLPL:     update.Summarise(buckets[w][1]).Mean,
+		})
+	}
+	res.CLUEMean = update.Summarise(clueSeries).Mean
+	res.CLPLMean = update.Summarise(clplSeries).Mean
+	return res, nil
+}
+
+// ttfSeries renders one figure's series from the windows.
+func (r *TTFResult) ttfSeries(title, unit string, pick func(update.TTF) float64) string {
+	tb := stats.NewTable(title, "window", "messages", "clue "+unit, "clpl "+unit, "clpl/clue")
+	for _, w := range r.Windows {
+		c, p := pick(w.CLUE), pick(w.CLPL)
+		ratio := 0.0
+		if c > 0 {
+			ratio = p / c
+		}
+		tb.AddRowf(w.Start.Round(time.Minute).String(), w.Messages, c, p, ratio)
+	}
+	cm, pm := pick(r.CLUEMean), pick(r.CLPLMean)
+	ratio := 0.0
+	if cm > 0 {
+		ratio = pm / cm
+	}
+	tb.AddRowf("mean", "", cm, pm, ratio)
+	return tb.String()
+}
+
+// RenderFig10 is the TTF1 (trie) comparison.
+func (r *TTFResult) RenderFig10() string {
+	return r.ttfSeries("Figure 10: TTF1 (trie update) CLPL vs CLUE", "ns",
+		func(t update.TTF) float64 { return t.Trie })
+}
+
+// RenderFig11 is the TTF2 (TCAM) comparison.
+func (r *TTFResult) RenderFig11() string {
+	return r.ttfSeries("Figure 11: TTF2 (TCAM update) CLPL vs CLUE", "ns",
+		func(t update.TTF) float64 { return t.TCAM })
+}
+
+// RenderFig12 is the TTF3 (DRed) comparison.
+func (r *TTFResult) RenderFig12() string {
+	return r.ttfSeries("Figure 12: TTF3 (DRed update) CLPL vs CLUE", "ns",
+		func(t update.TTF) float64 { return t.DRed })
+}
+
+// RenderFig13 is the TTF2+TTF3 comparison (the paper's 4.29% headline).
+func (r *TTFResult) RenderFig13() string {
+	return r.ttfSeries("Figure 13: TTF2+TTF3 CLPL vs CLUE", "ns",
+		func(t update.TTF) float64 { return t.TCAM + t.DRed })
+}
+
+// RenderFig14 is the total TTF comparison (the paper's 234% headline).
+func (r *TTFResult) RenderFig14() string {
+	return r.ttfSeries("Figure 14: TTF1+TTF2+TTF3 CLPL vs CLUE", "ns",
+		func(t update.TTF) float64 { return t.Total() })
+}

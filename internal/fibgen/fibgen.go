@@ -1,0 +1,288 @@
+// Package fibgen generates synthetic routing tables (FIBs) with the
+// structural properties that drive every experiment in the paper:
+// a realistic prefix-length mix peaked at /24, hierarchical allocation
+// blocks with covering routes, runs of consecutive same-hop /24s (the
+// fuel for ONRTC's sibling merges), redundant more-specifics (collapse
+// into their covers) and occasional different-hop specifics (the source
+// of split expansion).
+//
+// The paper evaluates on RIPE RIS RIB dumps from 12 collectors; those
+// dumps are not shippable, so Routers exposes 12 profiles named after the
+// paper's Table I whose generated tables land near the paper's measured
+// ≈71 % ONRTC compression ratio. The substitution is documented in
+// DESIGN.md: compression, partitioning and update behaviour depend on
+// trie shape and next-hop correlation, which these knobs control.
+package fibgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clue/internal/ip"
+	"clue/internal/trie"
+)
+
+// Config parameterises a synthetic FIB.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Routes is the target route count (the generator stops at or just
+	// above it).
+	Routes int
+	// NextHops is the number of distinct peers (must be >= 2).
+	NextHops int
+
+	// AggregatedBlockWeight, PlainRunWeight, SparseWeight and DeepWeight
+	// select the mix of allocation-block shapes; they are normalised
+	// internally. Zero values fall back to the calibrated defaults.
+	AggregatedBlockWeight float64
+	PlainRunWeight        float64
+	SparseWeight          float64
+	DeepWeight            float64
+
+	// ShortWeight selects isolated short backbone prefixes (/8../15),
+	// which widen the TCAM length-zone occupancy like real tables do.
+	ShortWeight float64
+
+	// SameHopBias is the probability that a nested or consecutive
+	// prefix keeps its neighbourhood's next hop — the main compression
+	// knob. Zero falls back to the calibrated default.
+	SameHopBias float64
+}
+
+// calibrated defaults reproduce the paper's ≈71 % compression ratio on
+// generated tables (see TestCompressionRatioNearPaper).
+const (
+	defaultAggWeight   = 0.29
+	defaultPlainWeight = 0.25
+	defaultSparse      = 0.36
+	defaultDeep        = 0.06
+	defaultShort       = 0.04
+	defaultSameHopBias = 0.87
+)
+
+func (c Config) withDefaults() Config {
+	if c.AggregatedBlockWeight == 0 && c.PlainRunWeight == 0 && c.SparseWeight == 0 && c.DeepWeight == 0 {
+		c.AggregatedBlockWeight = defaultAggWeight
+		c.PlainRunWeight = defaultPlainWeight
+		c.SparseWeight = defaultSparse
+		c.DeepWeight = defaultDeep
+		c.ShortWeight = defaultShort
+	}
+	if c.SameHopBias == 0 {
+		c.SameHopBias = defaultSameHopBias
+	}
+	if c.NextHops < 2 {
+		c.NextHops = 16
+	}
+	return c
+}
+
+// Generate builds a FIB trie per cfg. The result is deterministic in
+// cfg.Seed.
+func Generate(cfg Config) (*trie.Trie, error) {
+	if cfg.Routes < 1 {
+		return nil, fmt.Errorf("fibgen: Routes must be >= 1, got %d", cfg.Routes)
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{cfg: cfg, rng: rng, fib: trie.New(), family: make(map[ip.Addr]ip.NextHop)}
+	// Large covered aggregates first: a few /8 covers each holding a
+	// few percent of the table, like the big ISP allocations in real
+	// tables. They are what makes sub-tree partitioning pay replication.
+	if cfg.Routes >= 500 {
+		for i := 0; i < 4 && g.fib.Len() < cfg.Routes/4; i++ {
+			g.megaBlock(i, cfg.Routes/16)
+		}
+	}
+	for g.fib.Len() < cfg.Routes {
+		g.block()
+	}
+	return g.fib, nil
+}
+
+type generator struct {
+	cfg Config
+	rng *rand.Rand
+	fib *trie.Trie
+	// family remembers the hop neighbourhood of each /16 base so that
+	// later blocks landing in an already-used /16 stay hop-correlated
+	// with it, as real allocations inside one /16 are.
+	family map[ip.Addr]ip.NextHop
+}
+
+// hop draws a random next hop in [1, NextHops].
+func (g *generator) hop() ip.NextHop {
+	return ip.NextHop(g.rng.Intn(g.cfg.NextHops) + 1)
+}
+
+// nearHop returns h with probability SameHopBias, otherwise a fresh hop.
+func (g *generator) nearHop(h ip.NextHop) ip.NextHop {
+	if g.rng.Float64() < g.cfg.SameHopBias {
+		return h
+	}
+	return g.hop()
+}
+
+// blockBase picks a random /19-aligned allocation base in unicast-looking
+// space (first octet 32..223 — octets 1..31 are reserved for short
+// backbone prefixes so block structure never collides with them) and the
+// hop family anchored there. /19 granularity gives ~390K distinct bases,
+// so even a 400K-route table rarely lands two blocks on the same
+// allocation.
+func (g *generator) blockBase() (ip.Addr, ip.NextHop) {
+	first := uint32(g.rng.Intn(192) + 32)
+	rest := uint32(g.rng.Intn(1 << 11)) // bits 8..18
+	base := ip.Addr(first<<24 | rest<<13)
+	h, ok := g.family[base]
+	if !ok {
+		h = g.hop()
+		g.family[base] = h
+	}
+	return base, h
+}
+
+// block emits one allocation block according to the weighted mix.
+func (g *generator) block() {
+	total := g.cfg.AggregatedBlockWeight + g.cfg.PlainRunWeight + g.cfg.SparseWeight + g.cfg.DeepWeight + g.cfg.ShortWeight
+	w := g.rng.Float64() * total
+	switch {
+	case w < g.cfg.AggregatedBlockWeight:
+		g.aggregatedBlock()
+	case w < g.cfg.AggregatedBlockWeight+g.cfg.PlainRunWeight:
+		g.plainRunBlock()
+	case w < g.cfg.AggregatedBlockWeight+g.cfg.PlainRunWeight+g.cfg.SparseWeight:
+		g.sparseBlock()
+	case w < g.cfg.AggregatedBlockWeight+g.cfg.PlainRunWeight+g.cfg.SparseWeight+g.cfg.DeepWeight:
+		g.deepBlock()
+	default:
+		g.shortBlock()
+	}
+}
+
+// blockSlots is the number of /24s in one /19 allocation block.
+const blockSlots = 32
+
+// runLen draws a small geometric-ish run length in [1, blockSlots].
+func (g *generator) runLen() int {
+	l := 1
+	for l < blockSlots && g.rng.Float64() < 0.62 {
+		l++
+	}
+	return l
+}
+
+// aggregatedBlock: a covering /19 plus a run of consecutive /24s inside
+// it. Run members biased toward the cover's hop become pure redundancy
+// (they vanish under ONRTC); the rest cause bounded splits.
+func (g *generator) aggregatedBlock() {
+	base, h := g.blockBase()
+	cover := ip.MustPrefix(base, 19)
+	g.fib.Insert(cover, h, nil)
+	start := g.rng.Intn(blockSlots)
+	n := g.runLen()
+	runHop := g.nearHop(h)
+	for i := 0; i < n && start+i < blockSlots; i++ {
+		p := ip.MustPrefix(base+ip.Addr(start+i)<<8, 24)
+		g.fib.Insert(p, runHop, nil)
+	}
+}
+
+// plainRunBlock: a run of consecutive same-hop /24s with no cover — the
+// classic sibling-merge fuel.
+func (g *generator) plainRunBlock() {
+	base, family := g.blockBase()
+	start := g.rng.Intn(blockSlots)
+	n := g.runLen()
+	h := g.nearHop(family)
+	for i := 0; i < n && start+i < blockSlots; i++ {
+		p := ip.MustPrefix(base+ip.Addr(start+i)<<8, 24)
+		g.fib.Insert(p, h, nil)
+	}
+}
+
+// sparseBlock: isolated mid-length prefixes with independent hops (often
+// foreign announcements inside an allocation) — these neither merge nor
+// split (ratio ≈1 contribution).
+func (g *generator) sparseBlock() {
+	base, _ := g.blockBase()
+	n := g.rng.Intn(3) + 1
+	for i := 0; i < n; i++ {
+		length := 20 + g.rng.Intn(4) // /20../23
+		if g.rng.Float64() < 0.04 {
+			length = 25 + g.rng.Intn(4) // rare /25../28
+		}
+		off := ip.Addr(g.rng.Intn(blockSlots)) << 8
+		p := ip.MustPrefix(base+off, length)
+		g.fib.Insert(p, g.hop(), nil)
+	}
+}
+
+// shortBlock: an isolated short backbone prefix (/8../15) in the reserved
+// low-octet space (first octet 1..15), with its own hop. Real tables
+// carry a few thousand of these; they populate the short TCAM length
+// zones that make prefix-length-ordered updates expensive.
+func (g *generator) shortBlock() {
+	length := 8 + g.rng.Intn(8)
+	first := uint32(g.rng.Intn(15) + 1)
+	rest := uint32(g.rng.Uint32()) & ((1 << 24) - 1)
+	base := ip.Addr(first<<24 | rest)
+	g.fib.Insert(ip.MustPrefix(base, length), g.hop(), nil)
+}
+
+// megaBlock: an /8 covering aggregate (first octet 16..31, its own
+// reserved space) filled with roughly `routes` hop-correlated sub-runs —
+// the large-ISP allocations that force sub-tree partitions to replicate
+// the cover into the partitions carved inside it.
+func (g *generator) megaBlock(idx, routes int) {
+	// An /8 holds 65536 /24 slots; leave ample headroom so the fill loop
+	// always finds fresh slots.
+	if routes > 40000 {
+		routes = 40000
+	}
+	base := ip.Addr(uint32(16+idx%16) << 24)
+	h := g.hop()
+	g.fib.Insert(ip.MustPrefix(base, 8), h, nil)
+	target := g.fib.Len() + routes
+	for g.fib.Len() < target {
+		// A sub-run of consecutive /24s somewhere inside the /8. Most
+		// runs follow the aggregate's exit; a minority are customer
+		// routes with their own exits and survive compression as
+		// splits.
+		off := ip.Addr(g.rng.Intn(1<<16)) << 8
+		n := g.runLen()
+		runHop := h
+		if g.rng.Float64() < 0.18 {
+			runHop = g.hop()
+		}
+		for i := 0; i < n; i++ {
+			slot := off + ip.Addr(i)<<8
+			if slot >= 1<<24 {
+				break
+			}
+			g.fib.Insert(ip.MustPrefix(base+slot, 24), runHop, nil)
+		}
+	}
+}
+
+// deepBlock: a /19 -> /22 -> /24 chain with decorrelated hops — the
+// expansion worst case ONRTC must absorb.
+func (g *generator) deepBlock() {
+	base, h := g.blockBase()
+	g.fib.Insert(ip.MustPrefix(base, 19), h, nil)
+	mid := base + ip.Addr(g.rng.Intn(8))<<10
+	h2 := g.nearHop(h)
+	g.fib.Insert(ip.MustPrefix(mid, 22), h2, nil)
+	leaf := mid + ip.Addr(g.rng.Intn(4))<<8
+	g.fib.Insert(ip.MustPrefix(leaf, 24), g.nearHop(h2), nil)
+}
+
+// LengthHistogram counts routes per prefix length (reporting aid).
+func LengthHistogram(fib *trie.Trie) [ip.AddrBits + 1]int {
+	var h [ip.AddrBits + 1]int
+	fib.WalkRoutes(func(r ip.Route) bool {
+		h[r.Prefix.Len]++
+		return true
+	})
+	return h
+}

@@ -1,0 +1,194 @@
+package fibgen
+
+import (
+	"testing"
+
+	"clue/internal/ip"
+	"clue/internal/onrtc"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Seed: 7, Routes: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 7, Routes: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.Routes(), b.Routes()
+	if len(ra) != len(rb) {
+		t.Fatalf("lens differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("route %d differs: %v vs %v", i, ra[i], rb[i])
+		}
+	}
+	c, err := Generate(Config{Seed: 8, Routes: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == a.Len() && routesEqual(c.Routes(), ra) {
+		t.Error("different seeds produced identical tables")
+	}
+}
+
+func routesEqual(a, b []ip.Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGenerateReachesTarget(t *testing.T) {
+	fib, err := Generate(Config{Seed: 1, Routes: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fib.Len() < 10000 || fib.Len() > 10100 {
+		t.Errorf("generated %d routes, want ≈10000", fib.Len())
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Routes: 0}); err == nil {
+		t.Error("Routes=0 accepted")
+	}
+	if _, err := Generate(Config{Routes: -5}); err == nil {
+		t.Error("negative Routes accepted")
+	}
+}
+
+func TestGenerateHopRange(t *testing.T) {
+	fib, err := Generate(Config{Seed: 2, Routes: 3000, NextHops: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib.WalkRoutes(func(r ip.Route) bool {
+		if r.NextHop < 1 || r.NextHop > 4 {
+			t.Errorf("hop %d outside [1,4]", r.NextHop)
+			return false
+		}
+		return true
+	})
+}
+
+// TestCompressionRatioNearPaper pins the calibration: generated tables
+// must compress to the neighbourhood of the paper's 71 %.
+func TestCompressionRatioNearPaper(t *testing.T) {
+	for _, seed := range []int64{1, 42, 101} {
+		fib, err := Generate(Config{Seed: seed, Routes: 30000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats := onrtc.CompressWithStats(fib)
+		if r := stats.Ratio(); r < 0.60 || r > 0.82 {
+			t.Errorf("seed %d: compression ratio = %.3f, want ≈0.71", seed, r)
+		}
+		if stats.ExpansionRatio() <= 1.0 {
+			t.Errorf("seed %d: leaf-push expansion = %.3f, should exceed 1", seed, stats.ExpansionRatio())
+		}
+	}
+}
+
+func TestLengthHistogramPeaksAt24(t *testing.T) {
+	fib, err := Generate(Config{Seed: 3, Routes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := LengthHistogram(fib)
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total != fib.Len() {
+		t.Errorf("histogram total %d != routes %d", total, fib.Len())
+	}
+	for l := 0; l <= 32; l++ {
+		if l != 24 && h[l] > h[24] {
+			t.Errorf("length %d count %d exceeds /24 count %d", l, h[l], h[24])
+		}
+	}
+	if frac := float64(h[24]) / float64(total); frac < 0.35 {
+		t.Errorf("/24 fraction = %.2f, want the realistic majority share", frac)
+	}
+}
+
+func TestRoutersProfiles(t *testing.T) {
+	rs := Routers()
+	if len(rs) != 12 {
+		t.Fatalf("got %d routers, want 12 (Table I)", len(rs))
+	}
+	seenID := map[string]bool{}
+	seenSeed := map[int64]bool{}
+	for _, r := range rs {
+		if seenID[r.ID] {
+			t.Errorf("duplicate router ID %s", r.ID)
+		}
+		if seenSeed[r.Seed] {
+			t.Errorf("duplicate router seed %d", r.Seed)
+		}
+		seenID[r.ID] = true
+		seenSeed[r.Seed] = true
+		if r.Size < 300000 || r.Size > 450000 {
+			t.Errorf("%s size %d outside the 2011 snapshot neighbourhood", r.ID, r.Size)
+		}
+		if r.Location == "" {
+			t.Errorf("%s has no location", r.ID)
+		}
+		cfg := r.Config()
+		if cfg.Routes != r.Size || cfg.Seed != r.Seed {
+			t.Errorf("%s Config mismatch: %+v", r.ID, cfg)
+		}
+	}
+}
+
+func TestScaleRouters(t *testing.T) {
+	rs, err := ScaleRouters(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Size < 100 || r.Size > 5000 {
+			t.Errorf("%s scaled size = %d", r.ID, r.Size)
+		}
+	}
+	// Huge factor clamps at the 100-route floor.
+	rs, err = ScaleRouters(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Size != 100 {
+			t.Errorf("%s clamped size = %d, want 100", r.ID, r.Size)
+		}
+	}
+	if _, err := ScaleRouters(0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+}
+
+func TestGeneratedTableIsCompressible(t *testing.T) {
+	// End-to-end sanity on a scaled router profile.
+	rs, err := ScaleRouters(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib, err := Generate(rs[0].Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := onrtc.Compress(fib)
+	if table.Trie().Overlapping() {
+		t.Error("compressed generated table overlaps")
+	}
+	if table.Len() >= fib.Len() {
+		t.Errorf("no compression achieved: %d >= %d", table.Len(), fib.Len())
+	}
+}

@@ -1,0 +1,59 @@
+package fibgen
+
+import "fmt"
+
+// Router is one of the paper's 12 RIPE RIS collector profiles (Table I).
+// Size is the generated route count; real collector tables in the paper's
+// October 2011 snapshot ranged around 360K–420K entries.
+type Router struct {
+	// ID is the collector name (rrc01, rrc03, ...).
+	ID string
+	// Location is the collector's site from Table I.
+	Location string
+	// Size is the target route count for the generated table.
+	Size int
+	// Seed makes each router's table distinct but reproducible.
+	Seed int64
+}
+
+// Routers lists the paper's 12 collectors (Table I) with generated-table
+// sizes in the neighbourhood of the 2011 snapshot. Sizes can be scaled
+// down uniformly with ScaleRouters for fast test runs.
+func Routers() []Router {
+	return []Router{
+		{ID: "rrc01", Location: "LINX, London", Size: 380000, Seed: 101},
+		{ID: "rrc03", Location: "AMS-IX, Amsterdam", Size: 395000, Seed: 103},
+		{ID: "rrc04", Location: "CIXP, Geneva", Size: 402000, Seed: 104},
+		{ID: "rrc05", Location: "VIX, Vienna", Size: 388000, Seed: 105},
+		{ID: "rrc06", Location: "Otemachi, Japan", Size: 371000, Seed: 106},
+		{ID: "rrc07", Location: "Stockholm, Sweden", Size: 377000, Seed: 107},
+		{ID: "rrc11", Location: "New York (NY), USA", Size: 399000, Seed: 111},
+		{ID: "rrc12", Location: "Frankfurt, Germany", Size: 405000, Seed: 112},
+		{ID: "rrc13", Location: "Moscow, Russia", Size: 382000, Seed: 113},
+		{ID: "rrc14", Location: "Palo Alto, USA", Size: 390000, Seed: 114},
+		{ID: "rrc15", Location: "Sao Paulo, Brazil", Size: 368000, Seed: 115},
+		{ID: "rrc16", Location: "Miami, USA", Size: 386000, Seed: 116},
+	}
+}
+
+// ScaleRouters returns the 12 profiles with sizes divided by factor
+// (minimum 100 routes each), for experiments that don't need full-size
+// tables.
+func ScaleRouters(factor int) ([]Router, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("fibgen: scale factor must be >= 1, got %d", factor)
+	}
+	rs := Routers()
+	for i := range rs {
+		rs[i].Size /= factor
+		if rs[i].Size < 100 {
+			rs[i].Size = 100
+		}
+	}
+	return rs, nil
+}
+
+// Config returns the generation config for this router profile.
+func (r Router) Config() Config {
+	return Config{Seed: r.Seed, Routes: r.Size, NextHops: 16}
+}

@@ -1,0 +1,46 @@
+package ip
+
+import "testing"
+
+// FuzzParsePrefix checks that the parser never panics and that accepted
+// inputs round-trip canonically.
+func FuzzParsePrefix(f *testing.F) {
+	for _, seed := range []string{
+		"10.0.0.0/8", "0.0.0.0/0", "255.255.255.255/32", "192.0.2.0/24",
+		"1.2.3.4/33", "x/8", "10.0.0.0", "/", "10.0.0.0/", "10.0.0.0/-1",
+		"10.0.0.0/08", "010.0.0.0/8", "1.2.3.4.5/8", "4294967296.0.0.0/8",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		// Accepted prefixes must be canonical and round-trip.
+		if p.Bits&^p.Mask() != 0 {
+			t.Fatalf("non-canonical prefix from %q: %v", s, p)
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip of %q failed: %v, %v", s, back, err)
+		}
+	})
+}
+
+// FuzzParseAddr checks the address parser likewise.
+func FuzzParseAddr(f *testing.F) {
+	for _, seed := range []string{"0.0.0.0", "255.255.255.255", "1.2.3", "a.b.c.d", "1..2.3"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseAddr(a.String())
+		if err != nil || back != a {
+			t.Fatalf("round trip of %q failed", s)
+		}
+	})
+}

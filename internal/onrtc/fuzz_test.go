@@ -1,0 +1,46 @@
+package onrtc
+
+import (
+	"testing"
+
+	"clue/internal/ip"
+	"clue/internal/trie"
+)
+
+// FuzzUpdaterMatchesRebuild drives the updater with a fuzz-chosen
+// operation sequence and re-checks the central invariant: the
+// incrementally maintained compressed table is byte-for-byte the one a
+// from-scratch compression would build.
+func FuzzUpdaterMatchesRebuild(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 0, 8, 1, 2, 10, 0, 0, 0, 16, 2})
+	f.Add([]byte{0, 255, 255, 0, 0, 24, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fib := trie.New()
+		fib.Insert(ip.MustParsePrefix("10.0.0.0/8"), 1, nil)
+		u := BuildUpdater(fib)
+		// Each op consumes 7 bytes: kind, 4 addr bytes, length, hop.
+		for len(data) >= 7 {
+			kind := data[0]
+			addr := ip.Addr(uint32(data[1])<<24 | uint32(data[2])<<16 | uint32(data[3])<<8 | uint32(data[4]))
+			length := int(data[5]) % 33
+			hop := ip.NextHop(data[6]%8 + 1)
+			data = data[7:]
+			p := ip.MustPrefix(addr, length)
+			if kind%2 == 0 {
+				u.Announce(p, hop)
+			} else {
+				u.Withdraw(p)
+			}
+		}
+		want := Compress(u.FIB()).Routes()
+		got := u.Table().Routes()
+		if len(got) != len(want) {
+			t.Fatalf("incremental table has %d routes, rebuild %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("route %d: incremental %v, rebuild %v", i, got[i], want[i])
+			}
+		}
+	})
+}

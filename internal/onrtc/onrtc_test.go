@@ -1,0 +1,229 @@
+package onrtc
+
+import (
+	"math/rand"
+	"testing"
+
+	"clue/internal/ip"
+	"clue/internal/trie"
+)
+
+func pfx(s string) ip.Prefix { return ip.MustParsePrefix(s) }
+func addr(s string) ip.Addr  { return ip.MustParseAddr(s) }
+
+func buildFIB(routes ...ip.Route) *trie.Trie { return trie.FromRoutes(routes) }
+
+func rt(p string, h ip.NextHop) ip.Route {
+	return ip.Route{Prefix: pfx(p), NextHop: h}
+}
+
+// assertEquivalent checks that the compressed table computes the same
+// forwarding function as the FIB on a set of probe addresses.
+func assertEquivalent(t *testing.T, fib *trie.Trie, table *Table, probes []ip.Addr) {
+	t.Helper()
+	for _, a := range probes {
+		want, _ := fib.Lookup(a, nil)
+		got, _ := table.Lookup(a, nil)
+		if got != want {
+			t.Fatalf("lookup(%s): compressed = %d, fib = %d", a, got, want)
+		}
+	}
+}
+
+// randomProbes returns deterministic pseudo-random probe addresses plus
+// boundary addresses of every FIB prefix, which exercise the edges of each
+// compressed region.
+func randomProbes(fib *trie.Trie, n int, seed int64) []ip.Addr {
+	rng := rand.New(rand.NewSource(seed))
+	probes := make([]ip.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		probes = append(probes, ip.Addr(rng.Uint32()))
+	}
+	fib.WalkRoutes(func(r ip.Route) bool {
+		probes = append(probes, r.Prefix.First(), r.Prefix.Last())
+		return true
+	})
+	return probes
+}
+
+func TestCompressEmpty(t *testing.T) {
+	table := Compress(trie.New())
+	if table.Len() != 0 {
+		t.Errorf("empty FIB compressed to %d routes", table.Len())
+	}
+}
+
+func TestCompressSingleRoute(t *testing.T) {
+	fib := buildFIB(rt("10.0.0.0/8", 1))
+	table := Compress(fib)
+	routes := table.Routes()
+	if len(routes) != 1 || routes[0] != rt("10.0.0.0/8", 1) {
+		t.Errorf("routes = %v, want [10.0.0.0/8 -> 1]", routes)
+	}
+}
+
+func TestCompressRedundantSpecific(t *testing.T) {
+	// A more-specific with the same hop is pure redundancy.
+	fib := buildFIB(rt("10.0.0.0/8", 1), rt("10.1.0.0/16", 1))
+	table := Compress(fib)
+	if table.Len() != 1 {
+		t.Errorf("len = %d, want 1 (redundant specific collapsed): %v", table.Len(), table.Routes())
+	}
+}
+
+func TestCompressSiblingMerge(t *testing.T) {
+	// Two same-hop siblings merge into their parent.
+	fib := buildFIB(rt("10.0.0.0/9", 2), rt("10.128.0.0/9", 2))
+	table := Compress(fib)
+	routes := table.Routes()
+	if len(routes) != 1 || routes[0] != rt("10.0.0.0/8", 2) {
+		t.Errorf("routes = %v, want merged [10.0.0.0/8 -> 2]", routes)
+	}
+}
+
+func TestCompressSplitsCoveringRoute(t *testing.T) {
+	// A different-hop specific inside a covering route forces a split;
+	// the result must be disjoint and equivalent.
+	fib := buildFIB(rt("10.0.0.0/8", 1), rt("10.1.0.0/16", 2))
+	table := Compress(fib)
+	if table.Trie().Overlapping() {
+		t.Fatal("compressed table has overlapping prefixes")
+	}
+	assertEquivalent(t, fib, table, randomProbes(fib, 2000, 1))
+	// The split needs one /16 for hop 2 plus covering siblings at each
+	// level /9../16 for hop 1 — 9 total.
+	if table.Len() != 9 {
+		t.Errorf("len = %d, want 9: %v", table.Len(), table.Routes())
+	}
+}
+
+func TestCompressPaperExample(t *testing.T) {
+	// Figure 2 of the paper: p = 1* (hop A), q = 100* (child with a
+	// different hop B). Disjoint form must keep 100* -> B while covering
+	// the rest of 1* with A, and lookups must behave like LPM.
+	fib := buildFIB(
+		ip.Route{Prefix: ip.MustPrefix(ip.MustParseAddr("128.0.0.0"), 1), NextHop: 10}, // 1*
+		ip.Route{Prefix: ip.MustPrefix(ip.MustParseAddr("128.0.0.0"), 3), NextHop: 20}, // 100*
+	)
+	table := Compress(fib)
+	if table.Trie().Overlapping() {
+		t.Fatal("compressed table overlaps")
+	}
+	hop, via := table.Lookup(addr("128.0.0.1"), nil)
+	if hop != 20 || via.Len != 3 {
+		t.Errorf("lookup inside 100* = (%d, %s), want (20, /3)", hop, via)
+	}
+	hop, _ = table.Lookup(addr("192.0.0.1"), nil) // 11...
+	if hop != 10 {
+		t.Errorf("lookup inside 1* outside 100* = %d, want 10", hop)
+	}
+	hop, _ = table.Lookup(addr("1.0.0.1"), nil) // 0...
+	if hop != ip.NoRoute {
+		t.Errorf("lookup outside 1* = %d, want NoRoute (uncovered space stays uncovered)", hop)
+	}
+}
+
+func TestCompressDefaultRouteOnly(t *testing.T) {
+	fib := buildFIB(ip.Route{Prefix: ip.Prefix{}, NextHop: 7})
+	table := Compress(fib)
+	routes := table.Routes()
+	if len(routes) != 1 || routes[0].Prefix.Len != 0 || routes[0].NextHop != 7 {
+		t.Errorf("routes = %v, want [0.0.0.0/0 -> 7]", routes)
+	}
+}
+
+func TestCompressDefaultWithSpecific(t *testing.T) {
+	fib := buildFIB(ip.Route{Prefix: ip.Prefix{}, NextHop: 7}, rt("10.0.0.0/8", 1))
+	table := Compress(fib)
+	if table.Trie().Overlapping() {
+		t.Fatal("overlapping output")
+	}
+	assertEquivalent(t, fib, table, randomProbes(fib, 2000, 2))
+}
+
+// assertMinimal checks the two minimality invariants: disjointness and no
+// mergeable sibling pair (two routes at sibling prefixes with equal hops).
+func assertMinimal(t *testing.T, table *Table) {
+	t.Helper()
+	if table.Trie().Overlapping() {
+		t.Fatal("compressed table has overlapping prefixes")
+	}
+	hops := make(map[ip.Prefix]ip.NextHop)
+	for _, r := range table.Routes() {
+		hops[r.Prefix] = r.NextHop
+	}
+	for p, h := range hops {
+		if p.Len == 0 {
+			continue
+		}
+		if sh, ok := hops[p.Sibling()]; ok && sh == h {
+			t.Fatalf("mergeable sibling pair %s and %s both -> %d", p, p.Sibling(), h)
+		}
+	}
+}
+
+func TestCompressMinimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		fib := trie.New()
+		for i := 0; i < 300; i++ {
+			p := ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(17)+8)
+			fib.Insert(p, ip.NextHop(rng.Intn(4)+1), nil)
+		}
+		table := Compress(fib)
+		assertMinimal(t, table)
+		assertEquivalent(t, fib, table, randomProbes(fib, 1000, int64(trial)))
+	}
+}
+
+func TestCompressNeverLargerThanLeafPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		fib := trie.New()
+		for i := 0; i < 200; i++ {
+			fib.Insert(ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(13)+8), ip.NextHop(rng.Intn(5)+1), nil)
+		}
+		_, stats := CompressWithStats(fib)
+		if stats.Compressed > stats.LeafPushed {
+			t.Errorf("trial %d: compressed %d > leaf-pushed %d", trial, stats.Compressed, stats.LeafPushed)
+		}
+	}
+}
+
+func TestLeafPushEquivalent(t *testing.T) {
+	fib := buildFIB(rt("10.0.0.0/8", 1), rt("10.1.0.0/16", 2), rt("192.0.2.0/24", 3))
+	pushed := trie.FromRoutes(LeafPush(fib))
+	if pushed.Overlapping() {
+		t.Fatal("leaf-pushed table overlaps")
+	}
+	for _, a := range randomProbes(fib, 2000, 3) {
+		want, _ := fib.Lookup(a, nil)
+		got, _ := pushed.Lookup(a, nil)
+		if got != want {
+			t.Fatalf("leaf-push lookup(%s) = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestStatsRatios(t *testing.T) {
+	s := Stats{Original: 100, Compressed: 71, LeafPushed: 150}
+	if s.Ratio() != 0.71 {
+		t.Errorf("Ratio = %v", s.Ratio())
+	}
+	if s.ExpansionRatio() != 1.5 {
+		t.Errorf("ExpansionRatio = %v", s.ExpansionRatio())
+	}
+	zero := Stats{}
+	if zero.Ratio() != 0 || zero.ExpansionRatio() != 0 {
+		t.Error("zero stats should have zero ratios")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpDelete.String() != "delete" || OpModify.String() != "modify" {
+		t.Error("OpKind names wrong")
+	}
+	if OpKind(99).String() != "OpKind(99)" {
+		t.Errorf("unknown kind = %q", OpKind(99).String())
+	}
+}

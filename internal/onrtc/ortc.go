@@ -1,0 +1,100 @@
+package onrtc
+
+import (
+	"math/bits"
+
+	"clue/internal/ip"
+	"clue/internal/trie"
+)
+
+// ORTC computes the classic Optimal Routing Table Constructor result
+// (Draves, King, Venkatachary & Zill, INFOCOM 1999): the smallest table
+// — overlaps allowed — whose longest-prefix-match function equals fib's.
+// It is the compression baseline the paper's related work compares ONRTC
+// against: ORTC compresses harder, but its output still overlaps, so it
+// inherits every TCAM problem (length ordering, priority encoder, domino
+// updates) that ONRTC eliminates.
+//
+// The implementation is the standard three passes fused into two
+// recursions over a shadow tree, with candidate next-hop sets as bit
+// masks (bit 0 encodes "no route", so partially covered tables work: a
+// bit-0 emission below a covering route becomes an explicit null entry,
+// counted like any other, which is how a TCAM would realise it).
+//
+// Next hops must be < 64 for the mask representation; larger hop spaces
+// return ok=false.
+func ORTC(fib *trie.Trie) (routes []ip.Route, ok bool) {
+	maxHop := ip.NextHop(0)
+	fib.WalkRoutes(func(r ip.Route) bool {
+		if r.NextHop > maxHop {
+			maxHop = r.NextHop
+		}
+		return true
+	})
+	if maxHop >= 64 {
+		return nil, false
+	}
+	shadow := buildMasks(fib.Root(), ip.NoRoute)
+	emitORTC(shadow, ip.Prefix{}, ip.NoRoute, false, &routes)
+	return routes, true
+}
+
+// maskNode is the shadow tree: candidate hop sets from the bottom-up
+// pass (Draves' pass 2, with pass 1's inheritance folded in).
+type maskNode struct {
+	mask     uint64
+	children [2]*maskNode
+}
+
+// hopBit encodes a next hop (or NoRoute) as a mask bit.
+func hopBit(h ip.NextHop) uint64 { return 1 << uint64(h) }
+
+// buildMasks runs the bottom-up candidate-set computation: a missing
+// subtree is a leaf inheriting the covering hop; an internal node's set
+// is the intersection of its children's when non-empty, else the union.
+func buildMasks(n *trie.Node, inh ip.NextHop) *maskNode {
+	if n == nil {
+		return &maskNode{mask: hopBit(inh)}
+	}
+	if n.Hop != ip.NoRoute {
+		inh = n.Hop
+	}
+	if n.IsLeaf() {
+		return &maskNode{mask: hopBit(inh)}
+	}
+	l := buildMasks(n.Children[0], inh)
+	r := buildMasks(n.Children[1], inh)
+	m := l.mask & r.mask
+	if m == 0 {
+		m = l.mask | r.mask
+	}
+	return &maskNode{mask: m, children: [2]*maskNode{l, r}}
+}
+
+// emitORTC is the top-down selection pass: a node inherits the selection
+// of its nearest emitting ancestor; if that selection is in the node's
+// candidate set nothing is emitted here, otherwise the node emits one of
+// its candidates and that becomes the selection below.
+//
+// haveSel distinguishes "no ancestor emitted anything" from "ancestor
+// emitted the null route": at the root nothing is selected yet, and
+// matching a bit-0 candidate against it must still emit nothing (absence
+// of a route already encodes NoRoute).
+func emitORTC(sn *maskNode, p ip.Prefix, sel ip.NextHop, haveSel bool, out *[]ip.Route) {
+	inherited := hopBit(sel)
+	if !haveSel {
+		inherited = hopBit(ip.NoRoute) // absence behaves like a null route
+	}
+	if sn.mask&inherited == 0 {
+		// Must emit: pick the lowest candidate (any member is optimal).
+		h := ip.NextHop(bits.TrailingZeros64(sn.mask))
+		*out = append(*out, ip.Route{Prefix: p, NextHop: h})
+		sel, haveSel = h, true
+	}
+	if sn.children[0] != nil {
+		emitORTC(sn.children[0], p.Child(0), sel, haveSel, out)
+	}
+	if sn.children[1] != nil {
+		emitORTC(sn.children[1], p.Child(1), sel, haveSel, out)
+	}
+}

@@ -1,0 +1,159 @@
+package onrtc
+
+import (
+	"math/rand"
+	"testing"
+
+	"clue/internal/ip"
+	"clue/internal/trie"
+)
+
+// ortcLookup does LPM over an ORTC table, honouring null entries: a
+// matched entry with NextHop 0 means "no route", shadowing any shorter
+// match — exactly how a TCAM realises a deny entry.
+func ortcLookup(routes []ip.Route, a ip.Addr) ip.NextHop {
+	best := ip.NoRoute
+	bestLen := -1
+	matched := false
+	for _, r := range routes {
+		if r.Prefix.Contains(a) && int(r.Prefix.Len) > bestLen {
+			best, bestLen = r.NextHop, int(r.Prefix.Len)
+			matched = true
+		}
+	}
+	_ = matched
+	return best
+}
+
+func TestORTCSingleRoute(t *testing.T) {
+	fib := buildFIB(rt("10.0.0.0/8", 1))
+	routes, ok := ORTC(fib)
+	if !ok {
+		t.Fatal("ORTC refused small hop space")
+	}
+	if len(routes) != 1 || routes[0] != rt("10.0.0.0/8", 1) {
+		t.Errorf("routes = %v", routes)
+	}
+}
+
+func TestORTCCollapsesRedundancy(t *testing.T) {
+	// The classic win: a default route plus specifics sharing its hop.
+	fib := buildFIB(
+		ip.Route{Prefix: ip.Prefix{}, NextHop: 1},
+		rt("10.0.0.0/8", 1),
+		rt("11.0.0.0/8", 2),
+	)
+	routes, ok := ORTC(fib)
+	if !ok {
+		t.Fatal("refused")
+	}
+	if len(routes) != 2 {
+		t.Errorf("ORTC produced %d routes, want 2 (default + 11/8): %v", len(routes), routes)
+	}
+}
+
+func TestORTCBeatsExplicitSiblings(t *testing.T) {
+	// Two siblings with different hops under no cover: ORTC can emit a
+	// short route for one hop and one longer override — 2 entries, like
+	// the original; ONRTC needs 2 as well. With three-quarters one hop:
+	// ORTC should use a cover + override (2) where disjoint needs 3.
+	fib := buildFIB(
+		rt("8.0.0.0/7", 1),  // 0000100*
+		rt("10.0.0.0/8", 1), // adjacent, same hop
+		rt("11.0.0.0/8", 2),
+	)
+	ortcRoutes, ok := ORTC(fib)
+	if !ok {
+		t.Fatal("refused")
+	}
+	onrtcLen := Compress(fib).Len()
+	if len(ortcRoutes) > onrtcLen {
+		t.Errorf("ORTC (%d) larger than ONRTC (%d)", len(ortcRoutes), onrtcLen)
+	}
+	if len(ortcRoutes) > fib.Len() {
+		t.Errorf("ORTC (%d) larger than original (%d)", len(ortcRoutes), fib.Len())
+	}
+}
+
+func TestORTCRefusesLargeHopSpace(t *testing.T) {
+	fib := buildFIB(ip.Route{Prefix: ip.MustParsePrefix("10.0.0.0/8"), NextHop: 64})
+	if _, ok := ORTC(fib); ok {
+		t.Error("hop 64 accepted (mask overflow)")
+	}
+}
+
+func TestORTCEmptyFIB(t *testing.T) {
+	routes, ok := ORTC(trie.New())
+	if !ok || len(routes) != 0 {
+		t.Errorf("empty FIB: (%v, %v)", routes, ok)
+	}
+}
+
+// TestORTCEquivalentAndNoLarger is the core property: on random tables
+// the ORTC output forwards identically (null entries honoured) and never
+// exceeds the original or the ONRTC size.
+func TestORTCEquivalentAndNoLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		fib := trie.New()
+		for i := 0; i < 250; i++ {
+			fib.Insert(ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(17)+8), ip.NextHop(rng.Intn(6)+1), nil)
+		}
+		if trial%3 == 0 {
+			fib.Insert(ip.Prefix{}, 7, nil) // sometimes a default route
+		}
+		routes, ok := ORTC(fib)
+		if !ok {
+			t.Fatal("refused")
+		}
+		if len(routes) > fib.Len() {
+			t.Errorf("trial %d: ORTC %d > original %d", trial, len(routes), fib.Len())
+		}
+		if onrtcLen := Compress(fib).Len(); len(routes) > onrtcLen {
+			t.Errorf("trial %d: ORTC %d > ONRTC %d (extra constraint cannot help)", trial, len(routes), onrtcLen)
+		}
+		for i := 0; i < 800; i++ {
+			a := ip.Addr(rng.Uint32())
+			want, _ := fib.Lookup(a, nil)
+			if got := ortcLookup(routes, a); got != want {
+				t.Fatalf("trial %d: lookup(%s) = %d, want %d", trial, a, got, want)
+			}
+		}
+		// Boundary probes.
+		fib.WalkRoutes(func(r ip.Route) bool {
+			for _, a := range []ip.Addr{r.Prefix.First(), r.Prefix.Last()} {
+				want, _ := fib.Lookup(a, nil)
+				if got := ortcLookup(routes, a); got != want {
+					t.Fatalf("trial %d: boundary lookup(%s) = %d, want %d", trial, a, got, want)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestORTCCompressesRealisticTables(t *testing.T) {
+	// On hop-correlated tables ORTC should compress strictly harder than
+	// ONRTC (it may exploit overlap).
+	fib := trie.New()
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < 100; i++ {
+		base := ip.Addr(rng.Uint32()) & 0xFFFF0000
+		h := ip.NextHop(rng.Intn(3) + 1)
+		fib.Insert(ip.MustPrefix(base, 16), h, nil)
+		for j := 0; j < 6; j++ {
+			fib.Insert(ip.MustPrefix(base+ip.Addr(rng.Intn(256))<<8, 24), h, nil)
+		}
+	}
+	ortcRoutes, ok := ORTC(fib)
+	if !ok {
+		t.Fatal("refused")
+	}
+	onrtcLen := Compress(fib).Len()
+	if len(ortcRoutes) > onrtcLen {
+		t.Errorf("ORTC %d > ONRTC %d on correlated table", len(ortcRoutes), onrtcLen)
+	}
+	if len(ortcRoutes) >= fib.Len() {
+		t.Errorf("no compression: ORTC %d >= original %d", len(ortcRoutes), fib.Len())
+	}
+}

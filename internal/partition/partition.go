@@ -1,0 +1,349 @@
+// Package partition implements the three routing-table partitioning
+// algorithms the paper compares (§III.A, Figure 9):
+//
+//   - CLUE: the compressed table is disjoint, so an inorder traversal
+//     yields routes sorted by address range; cutting every ⌈M/n⌉ routes
+//     gives exactly even partitions with zero redundancy, and the cut
+//     points double as the Indexing Logic's range table.
+//   - Sub-tree (CLPL, Lin et al.): carve the FIB trie into subtrees of
+//     bounded size; covering routes on the path above each carved subtree
+//     must be replicated into it so LPM inside the partition stays
+//     correct — that replication is CLPL's static redundancy.
+//   - ID-bit (SLPL / CoolCAMs bit-selection, Zane et al.): greedily pick
+//     address bits whose values index 2^k buckets; prefixes shorter than
+//     a selected bit position are replicated into both halves, and bucket
+//     sizes end up uneven.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"clue/internal/ip"
+	"clue/internal/trie"
+)
+
+// Partition is one TCAM partition: its routes, its address range (for
+// range-indexed schemes) and how many of its routes are redundant copies.
+type Partition struct {
+	// ID is the partition's position in the layout.
+	ID int
+	// Routes are the entries stored in this partition, replicas included.
+	Routes []ip.Route
+	// Low and High bound the addresses this partition is responsible
+	// for (meaningful for range-indexed schemes; zero otherwise).
+	Low, High ip.Addr
+	// Redundant counts routes that are copies of routes owned by another
+	// partition (or by an ancestor scope).
+	Redundant int
+	// Root is the carved subtree's root prefix for sub-tree partitions
+	// (the residual partition's root is the default route); unused by
+	// the other schemes.
+	Root ip.Prefix
+}
+
+// Size returns the partition's total entry count including replicas.
+func (p Partition) Size() int { return len(p.Routes) }
+
+// Result is the outcome of a partitioning run.
+type Result struct {
+	// Algorithm names the scheme ("clue", "subtree", "idbit").
+	Algorithm string
+	// Parts are the partitions in layout order.
+	Parts []Partition
+	// Bits holds the address bit positions the ID-bit scheme selected
+	// (ascending); empty for the other schemes. Bucket i of an address
+	// is formed by concatenating these bits' values.
+	Bits []int
+}
+
+// TotalEntries sums partition sizes (replicas included).
+func (r Result) TotalEntries() int {
+	total := 0
+	for _, p := range r.Parts {
+		total += p.Size()
+	}
+	return total
+}
+
+// TotalRedundant sums replicated entries across partitions.
+func (r Result) TotalRedundant() int {
+	total := 0
+	for _, p := range r.Parts {
+		total += p.Redundant
+	}
+	return total
+}
+
+// MaxSize returns the largest partition size.
+func (r Result) MaxSize() int {
+	max := 0
+	for _, p := range r.Parts {
+		if p.Size() > max {
+			max = p.Size()
+		}
+	}
+	return max
+}
+
+// MinSize returns the smallest partition size.
+func (r Result) MinSize() int {
+	if len(r.Parts) == 0 {
+		return 0
+	}
+	min := r.Parts[0].Size()
+	for _, p := range r.Parts[1:] {
+		if p.Size() < min {
+			min = p.Size()
+		}
+	}
+	return min
+}
+
+// Imbalance returns MaxSize/mean — 1.0 is a perfectly even split.
+func (r Result) Imbalance() float64 {
+	if len(r.Parts) == 0 || r.TotalEntries() == 0 {
+		return 0
+	}
+	mean := float64(r.TotalEntries()) / float64(len(r.Parts))
+	return float64(r.MaxSize()) / mean
+}
+
+// Index is the Indexing Logic's range table for CLUE partitions: it maps
+// a destination address to the partition whose range contains it, by
+// binary search over partition start addresses.
+type Index struct {
+	starts []ip.Addr
+}
+
+// Lookup returns the partition number responsible for addr.
+func (ix *Index) Lookup(addr ip.Addr) int {
+	// Find the last start <= addr.
+	lo, hi := 0, len(ix.starts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if ix.starts[mid] <= addr {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Len returns the number of indexed partitions.
+func (ix *Index) Len() int { return len(ix.starts) }
+
+// CLUE splits a disjoint route list into n even partitions and builds the
+// range index. The routes must be sorted by address (as Table.Routes
+// returns them) and pairwise disjoint; n must be in [1, len(routes)] —
+// with fewer routes than partitions an error is returned.
+func CLUE(routes []ip.Route, n int) (Result, *Index, error) {
+	if n < 1 {
+		return Result{}, nil, fmt.Errorf("partition: need n >= 1, got %d", n)
+	}
+	if len(routes) < n {
+		return Result{}, nil, fmt.Errorf("partition: %d routes cannot fill %d partitions", len(routes), n)
+	}
+	for i := 1; i < len(routes); i++ {
+		if routes[i-1].Prefix.Compare(routes[i].Prefix) >= 0 {
+			return Result{}, nil, fmt.Errorf("partition: routes not sorted at %d", i)
+		}
+	}
+	res := Result{Algorithm: "clue", Parts: make([]Partition, 0, n)}
+	ix := &Index{starts: make([]ip.Addr, 0, n)}
+	// Distribute remainder one-per-partition so sizes differ by at most 1.
+	base, rem := len(routes)/n, len(routes)%n
+	pos := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		chunk := routes[pos : pos+size]
+		pos += size
+		part := Partition{ID: i, Routes: chunk}
+		if i == 0 {
+			part.Low = 0
+		} else {
+			part.Low = chunk[0].Prefix.First()
+		}
+		if i == n-1 {
+			part.High = ip.Addr(math.MaxUint32)
+		} else {
+			part.High = routes[pos].Prefix.First() - 1
+		}
+		ix.starts = append(ix.starts, part.Low)
+		res.Parts = append(res.Parts, part)
+	}
+	return res, ix, nil
+}
+
+// SubTree implements CLPL's sub-tree partition over the (possibly
+// overlapping) FIB trie: post-order carving of subtrees once they hold at
+// least target = ⌈M/n⌉ routes, replicating covering ancestor routes into
+// each carved partition. The residue at the root becomes the final
+// partition. The number of produced partitions is data-dependent and
+// roughly n.
+func SubTree(fib *trie.Trie, n int) (Result, error) {
+	if n < 1 {
+		return Result{}, fmt.Errorf("partition: need n >= 1, got %d", n)
+	}
+	if fib.Len() == 0 {
+		return Result{}, fmt.Errorf("partition: empty table")
+	}
+	target := (fib.Len() + n - 1) / n
+	c := &carver{target: target}
+	rest := c.carve(fib.Root(), nil)
+	if len(rest.routes) > 0 || len(c.parts) == 0 {
+		c.emit(ip.Prefix{}, rest.routes, nil)
+	}
+	res := Result{Algorithm: "subtree", Parts: c.parts}
+	return res, nil
+}
+
+// carver accumulates sub-tree partitions during the post-order walk.
+type carver struct {
+	target int
+	parts  []Partition
+}
+
+// pending is the set of not-yet-carved routes in a subtree.
+type pending struct {
+	routes []ip.Route
+}
+
+// carve walks post-order. ancestors is the stack of routes on the path
+// above n (the covering routes that must be replicated into any partition
+// carved at or below n).
+func (c *carver) carve(n *trie.Node, ancestors []ip.Route) pending {
+	if n == nil {
+		return pending{}
+	}
+	self := ancestors
+	if n.Hop != ip.NoRoute {
+		self = append(append([]ip.Route(nil), ancestors...), ip.Route{Prefix: n.Prefix, NextHop: n.Hop})
+	}
+	left := c.carve(n.Children[0], self)
+	right := c.carve(n.Children[1], self)
+	merged := pending{routes: append(left.routes, right.routes...)}
+	if n.Hop != ip.NoRoute {
+		merged.routes = append(merged.routes, ip.Route{Prefix: n.Prefix, NextHop: n.Hop})
+	}
+	if len(merged.routes) >= c.target {
+		c.emit(n.Prefix, merged.routes, ancestors)
+		return pending{}
+	}
+	return merged
+}
+
+// emit records a partition holding routes plus replicated covers.
+func (c *carver) emit(root ip.Prefix, routes []ip.Route, covers []ip.Route) {
+	part := Partition{ID: len(c.parts), Root: root, Routes: append([]ip.Route(nil), routes...)}
+	for _, r := range covers {
+		part.Routes = append(part.Routes, r)
+		part.Redundant++
+	}
+	c.parts = append(c.parts, part)
+}
+
+// IDBit implements SLPL's bit-selection partitioning into 2^k buckets.
+// Bits are chosen greedily (from the first 16 address bit positions) to
+// minimise the largest bucket after each selection. Prefixes shorter than
+// a chosen bit position are replicated into both halves.
+func IDBit(routes []ip.Route, k int) (Result, error) {
+	if k < 0 || k > 8 {
+		return Result{}, fmt.Errorf("partition: idbit k must be in [0,8], got %d", k)
+	}
+	if len(routes) == 0 {
+		return Result{}, fmt.Errorf("partition: empty table")
+	}
+	var chosen []int
+	remaining := make([]int, 0, 16)
+	for b := 0; b < 16; b++ {
+		remaining = append(remaining, b)
+	}
+	for len(chosen) < k {
+		bestBit, bestMax := -1, math.MaxInt
+		for _, b := range remaining {
+			max := maxBucket(routes, append(chosen, b))
+			if max < bestMax {
+				bestMax, bestBit = max, b
+			}
+		}
+		chosen = append(chosen, bestBit)
+		for i, b := range remaining {
+			if b == bestBit {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+	}
+	sort.Ints(chosen)
+	parts := make([]Partition, 1<<k)
+	for i := range parts {
+		parts[i].ID = i
+	}
+	for _, r := range routes {
+		ids := bucketIDs(r.Prefix, chosen)
+		for _, id := range ids {
+			parts[id].Routes = append(parts[id].Routes, r)
+			if len(ids) > 1 {
+				parts[id].Redundant++
+			}
+		}
+		// Exactly one copy is the original; the rest are redundant.
+		if len(ids) > 1 {
+			parts[ids[0]].Redundant--
+		}
+	}
+	return Result{Algorithm: "idbit", Parts: parts, Bits: chosen}, nil
+}
+
+// maxBucket sizes the largest bucket under a candidate bit set.
+func maxBucket(routes []ip.Route, bits []int) int {
+	counts := make(map[int]int)
+	max := 0
+	for _, r := range routes {
+		for _, id := range bucketIDs(r.Prefix, bits) {
+			counts[id]++
+			if counts[id] > max {
+				max = counts[id]
+			}
+		}
+	}
+	return max
+}
+
+// bucketIDs enumerates the buckets prefix p falls into: one per
+// combination of values of the chosen bits that p leaves unspecified.
+func bucketIDs(p ip.Prefix, bits []int) []int {
+	ids := []int{0}
+	for _, b := range bits {
+		if b < int(p.Len) {
+			v := int(p.Bits.Bit(b))
+			for i := range ids {
+				ids[i] = ids[i]<<1 | v
+			}
+			continue
+		}
+		// Unspecified bit: replicate into both halves.
+		doubled := make([]int, 0, len(ids)*2)
+		for _, id := range ids {
+			doubled = append(doubled, id<<1, id<<1|1)
+		}
+		ids = doubled
+	}
+	return ids
+}
+
+// BucketOf returns the ID-bit bucket an address falls into under the
+// given selected bit positions (ascending order, as Result.Bits).
+func BucketOf(addr ip.Addr, bits []int) int {
+	id := 0
+	for _, b := range bits {
+		id = id<<1 | int(addr.Bit(b))
+	}
+	return id
+}

@@ -1,0 +1,353 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clue/internal/ip"
+	"clue/internal/onrtc"
+	"clue/internal/trie"
+)
+
+func pfx(s string) ip.Prefix { return ip.MustParsePrefix(s) }
+func addr(s string) ip.Addr  { return ip.MustParseAddr(s) }
+
+// disjointRoutes builds a deterministic disjoint sorted route list by
+// compressing a random FIB.
+func disjointRoutes(t *testing.T, n int, seed int64) []ip.Route {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	fib := trie.New()
+	for fibLen := 0; fibLen < n*2; fibLen++ {
+		fib.Insert(ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(9)+16), ip.NextHop(rng.Intn(64)+1), nil)
+	}
+	routes := onrtc.Compress(fib).Routes()
+	if len(routes) < n {
+		t.Fatalf("generated only %d disjoint routes, need %d", len(routes), n)
+	}
+	return routes
+}
+
+func TestCLUEEvenSplit(t *testing.T) {
+	routes := disjointRoutes(t, 100, 1)
+	res, ix, err := CLUE(routes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 4 {
+		t.Fatalf("got %d partitions, want 4", len(res.Parts))
+	}
+	if res.MaxSize()-res.MinSize() > 1 {
+		t.Errorf("sizes not even: max %d min %d", res.MaxSize(), res.MinSize())
+	}
+	if res.TotalRedundant() != 0 {
+		t.Errorf("CLUE introduced %d redundant entries, want 0", res.TotalRedundant())
+	}
+	if res.TotalEntries() != len(routes) {
+		t.Errorf("entries = %d, want %d", res.TotalEntries(), len(routes))
+	}
+	if ix.Len() != 4 {
+		t.Errorf("index len = %d, want 4", ix.Len())
+	}
+	if res.Imbalance() > 1.05 {
+		t.Errorf("imbalance = %v, want ≈1", res.Imbalance())
+	}
+}
+
+func TestCLUEIndexRoutesToOwningPartition(t *testing.T) {
+	routes := disjointRoutes(t, 200, 2)
+	res, ix, err := CLUE(routes, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every route's entire range must index to the partition holding it.
+	for pi, part := range res.Parts {
+		for _, r := range part.Routes {
+			for _, a := range []ip.Addr{r.Prefix.First(), r.Prefix.Last()} {
+				if got := ix.Lookup(a); got != pi {
+					t.Fatalf("index sends %s (route %s) to partition %d, stored in %d", a, r.Prefix, got, pi)
+				}
+			}
+		}
+	}
+}
+
+func TestCLUEIndexCoversFullSpace(t *testing.T) {
+	routes := disjointRoutes(t, 64, 3)
+	res, ix, err := CLUE(routes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parts[0].Low != 0 {
+		t.Errorf("first partition Low = %s, want 0.0.0.0", res.Parts[0].Low)
+	}
+	if res.Parts[3].High != ip.Addr(math.MaxUint32) {
+		t.Errorf("last partition High = %s, want 255.255.255.255", res.Parts[3].High)
+	}
+	if got := ix.Lookup(0); got != 0 {
+		t.Errorf("Lookup(0) = %d, want 0", got)
+	}
+	if got := ix.Lookup(ip.Addr(math.MaxUint32)); got != 3 {
+		t.Errorf("Lookup(max) = %d, want 3", got)
+	}
+	// Ranges must tile the space without gaps.
+	for i := 1; i < len(res.Parts); i++ {
+		if res.Parts[i].Low != res.Parts[i-1].High+1 {
+			t.Errorf("gap between partition %d (high %s) and %d (low %s)", i-1, res.Parts[i-1].High, i, res.Parts[i].Low)
+		}
+	}
+}
+
+func TestCLUEValidation(t *testing.T) {
+	routes := disjointRoutes(t, 10, 4)
+	if _, _, err := CLUE(routes, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := CLUE(routes[:2], 5); err == nil {
+		t.Error("fewer routes than partitions accepted")
+	}
+	// Unsorted input must be rejected.
+	bad := []ip.Route{
+		{Prefix: pfx("11.0.0.0/8"), NextHop: 1},
+		{Prefix: pfx("10.0.0.0/8"), NextHop: 2},
+	}
+	if _, _, err := CLUE(bad, 1); err == nil {
+		t.Error("unsorted routes accepted")
+	}
+}
+
+func TestCLUESinglePartition(t *testing.T) {
+	routes := disjointRoutes(t, 10, 5)
+	res, ix, err := CLUE(routes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 1 || res.Parts[0].Size() != len(routes) {
+		t.Errorf("single partition wrong: %d parts, size %d", len(res.Parts), res.Parts[0].Size())
+	}
+	if ix.Lookup(addr("128.0.0.0")) != 0 {
+		t.Error("single-partition index should always return 0")
+	}
+}
+
+func TestSubTreeCoversAllRoutesWithReplicas(t *testing.T) {
+	fib := trie.New()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		fib.Insert(ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(17)+8), ip.NextHop(rng.Intn(8)+1), nil)
+	}
+	res, err := SubTree(fib, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) < 2 {
+		t.Fatalf("sub-tree produced %d partitions", len(res.Parts))
+	}
+	// Total entries = original + redundancy; every original route appears.
+	if res.TotalEntries() != fib.Len()+res.TotalRedundant() {
+		t.Errorf("entries %d != routes %d + redundant %d", res.TotalEntries(), fib.Len(), res.TotalRedundant())
+	}
+	seen := map[ip.Route]bool{}
+	for _, p := range res.Parts {
+		for _, r := range p.Routes {
+			seen[r] = true
+		}
+	}
+	for _, r := range fib.Routes() {
+		if !seen[r] {
+			t.Errorf("route %v missing from all partitions", r)
+		}
+	}
+}
+
+func TestSubTreeReplicatesCoveringRoutes(t *testing.T) {
+	// A deep covering chain: the /8 covers everything; carved subtrees
+	// below it must carry a copy.
+	fib := trie.New()
+	fib.Insert(pfx("10.0.0.0/8"), 1, nil)
+	for i := 0; i < 64; i++ {
+		fib.Insert(ip.MustPrefix(ip.MustParseAddr("10.0.0.0")+ip.Addr(i)<<8, 24), ip.NextHop(i%4+1), nil)
+	}
+	res, err := SubTree(fib, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRedundant() == 0 {
+		t.Error("sub-tree partition of a covered trie reported zero redundancy")
+	}
+}
+
+func TestSubTreeLPMCorrectWithinHomePartition(t *testing.T) {
+	// The partition responsible for an address (the one holding its
+	// longest-match route) must produce the same LPM answer as the full
+	// table — that's what replication buys.
+	fib := trie.New()
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 300; i++ {
+		fib.Insert(ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(17)+8), ip.NextHop(rng.Intn(8)+1), nil)
+	}
+	res, err := SubTree(fib, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partTries := make([]*trie.Trie, len(res.Parts))
+	owner := map[ip.Prefix]int{}
+	for i, p := range res.Parts {
+		partTries[i] = trie.FromRoutes(p.Routes)
+		for j, r := range p.Routes {
+			// Owned routes come first; replicas appended after.
+			if j < len(p.Routes)-p.Redundant {
+				owner[r.Prefix] = i
+			}
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		a := ip.Addr(rng.Uint32())
+		want, via := fib.Lookup(a, nil)
+		if want == ip.NoRoute {
+			continue
+		}
+		home, ok := owner[via]
+		if !ok {
+			t.Fatalf("no owner for matched prefix %s", via)
+		}
+		got, _ := partTries[home].Lookup(a, nil)
+		if got != want {
+			t.Fatalf("partition %d lookup(%s) = %d, full table %d", home, a, got, want)
+		}
+	}
+}
+
+func TestSubTreeValidation(t *testing.T) {
+	if _, err := SubTree(trie.New(), 4); err == nil {
+		t.Error("empty table accepted")
+	}
+	fib := trie.New()
+	fib.Insert(pfx("10.0.0.0/8"), 1, nil)
+	if _, err := SubTree(fib, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	res, err := SubTree(fib, 1)
+	if err != nil || res.TotalEntries() != 1 {
+		t.Errorf("single-route subtree: %v, %v", res, err)
+	}
+}
+
+func TestIDBitBucketsAndReplication(t *testing.T) {
+	routes := []ip.Route{
+		{Prefix: pfx("0.0.0.0/8"), NextHop: 1},   // bit0 = 0
+		{Prefix: pfx("128.0.0.0/8"), NextHop: 2}, // bit0 = 1
+		{Prefix: pfx("0.0.0.0/0"), NextHop: 3},   // unspecified -> both
+	}
+	res, err := IDBit(routes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(res.Parts))
+	}
+	if res.TotalEntries() != 4 {
+		t.Errorf("entries = %d, want 4 (one replica)", res.TotalEntries())
+	}
+	if res.TotalRedundant() != 1 {
+		t.Errorf("redundant = %d, want 1", res.TotalRedundant())
+	}
+}
+
+func TestIDBitKZero(t *testing.T) {
+	routes := []ip.Route{{Prefix: pfx("10.0.0.0/8"), NextHop: 1}}
+	res, err := IDBit(routes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 1 || res.Parts[0].Size() != 1 {
+		t.Errorf("k=0 result: %+v", res)
+	}
+}
+
+func TestIDBitValidation(t *testing.T) {
+	routes := []ip.Route{{Prefix: pfx("10.0.0.0/8"), NextHop: 1}}
+	if _, err := IDBit(routes, -1); err == nil {
+		t.Error("k=-1 accepted")
+	}
+	if _, err := IDBit(routes, 9); err == nil {
+		t.Error("k=9 accepted")
+	}
+	if _, err := IDBit(nil, 2); err == nil {
+		t.Error("empty routes accepted")
+	}
+}
+
+func TestIDBitCoversAllRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var routes []ip.Route
+	for i := 0; i < 300; i++ {
+		routes = append(routes, ip.Route{
+			Prefix:  ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(17)+8),
+			NextHop: ip.NextHop(rng.Intn(8) + 1),
+		})
+	}
+	res, err := IDBit(routes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 8 {
+		t.Fatalf("buckets = %d, want 8", len(res.Parts))
+	}
+	if res.TotalEntries() < len(routes) {
+		t.Errorf("entries %d < routes %d", res.TotalEntries(), len(routes))
+	}
+}
+
+// TestAlgorithmComparison reproduces the Figure 9 shape: CLUE even with
+// zero redundancy; sub-tree redundancy > 0; ID-bit uneven.
+func TestAlgorithmComparison(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	fib := trie.New()
+	// A hierarchical table with covering routes, like a real FIB: one /8
+	// covering many /16s, each covering several /24s, so that carve
+	// points land below covering routes.
+	fib.Insert(pfx("10.0.0.0/8"), 1, nil)
+	for i := 0; i < 64; i++ {
+		base := ip.MustParseAddr("10.0.0.0") + ip.Addr(rng.Intn(256))<<16
+		fib.Insert(ip.MustPrefix(base, 16), ip.NextHop(rng.Intn(8)+1), nil)
+		for j := 0; j < 8; j++ {
+			fib.Insert(ip.MustPrefix(base+ip.Addr(rng.Intn(256))<<8, 24), ip.NextHop(rng.Intn(8)+1), nil)
+		}
+	}
+	comp := onrtc.Compress(fib).Routes()
+
+	clueRes, _, err := CLUE(comp, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stRes, err := SubTree(fib, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idRes, err := IDBit(fib.Routes(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if clueRes.TotalRedundant() != 0 {
+		t.Errorf("CLUE redundancy = %d, want 0", clueRes.TotalRedundant())
+	}
+	if clueRes.Imbalance() > 1.05 {
+		t.Errorf("CLUE imbalance = %v", clueRes.Imbalance())
+	}
+	if stRes.TotalRedundant() == 0 {
+		t.Error("sub-tree reported zero redundancy on a covered trie")
+	}
+	if idRes.Imbalance() <= clueRes.Imbalance() {
+		t.Errorf("ID-bit imbalance %v should exceed CLUE's %v", idRes.Imbalance(), clueRes.Imbalance())
+	}
+}
+
+func TestResultAccessorsEmpty(t *testing.T) {
+	var r Result
+	if r.MaxSize() != 0 || r.MinSize() != 0 || r.Imbalance() != 0 || r.TotalEntries() != 0 {
+		t.Error("empty result accessors should all be 0")
+	}
+}

@@ -1,0 +1,257 @@
+// Package patricia implements a path-compressed binary trie (Patricia /
+// radix tree) over IPv4 prefixes, API-compatible with the control-plane
+// operations of internal/trie.
+//
+// The paper prices control-plane work in SRAM accesses per touched trie
+// node. A unibit trie touches one node per prefix bit (≈24 for a /24);
+// path compression touches one node per *branching point*, which on real
+// tables is 3–6× fewer. The package exists to quantify that design
+// choice (see the control-plane ablation in internal/experiments): CLUE's
+// TTF1 disadvantage against plain tries shrinks when the control plane
+// stores its trie path-compressed.
+//
+// Invariants: every node's prefix extends its parent's; a node carries a
+// route iff Hop != NoRoute; non-root nodes with fewer than two children
+// and no route are merged away (no redundant internal nodes).
+package patricia
+
+import (
+	"clue/internal/ip"
+	"clue/internal/trie"
+)
+
+// node is a Patricia node covering the block `prefix`.
+type node struct {
+	prefix   ip.Prefix
+	hop      ip.NextHop
+	children [2]*node
+}
+
+// Trie is a path-compressed prefix tree with longest-prefix-match
+// lookup. The zero value is not usable; call New.
+type Trie struct {
+	root   *node
+	routes int
+}
+
+// New returns an empty Patricia trie.
+func New() *Trie {
+	return &Trie{root: &node{prefix: ip.Prefix{}}}
+}
+
+// Len returns the number of stored routes.
+func (t *Trie) Len() int { return t.routes }
+
+// visit charges one node touch.
+func visit(v *trie.Visits) {
+	if v != nil {
+		v.Nodes++
+	}
+}
+
+// commonLen returns the length of the longest common prefix of a and b,
+// capped at limit.
+func commonLen(a, b ip.Addr, limit int) int {
+	x := uint32(a ^ b)
+	n := 0
+	for n < limit && x&(1<<(31-uint32(n))) == 0 {
+		n++
+	}
+	return n
+}
+
+// Insert adds or replaces the route for p, returning the previous hop.
+func (t *Trie) Insert(p ip.Prefix, hop ip.NextHop, v *trie.Visits) ip.NextHop {
+	n := t.root
+	visit(v)
+	for {
+		if n.prefix == p {
+			prev := n.hop
+			n.hop = hop
+			if prev == ip.NoRoute && hop != ip.NoRoute {
+				t.routes++
+			}
+			return prev
+		}
+		bit := p.Bits.Bit(int(n.prefix.Len))
+		child := n.children[bit]
+		if child == nil {
+			n.children[bit] = &node{prefix: p, hop: hop}
+			t.routes++
+			return ip.NoRoute
+		}
+		visit(v)
+		// How far does p agree with the child's prefix?
+		limit := int(child.prefix.Len)
+		if int(p.Len) < limit {
+			limit = int(p.Len)
+		}
+		cl := commonLen(p.Bits, child.prefix.Bits, limit)
+		switch {
+		case cl == int(child.prefix.Len):
+			// p extends (or equals at deeper loop turn) the child.
+			n = child
+		case cl == int(p.Len):
+			// p is a strict ancestor of the child: splice p in.
+			mid := &node{prefix: p, hop: hop}
+			mid.children[child.prefix.Bits.Bit(cl)] = child
+			n.children[bit] = mid
+			t.routes++
+			return ip.NoRoute
+		default:
+			// Paths diverge inside the compressed edge: fork at the
+			// common prefix.
+			forkPfx := ip.MustPrefix(p.Bits, cl)
+			fork := &node{prefix: forkPfx}
+			fork.children[child.prefix.Bits.Bit(cl)] = child
+			fork.children[p.Bits.Bit(cl)] = &node{prefix: p, hop: hop}
+			n.children[bit] = fork
+			t.routes++
+			return ip.NoRoute
+		}
+	}
+}
+
+// Delete removes the route for p, returning the removed hop (NoRoute if
+// absent). Structural nodes left with a single child and no route are
+// merged away.
+func (t *Trie) Delete(p ip.Prefix, v *trie.Visits) ip.NextHop {
+	var parent, grand *node
+	n := t.root
+	visit(v)
+	for n.prefix != p {
+		if int(n.prefix.Len) >= int(p.Len) {
+			return ip.NoRoute
+		}
+		bit := p.Bits.Bit(int(n.prefix.Len))
+		child := n.children[bit]
+		if child == nil || !child.prefix.Covers(p) && child.prefix != p {
+			return ip.NoRoute
+		}
+		if !child.prefix.Covers(p) {
+			return ip.NoRoute
+		}
+		grand, parent, n = parent, n, child
+		visit(v)
+	}
+	prev := n.hop
+	if prev == ip.NoRoute {
+		return ip.NoRoute
+	}
+	n.hop = ip.NoRoute
+	t.routes--
+	t.compact(grand, parent, n)
+	return prev
+}
+
+// compact removes n if it became redundant, then checks whether its
+// parent became redundant too (a delete can cascade one level).
+func (t *Trie) compact(grand, parent, n *node) {
+	if parent == nil || n.hop != ip.NoRoute {
+		return
+	}
+	l, r := n.children[0], n.children[1]
+	switch {
+	case l == nil && r == nil:
+		// Leaf without route: unlink.
+		parent.children[n.prefix.Bits.Bit(int(parent.prefix.Len))] = nil
+		// The parent may now itself be a routeless single-child node.
+		if grand != nil && parent.hop == ip.NoRoute {
+			t.compact(nil, grand, parent) // one more level at most
+			// Re-run the single-child merge below for parent.
+			t.mergeSingle(grand, parent)
+		}
+	case l != nil && r != nil:
+		// Real branch point: stays.
+	default:
+		t.mergeSingle(parent, n)
+	}
+}
+
+// mergeSingle replaces a routeless single-child node with its child.
+func (t *Trie) mergeSingle(parent, n *node) {
+	if n.hop != ip.NoRoute || parent == nil || n == t.root {
+		return
+	}
+	l, r := n.children[0], n.children[1]
+	var only *node
+	switch {
+	case l != nil && r == nil:
+		only = l
+	case r != nil && l == nil:
+		only = r
+	default:
+		return
+	}
+	bit := n.prefix.Bits.Bit(int(parent.prefix.Len))
+	if parent.children[bit] == n {
+		parent.children[bit] = only
+	}
+}
+
+// Lookup performs longest-prefix match on addr.
+func (t *Trie) Lookup(addr ip.Addr, v *trie.Visits) (ip.NextHop, ip.Prefix) {
+	n := t.root
+	visit(v)
+	best, bestPfx := ip.NoRoute, ip.Prefix{}
+	for n != nil {
+		if !n.prefix.Contains(addr) {
+			break
+		}
+		if n.hop != ip.NoRoute {
+			best, bestPfx = n.hop, n.prefix
+		}
+		if int(n.prefix.Len) >= ip.AddrBits {
+			break
+		}
+		n = n.children[addr.Bit(int(n.prefix.Len))]
+		if n != nil {
+			visit(v)
+		}
+	}
+	return best, bestPfx
+}
+
+// Routes returns the stored routes in ascending order.
+func (t *Trie) Routes() []ip.Route {
+	out := make([]ip.Route, 0, t.routes)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.hop != ip.NoRoute {
+			out = append(out, ip.Route{Prefix: n.prefix, NextHop: n.hop})
+		}
+		walk(n.children[0])
+		walk(n.children[1])
+	}
+	walk(t.root)
+	return out
+}
+
+// NodeCount returns the number of allocated nodes — the SRAM-footprint
+// advantage over a unibit trie.
+func (t *Trie) NodeCount() int {
+	count := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		count++
+		walk(n.children[0])
+		walk(n.children[1])
+	}
+	walk(t.root)
+	return count
+}
+
+// FromRoutes builds a Patricia trie from a route list.
+func FromRoutes(routes []ip.Route) *Trie {
+	t := New()
+	for _, r := range routes {
+		t.Insert(r.Prefix, r.NextHop, nil)
+	}
+	return t
+}

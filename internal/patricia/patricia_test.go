@@ -1,0 +1,230 @@
+package patricia
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"clue/internal/ip"
+	"clue/internal/trie"
+)
+
+func pfx(s string) ip.Prefix { return ip.MustParsePrefix(s) }
+func addr(s string) ip.Addr  { return ip.MustParseAddr(s) }
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	hop, _ := tr.Lookup(addr("1.2.3.4"), nil)
+	if hop != ip.NoRoute {
+		t.Errorf("lookup in empty = %d", hop)
+	}
+}
+
+func TestInsertLookupBasic(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.0.0.0/8"), 1, nil)
+	tr.Insert(pfx("10.1.0.0/16"), 2, nil)
+	tr.Insert(pfx("0.0.0.0/0"), 9, nil)
+
+	cases := []struct {
+		a    string
+		want ip.NextHop
+	}{
+		{a: "10.1.2.3", want: 2},
+		{a: "10.2.0.1", want: 1},
+		{a: "11.0.0.1", want: 9},
+	}
+	for _, c := range cases {
+		hop, _ := tr.Lookup(addr(c.a), nil)
+		if hop != c.want {
+			t.Errorf("Lookup(%s) = %d, want %d", c.a, hop, c.want)
+		}
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestInsertForksCompressedEdge(t *testing.T) {
+	tr := New()
+	// Two /24s sharing 15 bits: the fork lands mid-edge.
+	tr.Insert(pfx("10.1.0.0/24"), 1, nil)
+	tr.Insert(pfx("10.0.128.0/24"), 2, nil)
+	hop, _ := tr.Lookup(addr("10.1.0.5"), nil)
+	if hop != 1 {
+		t.Errorf("first route lost: %d", hop)
+	}
+	hop, _ = tr.Lookup(addr("10.0.128.5"), nil)
+	if hop != 2 {
+		t.Errorf("second route lost: %d", hop)
+	}
+	hop, _ = tr.Lookup(addr("10.2.0.1"), nil)
+	if hop != ip.NoRoute {
+		t.Errorf("fork node must not match: %d", hop)
+	}
+}
+
+func TestInsertSpliceAncestor(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.1.0.0/16"), 1, nil)
+	tr.Insert(pfx("10.0.0.0/8"), 2, nil) // ancestor inserted after descendant
+	hop, via := tr.Lookup(addr("10.1.0.5"), nil)
+	if hop != 1 || via != pfx("10.1.0.0/16") {
+		t.Errorf("descendant lookup = (%d, %s)", hop, via)
+	}
+	hop, _ = tr.Lookup(addr("10.2.0.5"), nil)
+	if hop != 2 {
+		t.Errorf("ancestor lookup = %d", hop)
+	}
+}
+
+func TestReplace(t *testing.T) {
+	tr := New()
+	if prev := tr.Insert(pfx("10.0.0.0/8"), 1, nil); prev != ip.NoRoute {
+		t.Errorf("prev = %d", prev)
+	}
+	if prev := tr.Insert(pfx("10.0.0.0/8"), 5, nil); prev != 1 {
+		t.Errorf("replace prev = %d", prev)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.0.0.0/8"), 1, nil)
+	tr.Insert(pfx("10.1.0.0/16"), 2, nil)
+	if got := tr.Delete(pfx("10.1.0.0/16"), nil); got != 2 {
+		t.Errorf("Delete = %d", got)
+	}
+	hop, _ := tr.Lookup(addr("10.1.2.3"), nil)
+	if hop != 1 {
+		t.Errorf("lookup after delete = %d", hop)
+	}
+	if got := tr.Delete(pfx("10.1.0.0/16"), nil); got != ip.NoRoute {
+		t.Errorf("double delete = %d", got)
+	}
+	if got := tr.Delete(pfx("192.168.0.0/16"), nil); got != ip.NoRoute {
+		t.Errorf("absent delete = %d", got)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestDeleteRootRoute(t *testing.T) {
+	tr := New()
+	tr.Insert(ip.Prefix{}, 4, nil)
+	if got := tr.Delete(ip.Prefix{}, nil); got != 4 {
+		t.Errorf("Delete(/0) = %d", got)
+	}
+	hop, _ := tr.Lookup(addr("8.8.8.8"), nil)
+	if hop != ip.NoRoute {
+		t.Errorf("lookup after root delete = %d", hop)
+	}
+}
+
+// TestMatchesUnibitTrieUnderChurn is the central property: Patricia and
+// the unibit trie must agree on Len, Routes and LPM after any random
+// operation sequence.
+func TestMatchesUnibitTrieUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pat := New()
+	uni := trie.New()
+	universe := make([]ip.Prefix, 0, 128)
+	for i := 0; i < 128; i++ {
+		universe = append(universe, ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(25)+8))
+	}
+	universe = append(universe, ip.Prefix{}) // include the default route
+	for op := 0; op < 8000; op++ {
+		p := universe[rng.Intn(len(universe))]
+		if rng.Intn(3) == 0 {
+			gp := pat.Delete(p, nil)
+			gu := uni.Delete(p, nil)
+			if gp != gu {
+				t.Fatalf("op %d: Delete(%s) = %d vs %d", op, p, gp, gu)
+			}
+		} else {
+			hop := ip.NextHop(rng.Intn(8) + 1)
+			gp := pat.Insert(p, hop, nil)
+			gu := uni.Insert(p, hop, nil)
+			if gp != gu {
+				t.Fatalf("op %d: Insert(%s) = %d vs %d", op, p, gp, gu)
+			}
+		}
+		if pat.Len() != uni.Len() {
+			t.Fatalf("op %d: Len %d vs %d", op, pat.Len(), uni.Len())
+		}
+		if op%500 == 0 {
+			for i := 0; i < 200; i++ {
+				a := ip.Addr(rng.Uint32())
+				hp, pp := pat.Lookup(a, nil)
+				hu, pu := uni.Lookup(a, nil)
+				if hp != hu || pp != pu {
+					t.Fatalf("op %d: Lookup(%s) = (%d,%s) vs (%d,%s)", op, a, hp, pp, hu, pu)
+				}
+			}
+		}
+	}
+	// Final full comparison.
+	rp, ru := pat.Routes(), uni.Routes()
+	sort.Slice(rp, func(i, j int) bool { return rp[i].Prefix.Compare(rp[j].Prefix) < 0 })
+	if len(rp) != len(ru) {
+		t.Fatalf("route counts %d vs %d", len(rp), len(ru))
+	}
+	for i := range rp {
+		if rp[i] != ru[i] {
+			t.Fatalf("route %d: %v vs %v", i, rp[i], ru[i])
+		}
+	}
+}
+
+// TestFewerVisitsThanUnibit quantifies the point of the package: on a
+// realistic table, Patricia lookups touch several times fewer nodes.
+func TestFewerVisitsThanUnibit(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	var routes []ip.Route
+	for i := 0; i < 3000; i++ {
+		routes = append(routes, ip.Route{
+			Prefix:  ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(9)+16),
+			NextHop: ip.NextHop(rng.Intn(8) + 1),
+		})
+	}
+	pat := FromRoutes(routes)
+	uni := trie.FromRoutes(routes)
+	var pv, uv trie.Visits
+	// Probe addresses that actually match routes: that is where the
+	// unibit trie walks the full prefix depth while Patricia only
+	// touches branch points.
+	for i := 0; i < 3000; i++ {
+		r := routes[rng.Intn(len(routes))]
+		span := uint64(r.Prefix.Last()-r.Prefix.First()) + 1
+		a := r.Prefix.First() + ip.Addr(rng.Uint64()%span)
+		pat.Lookup(a, &pv)
+		uni.Lookup(a, &uv)
+	}
+	if float64(pv.Nodes) >= 0.7*float64(uv.Nodes) {
+		t.Errorf("patricia visits %d not well below unibit %d", pv.Nodes, uv.Nodes)
+	}
+	if pat.NodeCount()*2 >= uni.NodeCount() {
+		t.Errorf("patricia nodes %d not well below unibit %d", pat.NodeCount(), uni.NodeCount())
+	}
+}
+
+func TestHostRoute(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("1.2.3.4/32"), 1, nil)
+	tr.Insert(pfx("1.2.3.0/24"), 2, nil)
+	hop, _ := tr.Lookup(addr("1.2.3.4"), nil)
+	if hop != 1 {
+		t.Errorf("host route lookup = %d", hop)
+	}
+	hop, _ = tr.Lookup(addr("1.2.3.5"), nil)
+	if hop != 2 {
+		t.Errorf("covering lookup = %d", hop)
+	}
+}

@@ -1,0 +1,66 @@
+// Package ribio reads and writes routing tables in the repository's
+// plain-text interchange format: one "prefix next-hop" pair per line
+// (e.g. "10.0.0.0/8 3"), '#' comments and blank lines ignored. The
+// format stands in for the RIPE RIS RIB dumps the paper loads.
+package ribio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"clue/internal/ip"
+)
+
+// Read parses a route list from r. Duplicate prefixes are allowed (the
+// last wins when loaded into a trie, matching FIB semantics); an input
+// with no routes is an error.
+func Read(r io.Reader) ([]ip.Route, error) {
+	var routes []ip.Route
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("ribio: line %d: want 'prefix next-hop', got %q", line, text)
+		}
+		p, err := ip.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("ribio: line %d: %w", line, err)
+		}
+		hop, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil || hop == 0 {
+			return nil, fmt.Errorf("ribio: line %d: bad next hop %q (want a positive integer)", line, fields[1])
+		}
+		routes = append(routes, ip.Route{Prefix: p, NextHop: ip.NextHop(hop)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ribio: %w", err)
+	}
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("ribio: no routes in input")
+	}
+	return routes, nil
+}
+
+// Write emits the route list in the interchange format.
+func Write(w io.Writer, routes []ip.Route) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range routes {
+		if _, err := fmt.Fprintf(bw, "%s %d\n", r.Prefix, r.NextHop); err != nil {
+			return fmt.Errorf("ribio: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ribio: %w", err)
+	}
+	return nil
+}

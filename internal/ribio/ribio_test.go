@@ -1,0 +1,85 @@
+package ribio
+
+import (
+	"strings"
+	"testing"
+
+	"clue/internal/ip"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := `# a comment
+10.0.0.0/8 1
+
+192.0.2.0/24 7
+`
+	routes, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 2 {
+		t.Fatalf("got %d routes", len(routes))
+	}
+	if routes[0] != (ip.Route{Prefix: ip.MustParsePrefix("10.0.0.0/8"), NextHop: 1}) {
+		t.Errorf("route 0 = %v", routes[0])
+	}
+	if routes[1].NextHop != 7 {
+		t.Errorf("route 1 = %v", routes[1])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{name: "empty", in: ""},
+		{name: "comments only", in: "# nothing\n"},
+		{name: "missing hop", in: "10.0.0.0/8\n"},
+		{name: "extra field", in: "10.0.0.0/8 1 2\n"},
+		{name: "bad prefix", in: "10.0.0.300/8 1\n"},
+		{name: "host bits", in: "10.0.0.1/8 1\n"},
+		{name: "zero hop", in: "10.0.0.0/8 0\n"},
+		{name: "negative hop", in: "10.0.0.0/8 -1\n"},
+		{name: "text hop", in: "10.0.0.0/8 x\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Read(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	routes := []ip.Route{
+		{Prefix: ip.MustParsePrefix("10.0.0.0/8"), NextHop: 1},
+		{Prefix: ip.MustParsePrefix("192.0.2.0/24"), NextHop: 200},
+		{Prefix: ip.MustParsePrefix("0.0.0.0/0"), NextHop: 3},
+	}
+	var b strings.Builder
+	if err := Write(&b, routes); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(routes) {
+		t.Fatalf("round trip lost routes: %d vs %d", len(back), len(routes))
+	}
+	for i := range routes {
+		if back[i] != routes[i] {
+			t.Errorf("route %d: %v vs %v", i, back[i], routes[i])
+		}
+	}
+}
+
+func TestReadDuplicatesAllowed(t *testing.T) {
+	in := "10.0.0.0/8 1\n10.0.0.0/8 2\n"
+	routes, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 2 {
+		t.Errorf("got %d routes, want 2 (duplicates preserved)", len(routes))
+	}
+}

@@ -1,0 +1,55 @@
+// Package rrcme implements the RRC-ME algorithm (Routing prefix Cache with
+// Minimal Expansion, Akhbarizadeh & Nourani 2004), which the CLPL baseline
+// uses to fill its logical caches.
+//
+// A prefix cache over an overlapping table cannot simply cache the
+// longest-match prefix p: if some longer route q lives inside p, a later
+// address that should match q could wrongly hit cached p. RRC-ME instead
+// computes the *minimal expansion* p' — the shortest prefix that contains
+// the looked-up address, lies inside p, and excludes every route longer
+// than p — so caching p' is always safe.
+//
+// The computation walks the control plane's SRAM-resident trie, which is
+// precisely the cost CLUE eliminates: an ONRTC-compressed table is
+// disjoint, so the hit prefix itself is always safe to cache and no
+// control-plane round trip is needed. The trie visits each call reports
+// feed the TTF3 cost model.
+package rrcme
+
+import (
+	"clue/internal/ip"
+	"clue/internal/trie"
+)
+
+// MinimalExpansion returns the shortest cache-safe prefix for addr given
+// that LPM over fib matched the route at prefix p. The returned prefix p'
+// satisfies p ⊇ p' ∋ addr, and no route longer than p intersects p'.
+//
+// The caller must pass the actual LPM result for addr (as CLPL's control
+// plane does); behaviour is unspecified otherwise. Trie node touches are
+// charged to v.
+func MinimalExpansion(fib *trie.Trie, addr ip.Addr, p ip.Prefix, v *trie.Visits) ip.Prefix {
+	n := fib.Find(p, v)
+	if n == nil {
+		// The matched route vanished between lookup and expansion
+		// (cannot happen in a single-threaded control plane, but fail
+		// safe): the host route is always cache-safe.
+		return ip.MustPrefix(addr, ip.AddrBits)
+	}
+	cur := p
+	for !n.IsLeaf() {
+		// Some route lives strictly below: cur would shadow it, so
+		// descend one bit toward addr.
+		bit := addr.Bit(int(cur.Len))
+		cur = cur.Child(bit)
+		n = n.Children[bit]
+		if n == nil {
+			// The subtree on addr's side is empty: cur is safe.
+			return cur
+		}
+		if v != nil {
+			v.Nodes++
+		}
+	}
+	return cur
+}

@@ -1,0 +1,149 @@
+package rrcme
+
+import (
+	"math/rand"
+	"testing"
+
+	"clue/internal/ip"
+	"clue/internal/trie"
+)
+
+func pfx(s string) ip.Prefix { return ip.MustParsePrefix(s) }
+func addr(s string) ip.Addr  { return ip.MustParseAddr(s) }
+
+func TestPaperExample(t *testing.T) {
+	// Figure 2: p = 1* (hop A), q = 100* with a different hop. An address
+	// 100000... matching q is not the case here — the paper looks up
+	// 10 0000, LPM returns p = 1*, and the safe cache prefix is 100* ...
+	// no wait: q = 100* owns a different hop, so the safe prefix for an
+	// address under 10 1... is the sibling side. Reconstruct exactly:
+	// lookup key 1000 00.. would match q itself. The paper's key matches
+	// p with q = 100* being a *different* branch: key = 11.... Use the
+	// paper's structure: p=1*, child route at 100*; for a key under 101*
+	// the minimal expansion is 101*.
+	fib := trie.New()
+	p := ip.MustPrefix(addr("128.0.0.0"), 1) // 1*
+	q := ip.MustPrefix(addr("128.0.0.0"), 3) // 100*
+	fib.Insert(p, 10, nil)
+	fib.Insert(q, 20, nil)
+
+	key := addr("160.0.0.1") // 101....
+	hop, via := fib.Lookup(key, nil)
+	if hop != 10 || via != p {
+		t.Fatalf("precondition: LPM = (%d, %s)", hop, via)
+	}
+	got := MinimalExpansion(fib, key, p, nil)
+	want := ip.MustPrefix(addr("160.0.0.0"), 3) // 101*
+	if got != want {
+		t.Errorf("MinimalExpansion = %s, want %s", got, want)
+	}
+}
+
+func TestNoDescendantsReturnsPrefixItself(t *testing.T) {
+	fib := trie.New()
+	p := pfx("10.0.0.0/8")
+	fib.Insert(p, 1, nil)
+	got := MinimalExpansion(fib, addr("10.1.2.3"), p, nil)
+	if got != p {
+		t.Errorf("MinimalExpansion = %s, want %s (leaf route is already safe)", got, p)
+	}
+}
+
+func TestDeepDescendantForcesLongExpansion(t *testing.T) {
+	fib := trie.New()
+	p := pfx("10.0.0.0/8")
+	fib.Insert(p, 1, nil)
+	fib.Insert(pfx("10.0.0.0/24"), 2, nil)
+	// Key on the same descent path as the /24 until bit 15, then diverges.
+	key := addr("10.0.128.1")
+	got := MinimalExpansion(fib, key, p, nil)
+	if got != pfx("10.0.128.0/17") {
+		t.Errorf("MinimalExpansion = %s, want 10.0.128.0/17", got)
+	}
+	if !got.Contains(key) {
+		t.Error("expansion does not contain the key")
+	}
+}
+
+// assertSafe checks the RRC-ME safety contract: every address inside the
+// expansion has the same LPM hop as the key did.
+func assertSafe(t *testing.T, fib *trie.Trie, exp ip.Prefix, hop ip.NextHop, rng *rand.Rand) {
+	t.Helper()
+	span := uint64(exp.Last()-exp.First()) + 1
+	for i := 0; i < 50; i++ {
+		a := exp.First() + ip.Addr(rng.Uint64()%span)
+		got, _ := fib.Lookup(a, nil)
+		if got != hop {
+			t.Fatalf("address %s inside expansion %s has hop %d, key's hop was %d", a, exp, got, hop)
+		}
+	}
+	// Boundaries too.
+	for _, a := range []ip.Addr{exp.First(), exp.Last()} {
+		got, _ := fib.Lookup(a, nil)
+		if got != hop {
+			t.Fatalf("boundary %s of %s has hop %d, want %d", a, exp, got, hop)
+		}
+	}
+}
+
+// Property: expansions are always safe and minimal on random tables.
+func TestExpansionSafeAndMinimalRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		fib := trie.New()
+		for i := 0; i < 300; i++ {
+			fib.Insert(ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(17)+8), ip.NextHop(rng.Intn(5)+1), nil)
+		}
+		for i := 0; i < 300; i++ {
+			key := ip.Addr(rng.Uint32())
+			hop, p := fib.Lookup(key, nil)
+			if hop == ip.NoRoute {
+				continue
+			}
+			exp := MinimalExpansion(fib, key, p, nil)
+			if !exp.Contains(key) {
+				t.Fatalf("expansion %s does not contain key %s", exp, key)
+			}
+			if !p.Covers(exp) {
+				t.Fatalf("expansion %s escapes matched prefix %s", exp, p)
+			}
+			assertSafe(t, fib, exp, hop, rng)
+			// Minimality: one bit shorter must be unsafe (shadow some
+			// longer route) unless it escapes p.
+			if exp.Len > p.Len {
+				parent := exp.Parent()
+				shadowed := false
+				fib.WalkRoutes(func(r ip.Route) bool {
+					if r.Prefix.Len > p.Len && parent.Overlaps(r.Prefix) {
+						shadowed = true
+						return false
+					}
+					return true
+				})
+				if !shadowed {
+					t.Fatalf("expansion %s not minimal: parent %s is also safe (matched %s)", exp, parent, p)
+				}
+			}
+		}
+	}
+}
+
+func TestVisitsAccounting(t *testing.T) {
+	fib := trie.New()
+	p := pfx("10.0.0.0/8")
+	fib.Insert(p, 1, nil)
+	fib.Insert(pfx("10.0.0.0/24"), 2, nil)
+	var v trie.Visits
+	MinimalExpansion(fib, addr("10.0.128.1"), p, &v)
+	if v.Nodes == 0 {
+		t.Error("expansion reported zero visits")
+	}
+}
+
+func TestVanishedRouteFailsSafe(t *testing.T) {
+	fib := trie.New()
+	got := MinimalExpansion(fib, addr("10.1.2.3"), pfx("10.0.0.0/8"), nil)
+	if got.Len != ip.AddrBits || !got.Contains(addr("10.1.2.3")) {
+		t.Errorf("fail-safe expansion = %s, want host route for the key", got)
+	}
+}

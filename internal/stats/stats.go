@@ -1,0 +1,156 @@
+// Package stats provides the small numerical toolkit the experiment
+// harness needs: series summaries, least-squares polynomial fitting (the
+// paper fits cubic curves through the speedup/hit-rate points of Figure
+// 16) and plain-text table rendering for paper-style output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a float series.
+type Summary struct {
+	Count         int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+// Summarise computes a Summary. An empty series yields the zero Summary.
+func Summarise(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	s.Std = math.Sqrt(varSum / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = quantile(sorted, 0.50)
+	s.P90 = quantile(sorted, 0.90)
+	s.P99 = quantile(sorted, 0.99)
+	return s
+}
+
+// quantile reads the q-quantile from an ascending-sorted series using the
+// nearest-rank method.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// PolyFit fits a degree-d polynomial to (x, y) by least squares and
+// returns the coefficients c[0] + c[1]x + ... + c[d]x^d. It needs at
+// least d+1 points; the normal equations are solved by Gaussian
+// elimination with partial pivoting.
+func PolyFit(x, y []float64, degree int) ([]float64, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("stats: x and y lengths differ (%d vs %d)", len(x), len(y))
+	}
+	if degree < 0 {
+		return nil, fmt.Errorf("stats: negative degree %d", degree)
+	}
+	n := degree + 1
+	if len(x) < n {
+		return nil, fmt.Errorf("stats: need at least %d points for degree %d, got %d", n, degree, len(x))
+	}
+	// Normal equations: (V^T V) c = V^T y with Vandermonde V.
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	// powSums[k] = sum of x^k for k in [0, 2*degree].
+	powSums := make([]float64, 2*n-1)
+	for _, xv := range x {
+		p := 1.0
+		for k := 0; k < len(powSums); k++ {
+			powSums[k] += p
+			p *= xv
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i][j] = powSums[i+j]
+		}
+	}
+	for k, xv := range x {
+		p := 1.0
+		for i := 0; i < n; i++ {
+			b[i] += p * y[k]
+			p *= xv
+		}
+	}
+	return solve(a, b)
+}
+
+// solve performs Gaussian elimination with partial pivoting in place.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("stats: singular system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	out := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		v := b[r]
+		for c := r + 1; c < n; c++ {
+			v -= a[r][c] * out[c]
+		}
+		out[r] = v / a[r][r]
+	}
+	return out, nil
+}
+
+// PolyEval evaluates the PolyFit coefficient vector at x.
+func PolyEval(coeffs []float64, x float64) float64 {
+	v := 0.0
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		v = v*x + coeffs[i]
+	}
+	return v
+}

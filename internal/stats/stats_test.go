@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSummariseEmpty(t *testing.T) {
+	s := Summarise(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummariseBasic(t *testing.T) {
+	s := Summarise([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("Std = %v, want sqrt(2)", s.Std)
+	}
+	if s.P50 != 3 {
+		t.Errorf("P50 = %v, want 3", s.P50)
+	}
+}
+
+func TestSummarisePercentiles(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	s := Summarise(xs)
+	if s.P50 != 50 || s.P90 != 90 || s.P99 != 99 {
+		t.Errorf("percentiles = %v/%v/%v", s.P50, s.P90, s.P99)
+	}
+}
+
+func TestSummariseSingle(t *testing.T) {
+	s := Summarise([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.P99 != 7 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestPolyFitExact(t *testing.T) {
+	// y = 2 + 3x - x^2 fit exactly through noiseless points.
+	f := func(x float64) float64 { return 2 + 3*x - x*x }
+	var xs, ys []float64
+	for x := -3.0; x <= 3; x += 0.5 {
+		xs = append(xs, x)
+		ys = append(ys, f(x))
+	}
+	c, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(c[i]-want[i]) > 1e-9 {
+			t.Errorf("coeff %d = %v, want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestPolyFitCubicNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(x float64) float64 { return 1 + x - 2*x*x + 0.5*x*x*x }
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := rng.Float64()*4 - 2
+		xs = append(xs, x)
+		ys = append(ys, f(x)+rng.NormFloat64()*0.01)
+	}
+	c, err := PolyFit(xs, ys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1.5, 0, 0.7, 1.9} {
+		if math.Abs(PolyEval(c, x)-f(x)) > 0.05 {
+			t.Errorf("fit at %v = %v, want ≈%v", x, PolyEval(c, x), f(x))
+		}
+	}
+}
+
+func TestPolyFitDegreeZero(t *testing.T) {
+	c, err := PolyFit([]float64{1, 2, 3}, []float64{5, 5, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c[0]-5) > 1e-12 {
+		t.Errorf("constant fit = %v", c[0])
+	}
+}
+
+func TestPolyFitValidation(t *testing.T) {
+	if _, err := PolyFit([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, -1); err == nil {
+		t.Error("negative degree accepted")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, 5); err == nil {
+		t.Error("too few points accepted")
+	}
+	// Identical x values make the system singular for degree >= 1.
+	if _, err := PolyFit([]float64{2, 2, 2}, []float64{1, 2, 3}, 2); err == nil {
+		t.Error("singular system accepted")
+	}
+}
+
+func TestPolyEvalEmpty(t *testing.T) {
+	if PolyEval(nil, 3) != 0 {
+		t.Error("empty coefficients should evaluate to 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	tb.AddRowf("gamma") // short row padded
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.5") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+1+1+3 { // title + header + rule + 3 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and first row start at same offset for col 2.
+	hIdx := strings.Index(lines[1], "value")
+	rIdx := strings.Index(lines[3], "1")
+	if hIdx != rIdx {
+		t.Errorf("columns misaligned: %d vs %d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestTableExtraCellsDropped(t *testing.T) {
+	tb := NewTable("", "only")
+	tb.AddRow("a", "b", "c")
+	out := tb.String()
+	if strings.Contains(out, "b") {
+		t.Error("extra cells not dropped")
+	}
+}

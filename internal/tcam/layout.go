@@ -1,0 +1,206 @@
+package tcam
+
+import (
+	"fmt"
+
+	"clue/internal/ip"
+)
+
+// DisjointLayout is CLUE's slot strategy: because ONRTC output is
+// non-overlapping, matching is order-independent, so a new entry goes into
+// the first free slot (zero moves) and a delete back-fills the hole with
+// the last entry (at most one move). This is the source of the paper's
+// "one shift at most" TTF2 claim.
+type DisjointLayout struct {
+	slots []ip.Prefix
+	index map[ip.Prefix]int
+}
+
+var _ Layout = (*DisjointLayout)(nil)
+
+// NewDisjointLayout returns an empty CLUE layout.
+func NewDisjointLayout() *DisjointLayout {
+	return &DisjointLayout{index: make(map[ip.Prefix]int)}
+}
+
+// Name implements Layout.
+func (l *DisjointLayout) Name() string { return "disjoint" }
+
+// Used implements Layout.
+func (l *DisjointLayout) Used() int { return len(l.slots) }
+
+// PlaceInsert appends to the free region: one write, zero moves.
+func (l *DisjointLayout) PlaceInsert(p ip.Prefix) (int, error) {
+	if _, ok := l.index[p]; ok {
+		return 0, fmt.Errorf("disjoint layout: %s already placed", p)
+	}
+	l.index[p] = len(l.slots)
+	l.slots = append(l.slots, p)
+	return 0, nil
+}
+
+// PlaceDelete moves the last entry into the vacated slot: one move, or
+// zero when the victim is already last.
+func (l *DisjointLayout) PlaceDelete(p ip.Prefix) (int, error) {
+	i, ok := l.index[p]
+	if !ok {
+		return 0, fmt.Errorf("disjoint layout: %s: %w", p, ErrNotFound)
+	}
+	last := len(l.slots) - 1
+	delete(l.index, p)
+	if i == last {
+		l.slots = l.slots[:last]
+		return 0, nil
+	}
+	moved := l.slots[last]
+	l.slots[i] = moved
+	l.index[moved] = i
+	l.slots = l.slots[:last]
+	return 1, nil
+}
+
+// Slot returns p's current physical slot (tests and diagnostics).
+func (l *DisjointLayout) Slot(p ip.Prefix) (int, bool) {
+	i, ok := l.index[p]
+	return i, ok
+}
+
+// NaiveLayout keeps entries fully sorted by descending prefix length so a
+// priority encoder reading the lowest-index match returns the LPM. An
+// insert shifts every entry after the insertion point down one slot —
+// O(n) worst case (the paper's Figure 7(a) strawman).
+type NaiveLayout struct {
+	// slots is ordered by descending prefix length (ties arbitrary).
+	slots []ip.Prefix
+	index map[ip.Prefix]int
+}
+
+var _ Layout = (*NaiveLayout)(nil)
+
+// NewNaiveLayout returns an empty naive layout.
+func NewNaiveLayout() *NaiveLayout {
+	return &NaiveLayout{index: make(map[ip.Prefix]int)}
+}
+
+// Name implements Layout.
+func (l *NaiveLayout) Name() string { return "naive-ordered" }
+
+// Used implements Layout.
+func (l *NaiveLayout) Used() int { return len(l.slots) }
+
+// PlaceInsert finds the first slot whose occupant is shorter than p and
+// shifts the tail down.
+func (l *NaiveLayout) PlaceInsert(p ip.Prefix) (int, error) {
+	if _, ok := l.index[p]; ok {
+		return 0, fmt.Errorf("naive layout: %s already placed", p)
+	}
+	pos := len(l.slots)
+	for i, q := range l.slots {
+		if q.Len < p.Len {
+			pos = i
+			break
+		}
+	}
+	l.slots = append(l.slots, ip.Prefix{})
+	copy(l.slots[pos+1:], l.slots[pos:])
+	l.slots[pos] = p
+	for i := pos; i < len(l.slots); i++ {
+		l.index[l.slots[i]] = i
+	}
+	return len(l.slots) - 1 - pos, nil
+}
+
+// PlaceDelete shifts the tail up over the vacated slot.
+func (l *NaiveLayout) PlaceDelete(p ip.Prefix) (int, error) {
+	pos, ok := l.index[p]
+	if !ok {
+		return 0, fmt.Errorf("naive layout: %s: %w", p, ErrNotFound)
+	}
+	delete(l.index, p)
+	copy(l.slots[pos:], l.slots[pos+1:])
+	l.slots = l.slots[:len(l.slots)-1]
+	for i := pos; i < len(l.slots); i++ {
+		l.index[l.slots[i]] = i
+	}
+	return len(l.slots) - pos, nil
+}
+
+// PLOLayout is the Shah–Gupta prefix-length-ordered scheme the paper
+// assumes for CLPL (Figure 7(b)): entries are grouped into zones by
+// prefix length (length 32 nearest slot 0, length 0 nearest the free
+// pool at the high end); only zone boundaries are ordering constraints.
+// Opening a slot inside zone L moves one boundary entry per non-empty
+// zone between L and the free pool — at most 32 moves, ≈15 on a real
+// prefix-length mix (the paper measures 14.994).
+type PLOLayout struct {
+	// zoneCount[l] is the number of entries of prefix length l.
+	zoneCount [ip.AddrBits + 1]int
+	// members tracks which zone each prefix occupies (by construction
+	// its own length; the map also detects duplicates/absences).
+	members map[ip.Prefix]bool
+	used    int
+}
+
+var _ Layout = (*PLOLayout)(nil)
+
+// NewPLOLayout returns an empty prefix-length-ordered layout.
+func NewPLOLayout() *PLOLayout {
+	return &PLOLayout{members: make(map[ip.Prefix]bool)}
+}
+
+// Name implements Layout.
+func (l *PLOLayout) Name() string { return "plo" }
+
+// Used implements Layout.
+func (l *PLOLayout) Used() int { return l.used }
+
+// movesBelow counts the non-empty zones strictly between zone length and
+// the free pool (zones of shorter length), each of which contributes one
+// boundary-entry move when a gap is cascaded in or out.
+func (l *PLOLayout) movesBelow(length int) int {
+	moves := 0
+	for k := 0; k < length; k++ {
+		if l.zoneCount[k] > 0 {
+			moves++
+		}
+	}
+	return moves
+}
+
+// PlaceInsert cascades a free slot from the pool to the end of p's zone.
+func (l *PLOLayout) PlaceInsert(p ip.Prefix) (int, error) {
+	if l.members[p] {
+		return 0, fmt.Errorf("plo layout: %s already placed", p)
+	}
+	moves := l.movesBelow(int(p.Len))
+	l.members[p] = true
+	l.zoneCount[p.Len]++
+	l.used++
+	return moves, nil
+}
+
+// PlaceDelete fills the hole with its zone's boundary entry, then cascades
+// the resulting end-of-zone gap back out to the free pool.
+func (l *PLOLayout) PlaceDelete(p ip.Prefix) (int, error) {
+	if !l.members[p] {
+		return 0, fmt.Errorf("plo layout: %s: %w", p, ErrNotFound)
+	}
+	moves := 0
+	if l.zoneCount[p.Len] > 1 {
+		// Back-fill the interior hole from the zone boundary.
+		moves++
+	}
+	moves += l.movesBelow(int(p.Len))
+	delete(l.members, p)
+	l.zoneCount[p.Len]--
+	l.used--
+	return moves, nil
+}
+
+// ZoneCount reports the number of entries of the given prefix length.
+func (l *PLOLayout) ZoneCount(length int) int {
+	if length < 0 || length > ip.AddrBits {
+		return 0
+	}
+	return l.zoneCount[length]
+}

@@ -1,0 +1,205 @@
+// Package tcam models a Ternary CAM chip as used in the paper's lookup
+// engine: a bounded store of prefix entries with single-access matching,
+// plus pluggable slot-layout strategies that determine how many physical
+// entry moves ("shifts") a routing update costs.
+//
+// Matching itself is simulated functionally (a per-chip trie computes the
+// same answer the parallel hardware comparators would), while the layout
+// tracks slot occupancy and movement so update costs are cycle-accurate in
+// the paper's currency: one entry move or write = one TCAM access = 24 ns
+// on the CYNSE70256 the authors calibrate against.
+//
+// Three layouts reproduce the paper's comparison (§IV.B, Figure 7):
+//
+//   - NaiveLayout: entries fully sorted by prefix length; an insert shifts
+//     every following entry — O(n) (Figure 7(a)).
+//   - PLOLayout: Shah–Gupta prefix-length-ordered zones with free space at
+//     one end; an update moves one boundary entry per intervening zone —
+//     ≤32 shifts, ≈15 on real length mixes (Figure 7(b)); assumed for CLPL.
+//   - DisjointLayout: CLUE's layout for non-overlapping tables; order is
+//     irrelevant, so insert appends and delete swaps the last entry in —
+//     at most one move per update.
+package tcam
+
+import (
+	"errors"
+	"fmt"
+
+	"clue/internal/ip"
+	"clue/internal/trie"
+)
+
+// AccessNs is the cost of one TCAM access (one entry move, write or
+// lookup) in nanoseconds, from the paper's CYNSE70256 calibration
+// (41.5 MHz ≈ 24 ns per operation).
+const AccessNs = 24
+
+// ErrFull reports an insert into a chip with no free slots.
+var ErrFull = errors.New("tcam: chip full")
+
+// ErrNotFound reports a delete or modify of an absent prefix.
+var ErrNotFound = errors.New("tcam: prefix not present")
+
+// Stats accumulates per-chip operation counts. Moves and Writes price
+// updates; Lookups prices search load.
+type Stats struct {
+	// Lookups is the number of match operations performed.
+	Lookups int64
+	// Hits is the number of lookups that matched an entry.
+	Hits int64
+	// Writes is the number of entry writes (new content into a slot).
+	Writes int64
+	// Moves is the number of entry relocations caused by updates.
+	Moves int64
+	// EntriesSearched sums the occupied slots activated per lookup —
+	// the dominant term of TCAM dynamic power (every occupied cell
+	// compares in parallel on each search). Partitioning exists largely
+	// to shrink this number (the CoolCAMs motivation).
+	EntriesSearched int64
+}
+
+// UpdateAccesses returns the total update-path TCAM accesses.
+func (s Stats) UpdateAccesses() int64 { return s.Writes + s.Moves }
+
+// MeanSearched returns the average entries activated per lookup — the
+// per-search power proxy.
+func (s Stats) MeanSearched() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.EntriesSearched) / float64(s.Lookups)
+}
+
+// Layout assigns physical slots to prefixes and prices the entry movement
+// each update needs. Implementations only account; entry content lives in
+// the chip.
+type Layout interface {
+	// PlaceInsert allocates a slot for p and returns the number of
+	// existing entries that had to move to open it.
+	PlaceInsert(p ip.Prefix) (moves int, err error)
+	// PlaceDelete frees p's slot and returns the moves needed to keep
+	// the layout's invariants (compaction, zone ordering).
+	PlaceDelete(p ip.Prefix) (moves int, err error)
+	// Used returns the number of occupied slots.
+	Used() int
+	// Name identifies the strategy in reports.
+	Name() string
+}
+
+// Chip is one simulated TCAM chip (or partition). It combines a matching
+// store with a slot layout and capacity accounting.
+type Chip struct {
+	layout   Layout
+	capacity int
+	match    *trie.Trie
+	stats    Stats
+}
+
+// NewChip creates a chip with the given slot capacity and layout strategy.
+func NewChip(capacity int, layout Layout) *Chip {
+	return &Chip{layout: layout, capacity: capacity, match: trie.New()}
+}
+
+// Capacity returns the chip's total slot count.
+func (c *Chip) Capacity() int { return c.capacity }
+
+// Used returns the number of occupied slots.
+func (c *Chip) Used() int { return c.layout.Used() }
+
+// Free returns the number of free slots.
+func (c *Chip) Free() int { return c.capacity - c.layout.Used() }
+
+// Stats returns a copy of the chip's operation counters.
+func (c *Chip) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the operation counters (between experiment phases).
+func (c *Chip) ResetStats() { c.stats = Stats{} }
+
+// LayoutName reports the active layout strategy.
+func (c *Chip) LayoutName() string { return c.layout.Name() }
+
+// Lookup matches addr against the stored entries, returning the matching
+// route's hop and prefix. With overlapping entries this models the
+// priority encoder selecting the longest match; with a disjoint table the
+// single match needs no encoder (the paper's point about removed hardware).
+func (c *Chip) Lookup(addr ip.Addr) (ip.NextHop, ip.Prefix, bool) {
+	c.stats.Lookups++
+	c.stats.EntriesSearched += int64(c.layout.Used())
+	hop, p := c.match.Lookup(addr, nil)
+	if hop == ip.NoRoute {
+		return ip.NoRoute, ip.Prefix{}, false
+	}
+	c.stats.Hits++
+	return hop, p, true
+}
+
+// Insert writes a new entry, returning the entry moves the layout needed.
+// Inserting a prefix that is already present is an error; use Modify.
+func (c *Chip) Insert(r ip.Route) (moves int, err error) {
+	if c.match.Get(r.Prefix, nil) != ip.NoRoute {
+		return 0, fmt.Errorf("tcam: insert %s: already present", r.Prefix)
+	}
+	if c.layout.Used() >= c.capacity {
+		return 0, fmt.Errorf("tcam: insert %s: %w", r.Prefix, ErrFull)
+	}
+	moves, err = c.layout.PlaceInsert(r.Prefix)
+	if err != nil {
+		return 0, fmt.Errorf("tcam: insert %s: %w", r.Prefix, err)
+	}
+	c.match.Insert(r.Prefix, r.NextHop, nil)
+	c.stats.Moves += int64(moves)
+	c.stats.Writes++
+	return moves, nil
+}
+
+// Delete removes an entry, returning the layout's compaction moves. The
+// valid-bit clear is charged as one write on top of the moves.
+func (c *Chip) Delete(p ip.Prefix) (moves int, err error) {
+	if c.match.Get(p, nil) == ip.NoRoute {
+		return 0, fmt.Errorf("tcam: delete %s: %w", p, ErrNotFound)
+	}
+	moves, err = c.layout.PlaceDelete(p)
+	if err != nil {
+		return 0, fmt.Errorf("tcam: delete %s: %w", p, err)
+	}
+	c.match.Delete(p, nil)
+	c.stats.Moves += int64(moves)
+	// Clearing the victim slot's valid bit is itself one access.
+	c.stats.Writes++
+	return moves, nil
+}
+
+// Modify rewrites the next hop of an existing entry in place: one write,
+// never any moves, under every layout.
+func (c *Chip) Modify(r ip.Route) error {
+	if c.match.Get(r.Prefix, nil) == ip.NoRoute {
+		return fmt.Errorf("tcam: modify %s: %w", r.Prefix, ErrNotFound)
+	}
+	c.match.Insert(r.Prefix, r.NextHop, nil)
+	c.stats.Writes++
+	return nil
+}
+
+// Contains reports whether the chip currently stores prefix p.
+func (c *Chip) Contains(p ip.Prefix) bool {
+	return c.match.Get(p, nil) != ip.NoRoute
+}
+
+// Len returns the number of stored entries (== Used()).
+func (c *Chip) Len() int { return c.match.Len() }
+
+// Routes lists the stored entries in address order (diagnostics/tests).
+func (c *Chip) Routes() []ip.Route { return c.match.Routes() }
+
+// Load fills the chip from a route list, failing if capacity is exceeded.
+// Loading is bulk provisioning: moves are not charged to stats because
+// the paper's update costs concern steady-state incremental updates.
+func (c *Chip) Load(routes []ip.Route) error {
+	for _, r := range routes {
+		if _, err := c.Insert(r); err != nil {
+			return err
+		}
+	}
+	c.ResetStats()
+	return nil
+}

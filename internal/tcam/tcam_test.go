@@ -1,0 +1,423 @@
+package tcam
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"clue/internal/ip"
+)
+
+func pfx(s string) ip.Prefix { return ip.MustParsePrefix(s) }
+func addr(s string) ip.Addr  { return ip.MustParseAddr(s) }
+func rt(p string, h ip.NextHop) ip.Route {
+	return ip.Route{Prefix: pfx(p), NextHop: h}
+}
+
+func TestChipInsertLookup(t *testing.T) {
+	c := NewChip(16, NewDisjointLayout())
+	if _, err := c.Insert(rt("10.0.0.0/8", 1)); err != nil {
+		t.Fatal(err)
+	}
+	hop, via, ok := c.Lookup(addr("10.1.2.3"))
+	if !ok || hop != 1 || via != pfx("10.0.0.0/8") {
+		t.Errorf("Lookup = (%d, %s, %v)", hop, via, ok)
+	}
+	_, _, ok = c.Lookup(addr("11.0.0.0"))
+	if ok {
+		t.Error("lookup of uncovered address matched")
+	}
+	st := c.Stats()
+	if st.Lookups != 2 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 lookups 1 hit", st)
+	}
+}
+
+func TestChipPriorityEncoderSemantics(t *testing.T) {
+	// With overlapping entries the chip must return the longest match.
+	c := NewChip(16, NewPLOLayout())
+	mustInsert(t, c, rt("10.0.0.0/8", 1))
+	mustInsert(t, c, rt("10.1.0.0/16", 2))
+	hop, _, ok := c.Lookup(addr("10.1.0.5"))
+	if !ok || hop != 2 {
+		t.Errorf("LPM over overlapping entries = %d, want 2", hop)
+	}
+}
+
+func mustInsert(t *testing.T, c *Chip, r ip.Route) {
+	t.Helper()
+	if _, err := c.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChipCapacity(t *testing.T) {
+	c := NewChip(2, NewDisjointLayout())
+	mustInsert(t, c, rt("10.0.0.0/8", 1))
+	mustInsert(t, c, rt("11.0.0.0/8", 2))
+	if _, err := c.Insert(rt("12.0.0.0/8", 3)); !errors.Is(err, ErrFull) {
+		t.Errorf("insert into full chip: err = %v, want ErrFull", err)
+	}
+	if c.Free() != 0 || c.Used() != 2 {
+		t.Errorf("Free = %d Used = %d", c.Free(), c.Used())
+	}
+}
+
+func TestChipDuplicateInsert(t *testing.T) {
+	c := NewChip(4, NewDisjointLayout())
+	mustInsert(t, c, rt("10.0.0.0/8", 1))
+	if _, err := c.Insert(rt("10.0.0.0/8", 2)); err == nil {
+		t.Error("duplicate insert succeeded")
+	}
+}
+
+func TestChipDeleteAndModify(t *testing.T) {
+	c := NewChip(4, NewDisjointLayout())
+	mustInsert(t, c, rt("10.0.0.0/8", 1))
+	if err := c.Modify(rt("10.0.0.0/8", 5)); err != nil {
+		t.Fatal(err)
+	}
+	hop, _, _ := c.Lookup(addr("10.0.0.1"))
+	if hop != 5 {
+		t.Errorf("hop after modify = %d, want 5", hop)
+	}
+	if _, err := c.Delete(pfx("10.0.0.0/8")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Lookup(addr("10.0.0.1")); ok {
+		t.Error("lookup matched after delete")
+	}
+	if _, err := c.Delete(pfx("10.0.0.0/8")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete err = %v, want ErrNotFound", err)
+	}
+	if err := c.Modify(rt("10.0.0.0/8", 1)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("modify absent err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestChipLoadResetsStats(t *testing.T) {
+	c := NewChip(8, NewDisjointLayout())
+	if err := c.Load([]ip.Route{rt("10.0.0.0/8", 1), rt("11.0.0.0/8", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Writes != 0 || st.Moves != 0 {
+		t.Errorf("stats after Load = %+v, want zeroed", st)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestChipLoadOverCapacity(t *testing.T) {
+	c := NewChip(1, NewDisjointLayout())
+	err := c.Load([]ip.Route{rt("10.0.0.0/8", 1), rt("11.0.0.0/8", 2)})
+	if !errors.Is(err, ErrFull) {
+		t.Errorf("Load over capacity err = %v, want ErrFull", err)
+	}
+}
+
+func TestDisjointLayoutMoves(t *testing.T) {
+	c := NewChip(8, NewDisjointLayout())
+	for i, r := range []ip.Route{rt("10.0.0.0/8", 1), rt("11.0.0.0/8", 2), rt("12.0.0.0/8", 3)} {
+		moves, err := c.Insert(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if moves != 0 {
+			t.Errorf("insert %d cost %d moves, want 0", i, moves)
+		}
+	}
+	// Deleting a middle entry back-fills with the last: exactly 1 move.
+	moves, err := c.Delete(pfx("11.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves != 1 {
+		t.Errorf("middle delete moves = %d, want 1", moves)
+	}
+	// Deleting the (now) last entry costs 0 moves.
+	moves, err = c.Delete(pfx("12.0.0.0/8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves != 0 {
+		t.Errorf("tail delete moves = %d, want 0", moves)
+	}
+	// Matching still works after the back-fill.
+	hop, _, ok := c.Lookup(addr("10.0.0.1"))
+	if !ok || hop != 1 {
+		t.Errorf("lookup after deletes = (%d, %v)", hop, ok)
+	}
+}
+
+func TestDisjointLayoutSlotTracking(t *testing.T) {
+	l := NewDisjointLayout()
+	a, b, c := pfx("10.0.0.0/8"), pfx("11.0.0.0/8"), pfx("12.0.0.0/8")
+	for _, p := range []ip.Prefix{a, b, c} {
+		if _, err := l.PlaceInsert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.PlaceDelete(b); err != nil {
+		t.Fatal(err)
+	}
+	// c must have been moved into b's slot (slot 1).
+	if slot, ok := l.Slot(c); !ok || slot != 1 {
+		t.Errorf("slot of back-filled entry = (%d, %v), want (1, true)", slot, ok)
+	}
+	if _, ok := l.Slot(b); ok {
+		t.Error("deleted prefix still has a slot")
+	}
+}
+
+func TestNaiveLayoutShiftCounts(t *testing.T) {
+	c := NewChip(16, NewNaiveLayout())
+	// Insert /8, /24, /16 — the /16 lands between them, shifting the /8.
+	mustInsert(t, c, rt("10.0.0.0/8", 1))
+	mustInsert(t, c, rt("10.0.0.0/24", 2))
+	moves, err := c.Insert(rt("10.0.0.0/16", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves != 1 {
+		t.Errorf("insert between zones moved %d, want 1 (the /8)", moves)
+	}
+	// Inserting a /32 at the very front shifts all 3.
+	moves, err = c.Insert(rt("10.0.0.1/32", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves != 3 {
+		t.Errorf("front insert moved %d, want 3", moves)
+	}
+}
+
+func TestNaiveLayoutDeleteShifts(t *testing.T) {
+	l := NewNaiveLayout()
+	for _, p := range []ip.Prefix{pfx("10.0.0.0/24"), pfx("10.0.0.0/16"), pfx("10.0.0.0/8")} {
+		if _, err := l.PlaceInsert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moves, err := l.PlaceDelete(pfx("10.0.0.0/24"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves != 2 {
+		t.Errorf("front delete moved %d, want 2", moves)
+	}
+}
+
+func TestPLOLayoutMoves(t *testing.T) {
+	l := NewPLOLayout()
+	// First insert of a /24: no shorter zones occupied -> 0 moves.
+	moves, _ := l.PlaceInsert(pfx("10.0.0.0/24"))
+	if moves != 0 {
+		t.Errorf("first /24 insert moves = %d, want 0", moves)
+	}
+	// An /8 zone appears: inserting another /24 must cascade past it.
+	if _, err := l.PlaceInsert(pfx("10.0.0.0/8")); err != nil {
+		t.Fatal(err)
+	}
+	moves, _ = l.PlaceInsert(pfx("10.1.0.0/24"))
+	if moves != 1 {
+		t.Errorf("/24 insert with /8 zone occupied moves = %d, want 1", moves)
+	}
+	// Populate /9../16 zones; a /24 insert now cascades past 9 zones
+	// (/8../16).
+	for length := 9; length <= 16; length++ {
+		if _, err := l.PlaceInsert(ip.MustPrefix(ip.MustParseAddr("20.0.0.0"), length)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moves, _ = l.PlaceInsert(pfx("10.2.0.0/24"))
+	if moves != 9 {
+		t.Errorf("/24 insert with 9 shorter zones moves = %d, want 9", moves)
+	}
+	// Inserting an /8 cascades past nothing (no zone shorter than 8).
+	moves, _ = l.PlaceInsert(pfx("30.0.0.0/8"))
+	if moves != 0 {
+		t.Errorf("/8 insert moves = %d, want 0", moves)
+	}
+}
+
+func TestPLOLayoutBoundedBy32(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewPLOLayout()
+	for i := 0; i < 2000; i++ {
+		p := ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(33))
+		var moves int
+		var err error
+		if l.members[p] {
+			moves, err = l.PlaceDelete(p)
+		} else {
+			moves, err = l.PlaceInsert(p)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if moves > ip.AddrBits+1 {
+			t.Fatalf("PLO moves = %d, exceeds bound", moves)
+		}
+	}
+}
+
+func TestPLOLayoutDelete(t *testing.T) {
+	l := NewPLOLayout()
+	if _, err := l.PlaceInsert(pfx("10.0.0.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PlaceInsert(pfx("10.1.0.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PlaceInsert(pfx("10.0.0.0/8")); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting one of two /24s: 1 back-fill + cascade past the /8 zone.
+	moves, err := l.PlaceDelete(pfx("10.0.0.0/24"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves != 2 {
+		t.Errorf("delete moves = %d, want 2", moves)
+	}
+	if l.ZoneCount(24) != 1 {
+		t.Errorf("zone 24 count = %d, want 1", l.ZoneCount(24))
+	}
+	if l.ZoneCount(-1) != 0 || l.ZoneCount(40) != 0 {
+		t.Error("out-of-range ZoneCount should be 0")
+	}
+}
+
+func TestPLOAverageMovesOnRealisticMix(t *testing.T) {
+	// With zones /8../24 all occupied (a realistic backbone mix), a /24
+	// update should cascade past ~16 zones — the neighbourhood of the
+	// paper's measured 14.994 average.
+	l := NewPLOLayout()
+	for length := 8; length <= 24; length++ {
+		for i := 0; i < 4; i++ {
+			p := ip.MustPrefix(ip.Addr(uint32(i)<<27|uint32(length)<<8), length)
+			if _, err := l.PlaceInsert(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	moves, err := l.PlaceInsert(pfx("200.0.0.0/24"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves < 10 || moves > 20 {
+		t.Errorf("realistic /24 insert moves = %d, want ≈16", moves)
+	}
+}
+
+func TestLayoutErrors(t *testing.T) {
+	for _, l := range []Layout{NewDisjointLayout(), NewNaiveLayout(), NewPLOLayout()} {
+		if _, err := l.PlaceDelete(pfx("10.0.0.0/8")); err == nil {
+			t.Errorf("%s: delete from empty layout succeeded", l.Name())
+		}
+		if _, err := l.PlaceInsert(pfx("10.0.0.0/8")); err != nil {
+			t.Errorf("%s: %v", l.Name(), err)
+		}
+		if _, err := l.PlaceInsert(pfx("10.0.0.0/8")); err == nil {
+			t.Errorf("%s: duplicate insert succeeded", l.Name())
+		}
+		if l.Used() != 1 {
+			t.Errorf("%s: Used = %d, want 1", l.Name(), l.Used())
+		}
+	}
+}
+
+// Property: under random churn all three layouts agree with the chip's
+// entry set, and their move counts respect their bounds.
+func TestLayoutsUnderChurn(t *testing.T) {
+	layouts := []func() Layout{
+		func() Layout { return NewDisjointLayout() },
+		func() Layout { return NewNaiveLayout() },
+		func() Layout { return NewPLOLayout() },
+	}
+	for _, mk := range layouts {
+		rng := rand.New(rand.NewSource(9))
+		c := NewChip(512, mk())
+		present := map[ip.Prefix]ip.NextHop{}
+		universe := make([]ip.Prefix, 0, 128)
+		for i := 0; i < 128; i++ {
+			universe = append(universe, ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(25)+8))
+		}
+		for op := 0; op < 3000; op++ {
+			p := universe[rng.Intn(len(universe))]
+			if _, ok := present[p]; ok && rng.Intn(2) == 0 {
+				moves, err := c.Delete(p)
+				if err != nil {
+					t.Fatalf("%s: delete: %v", c.LayoutName(), err)
+				}
+				if c.LayoutName() == "disjoint" && moves > 1 {
+					t.Fatalf("disjoint delete moves = %d > 1", moves)
+				}
+				delete(present, p)
+			} else if _, ok := present[p]; !ok {
+				hop := ip.NextHop(rng.Intn(8) + 1)
+				moves, err := c.Insert(ip.Route{Prefix: p, NextHop: hop})
+				if err != nil {
+					t.Fatalf("%s: insert: %v", c.LayoutName(), err)
+				}
+				if c.LayoutName() == "disjoint" && moves != 0 {
+					t.Fatalf("disjoint insert moves = %d != 0", moves)
+				}
+				if c.LayoutName() == "plo" && moves > ip.AddrBits+1 {
+					t.Fatalf("plo moves = %d exceeds bound", moves)
+				}
+				present[p] = hop
+			}
+		}
+		if c.Used() != len(present) || c.Len() != len(present) {
+			t.Fatalf("%s: Used=%d Len=%d model=%d", c.LayoutName(), c.Used(), c.Len(), len(present))
+		}
+		for p, h := range present {
+			if !c.Contains(p) {
+				t.Fatalf("%s: missing %s", c.LayoutName(), p)
+			}
+			got, _, _ := c.Lookup(p.First())
+			want, _ := lookupModel(present, p.First())
+			if got != want {
+				t.Fatalf("%s: lookup(%s) = %d, model %d (hop %d)", c.LayoutName(), p.First(), got, want, h)
+			}
+		}
+	}
+}
+
+func lookupModel(m map[ip.Prefix]ip.NextHop, a ip.Addr) (ip.NextHop, bool) {
+	best := ip.NoRoute
+	bestLen := -1
+	for p, h := range m {
+		if p.Contains(a) && int(p.Len) > bestLen {
+			best, bestLen = h, int(p.Len)
+		}
+	}
+	return best, bestLen >= 0
+}
+
+func TestStatsUpdateAccesses(t *testing.T) {
+	s := Stats{Writes: 3, Moves: 4}
+	if s.UpdateAccesses() != 7 {
+		t.Errorf("UpdateAccesses = %d, want 7", s.UpdateAccesses())
+	}
+}
+
+func TestEntriesSearchedPowerProxy(t *testing.T) {
+	c := NewChip(16, NewDisjointLayout())
+	mustInsert(t, c, rt("10.0.0.0/8", 1))
+	mustInsert(t, c, rt("11.0.0.0/8", 2))
+	c.Lookup(addr("10.0.0.1"))
+	c.Lookup(addr("12.0.0.1"))
+	st := c.Stats()
+	if st.EntriesSearched != 4 {
+		t.Errorf("EntriesSearched = %d, want 4 (2 lookups x 2 occupied)", st.EntriesSearched)
+	}
+	if st.MeanSearched() != 2 {
+		t.Errorf("MeanSearched = %v, want 2", st.MeanSearched())
+	}
+	if (Stats{}).MeanSearched() != 0 {
+		t.Error("zero stats MeanSearched should be 0")
+	}
+}

@@ -1,0 +1,262 @@
+package tracegen
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"clue/internal/ip"
+	"clue/internal/trie"
+)
+
+func pfx(s string) ip.Prefix { return ip.MustParsePrefix(s) }
+
+func somePrefixes(n int) []ip.Prefix {
+	out := make([]ip.Prefix, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, ip.MustPrefix(ip.Addr(uint32(i+1)<<24), 24))
+	}
+	return out
+}
+
+func TestTrafficDeterministic(t *testing.T) {
+	ps := somePrefixes(100)
+	a, err := NewTraffic(ps, TrafficConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTraffic(ps, TrafficConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("divergence at packet %d", i)
+		}
+	}
+}
+
+func TestTrafficAddressesInsidePopulation(t *testing.T) {
+	ps := somePrefixes(50)
+	g, err := NewTraffic(ps, TrafficConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPop := func(a ip.Addr) bool {
+		for _, p := range ps {
+			if p.Contains(a) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, a := range g.NextN(2000) {
+		if !inPop(a) {
+			t.Fatalf("generated address %s outside prefix population", a)
+		}
+	}
+}
+
+func TestTrafficZipfSkew(t *testing.T) {
+	ps := somePrefixes(1000)
+	g, err := NewTraffic(ps, TrafficConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[ip.Addr]int{}
+	for i := 0; i < 50000; i++ {
+		a := g.Next()
+		counts[a&0xFF000000]++ // bucket by /8 == by prefix here
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	// Heavy skew: top prefix should dominate far beyond uniform share.
+	if float64(freqs[0])/50000 < 0.05 {
+		t.Errorf("top prefix share = %v, want Zipf-heavy (> 5%%)", float64(freqs[0])/50000)
+	}
+	// And the tail should still be touched.
+	if len(freqs) < 100 {
+		t.Errorf("only %d distinct prefixes touched, trace too concentrated", len(freqs))
+	}
+}
+
+func TestTrafficRepeatLocality(t *testing.T) {
+	ps := somePrefixes(1000)
+	g, err := NewTraffic(ps, TrafficConfig{Seed: 3, Repeat: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	prev := g.Next() & 0xFF000000
+	for i := 0; i < 5000; i++ {
+		cur := g.Next() & 0xFF000000
+		if cur == prev {
+			same++
+		}
+		prev = cur
+	}
+	if frac := float64(same) / 5000; frac < 0.8 {
+		t.Errorf("repeat fraction = %v, want ≈0.9", frac)
+	}
+}
+
+func TestTrafficValidation(t *testing.T) {
+	ps := somePrefixes(10)
+	if _, err := NewTraffic(nil, TrafficConfig{}); err == nil {
+		t.Error("empty population accepted")
+	}
+	if _, err := NewTraffic(ps, TrafficConfig{ZipfS: 0.5}); err == nil {
+		t.Error("ZipfS <= 1 accepted")
+	}
+	if _, err := NewTraffic(ps, TrafficConfig{Repeat: 1.0}); err == nil {
+		t.Error("Repeat = 1 accepted")
+	}
+	if _, err := NewTraffic(ps, TrafficConfig{Repeat: -0.1}); err == nil {
+		t.Error("negative Repeat accepted")
+	}
+}
+
+func TestPrefixesFromRoutes(t *testing.T) {
+	routes := []ip.Route{
+		{Prefix: pfx("10.0.0.0/8"), NextHop: 1},
+		{Prefix: pfx("11.0.0.0/8"), NextHop: 2},
+	}
+	ps := PrefixesFromRoutes(routes)
+	if len(ps) != 2 || ps[0] != pfx("10.0.0.0/8") || ps[1] != pfx("11.0.0.0/8") {
+		t.Errorf("PrefixesFromRoutes = %v", ps)
+	}
+}
+
+func seedFIB(n int) *trie.Trie {
+	fib := trie.New()
+	for i := 0; i < n; i++ {
+		fib.Insert(ip.MustPrefix(ip.Addr(uint32(i+1)<<20), 16), ip.NextHop(i%8+1), nil)
+	}
+	return fib
+}
+
+func TestUpdateGenDeterministic(t *testing.T) {
+	a, err := NewUpdateGen(seedFIB(100), UpdateConfig{Seed: 4, Messages: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewUpdateGen(seedFIB(100), UpdateConfig{Seed: 4, Messages: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		ua, ub := a.Next(), b.Next()
+		if ua != ub {
+			t.Fatalf("divergence at message %d: %+v vs %+v", i, ua, ub)
+		}
+	}
+}
+
+func TestUpdateGenSelfConsistent(t *testing.T) {
+	fib := seedFIB(200)
+	g, err := NewUpdateGen(fib, UpdateConfig{Seed: 5, Messages: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply the stream to a model table; withdraws must always hit.
+	model := map[ip.Prefix]ip.NextHop{}
+	for _, r := range fib.Routes() {
+		model[r.Prefix] = r.NextHop
+	}
+	withdraws, announces := 0, 0
+	for i := 0; i < 5000; i++ {
+		u := g.Next()
+		switch u.Kind {
+		case Withdraw:
+			withdraws++
+			if _, ok := model[u.Prefix]; !ok {
+				t.Fatalf("message %d withdraws absent prefix %s", i, u.Prefix)
+			}
+			delete(model, u.Prefix)
+		case Announce:
+			announces++
+			if u.Hop == ip.NoRoute {
+				t.Fatalf("message %d announces NoRoute hop", i)
+			}
+			model[u.Prefix] = u.Hop
+		default:
+			t.Fatalf("message %d has kind %v", i, u.Kind)
+		}
+	}
+	if g.Live() != len(model) {
+		t.Errorf("generator view %d != model %d", g.Live(), len(model))
+	}
+	frac := float64(withdraws) / 5000
+	if math.Abs(frac-0.2) > 0.05 {
+		t.Errorf("withdraw fraction = %v, want ≈0.2", frac)
+	}
+}
+
+func TestUpdateGenTimesMonotonicWithinDuration(t *testing.T) {
+	g, err := NewUpdateGen(seedFIB(50), UpdateConfig{Seed: 6, Messages: 2000, Duration: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev time.Duration = -1
+	for i := 0; i < 2000; i++ {
+		u := g.Next()
+		if u.At < prev {
+			t.Fatalf("time went backwards at message %d", i)
+		}
+		if u.Seq != i {
+			t.Fatalf("Seq = %d, want %d", u.Seq, i)
+		}
+		prev = u.At
+	}
+	// Bursty clock mean is ~1.3x step; just require same order of
+	// magnitude as the configured duration.
+	if prev > 3*24*time.Hour || prev < 6*time.Hour {
+		t.Errorf("trace spanned %v, want order of 24h", prev)
+	}
+}
+
+func TestUpdateGenValidation(t *testing.T) {
+	if _, err := NewUpdateGen(trie.New(), UpdateConfig{Messages: 10}); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := NewUpdateGen(seedFIB(10), UpdateConfig{Messages: 0}); err == nil {
+		t.Error("zero messages accepted")
+	}
+	if _, err := NewUpdateGen(seedFIB(10), UpdateConfig{Messages: 10, WithdrawFrac: 1.5}); err == nil {
+		t.Error("WithdrawFrac > 1 accepted")
+	}
+}
+
+func TestUpdateGenNewPrefixes(t *testing.T) {
+	fib := seedFIB(100)
+	before := map[ip.Prefix]bool{}
+	for _, r := range fib.Routes() {
+		before[r.Prefix] = true
+	}
+	g, err := NewUpdateGen(fib, UpdateConfig{Seed: 7, Messages: 2000, NewPrefixFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := 0
+	for _, u := range g.NextN(2000) {
+		if u.Kind == Announce && !before[u.Prefix] {
+			fresh++
+		}
+	}
+	if fresh < 200 {
+		t.Errorf("only %d fresh-prefix announces out of 2000", fresh)
+	}
+}
+
+func TestUpdateKindString(t *testing.T) {
+	if Announce.String() != "announce" || Withdraw.String() != "withdraw" {
+		t.Error("kind names wrong")
+	}
+	if UpdateKind(9).String() != "UpdateKind(9)" {
+		t.Error("unknown kind format wrong")
+	}
+}

@@ -1,0 +1,100 @@
+// Package tracegen generates the two workload streams the paper's
+// evaluation consumes: destination-address packet traces with Zipf skew
+// and temporal locality (standing in for the CAIDA Chicago trace), and
+// BGP announce/withdraw update streams (standing in for the RIPE RIS
+// 24-hour update trace).
+//
+// Both generators are deterministic in their seeds so experiments are
+// reproducible run-to-run.
+package tracegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clue/internal/ip"
+)
+
+// TrafficConfig parameterises a packet trace.
+type TrafficConfig struct {
+	// Seed makes the trace deterministic.
+	Seed int64
+	// ZipfS is the Zipf skew exponent (>1). Zero means the calibrated
+	// default 1.2, which yields the heavy per-partition skew of the
+	// paper's Table II.
+	ZipfS float64
+	// Repeat is the probability of the next packet reusing the previous
+	// packet's prefix — temporal locality / burstiness. Zero is valid
+	// (no extra locality beyond the Zipf skew).
+	Repeat float64
+}
+
+// Traffic draws destination addresses over a fixed prefix population.
+type Traffic struct {
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	prefixes []ip.Prefix
+	repeat   float64
+	last     int
+	hasLast  bool
+}
+
+// NewTraffic builds a generator over the given prefixes (typically the
+// compressed table's routes). Popularity ranks are assigned by a seeded
+// shuffle, so which prefixes are hot differs per seed but the skew shape
+// is Zipf(s).
+func NewTraffic(prefixes []ip.Prefix, cfg TrafficConfig) (*Traffic, error) {
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("tracegen: no prefixes")
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("tracegen: ZipfS must be > 1, got %v", cfg.ZipfS)
+	}
+	if cfg.Repeat < 0 || cfg.Repeat >= 1 {
+		return nil, fmt.Errorf("tracegen: Repeat must be in [0,1), got %v", cfg.Repeat)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	shuffled := append([]ip.Prefix(nil), prefixes...)
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	z := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(shuffled)-1))
+	if z == nil {
+		return nil, fmt.Errorf("tracegen: bad Zipf parameters (s=%v)", cfg.ZipfS)
+	}
+	return &Traffic{rng: rng, zipf: z, prefixes: shuffled, repeat: cfg.Repeat}, nil
+}
+
+// Next returns the next destination address.
+func (t *Traffic) Next() ip.Addr {
+	idx := t.last
+	if !t.hasLast || t.rng.Float64() >= t.repeat {
+		idx = int(t.zipf.Uint64())
+	}
+	t.last, t.hasLast = idx, true
+	p := t.prefixes[idx]
+	span := uint64(p.Last()-p.First()) + 1
+	return p.First() + ip.Addr(t.rng.Uint64()%span)
+}
+
+// NextN returns the next n destination addresses.
+func (t *Traffic) NextN(n int) []ip.Addr {
+	out := make([]ip.Addr, n)
+	for i := range out {
+		out[i] = t.Next()
+	}
+	return out
+}
+
+// PrefixesFromRoutes extracts the prefixes of a route list (helper for
+// wiring a Traffic to a table).
+func PrefixesFromRoutes(routes []ip.Route) []ip.Prefix {
+	out := make([]ip.Prefix, len(routes))
+	for i, r := range routes {
+		out[i] = r.Prefix
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package tracegen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"clue/internal/ip"
+	"clue/internal/trie"
+)
+
+// UpdateKind distinguishes BGP announce from withdraw.
+type UpdateKind uint8
+
+const (
+	// Announce adds or changes a route.
+	Announce UpdateKind = iota + 1
+	// Withdraw removes a route.
+	Withdraw
+)
+
+// String names the kind.
+func (k UpdateKind) String() string {
+	switch k {
+	case Announce:
+		return "announce"
+	case Withdraw:
+		return "withdraw"
+	}
+	return fmt.Sprintf("UpdateKind(%d)", uint8(k))
+}
+
+// Update is one routing update message.
+type Update struct {
+	// Seq is the message's position in the trace (0-based).
+	Seq int
+	// At is the message's offset from the trace start.
+	At time.Duration
+	// Kind is announce or withdraw.
+	Kind UpdateKind
+	// Prefix is the updated prefix.
+	Prefix ip.Prefix
+	// Hop is the announced next hop (unused for withdraws).
+	Hop ip.NextHop
+}
+
+// UpdateConfig parameterises an update trace.
+type UpdateConfig struct {
+	// Seed makes the trace deterministic.
+	Seed int64
+	// WithdrawFrac is the fraction of withdraws (default 0.2).
+	WithdrawFrac float64
+	// NewPrefixFrac is the fraction of announces introducing a prefix
+	// not currently in the table (default 0.25 of announces).
+	NewPrefixFrac float64
+	// NextHops is the hop universe for announcements (default 16).
+	NextHops int
+	// Duration is the trace's wall-clock span; message times are spread
+	// over it with bursty interarrivals (default 24h, like the paper's
+	// 2011.10.01/08:00 -> 10.02/08:00 window).
+	Duration time.Duration
+	// Messages is the number of updates to generate.
+	Messages int
+}
+
+func (c UpdateConfig) withDefaults() UpdateConfig {
+	if c.WithdrawFrac == 0 {
+		c.WithdrawFrac = 0.2
+	}
+	if c.NewPrefixFrac == 0 {
+		c.NewPrefixFrac = 0.25
+	}
+	if c.NextHops < 2 {
+		c.NextHops = 16
+	}
+	if c.Duration == 0 {
+		c.Duration = 24 * time.Hour
+	}
+	return c
+}
+
+// UpdateGen produces a deterministic update stream that stays consistent
+// with an evolving table view: withdraws always name a live prefix, and
+// "new" announces a prefix not currently live.
+type UpdateGen struct {
+	cfg  UpdateConfig
+	rng  *rand.Rand
+	live []ip.Route
+	idx  map[ip.Prefix]int
+	seq  int
+	now  time.Duration
+	step time.Duration
+}
+
+// NewUpdateGen seeds the generator with the current table content (the
+// routes the updates will churn).
+func NewUpdateGen(fib *trie.Trie, cfg UpdateConfig) (*UpdateGen, error) {
+	if fib.Len() == 0 {
+		return nil, fmt.Errorf("tracegen: update generator needs a non-empty table")
+	}
+	if cfg.Messages < 1 {
+		return nil, fmt.Errorf("tracegen: Messages must be >= 1, got %d", cfg.Messages)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.WithdrawFrac < 0 || cfg.WithdrawFrac >= 1 {
+		return nil, fmt.Errorf("tracegen: WithdrawFrac must be in [0,1), got %v", cfg.WithdrawFrac)
+	}
+	g := &UpdateGen{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		live: fib.Routes(),
+		idx:  make(map[ip.Prefix]int, fib.Len()),
+		step: cfg.Duration / time.Duration(cfg.Messages),
+	}
+	for i, r := range g.live {
+		g.idx[r.Prefix] = i
+	}
+	return g, nil
+}
+
+// Next returns the next update message. The generator's internal view
+// tracks the table as if every message were applied, so the stream is
+// always self-consistent.
+func (g *UpdateGen) Next() Update {
+	u := Update{Seq: g.seq, At: g.now}
+	g.seq++
+	g.advanceClock()
+	if g.rng.Float64() < g.cfg.WithdrawFrac && len(g.live) > 1 {
+		victim := g.rng.Intn(len(g.live))
+		u.Kind = Withdraw
+		u.Prefix = g.live[victim].Prefix
+		g.remove(victim)
+		return u
+	}
+	u.Kind = Announce
+	u.Hop = ip.NextHop(g.rng.Intn(g.cfg.NextHops) + 1)
+	if g.rng.Float64() < g.cfg.NewPrefixFrac {
+		u.Prefix = g.freshPrefix()
+	} else {
+		u.Prefix = g.live[g.rng.Intn(len(g.live))].Prefix
+	}
+	g.apply(u.Prefix, u.Hop)
+	return u
+}
+
+// NextN returns the next n messages.
+func (g *UpdateGen) NextN(n int) []Update {
+	out := make([]Update, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Live returns the generator's current view of the table size.
+func (g *UpdateGen) Live() int { return len(g.live) }
+
+// advanceClock moves trace time forward with bursty interarrivals: most
+// messages arrive in tight bursts (BGP table transfers, path hunting),
+// separated by longer quiet gaps.
+func (g *UpdateGen) advanceClock() {
+	if g.rng.Float64() < 0.7 {
+		// In-burst: negligible gap.
+		g.now += g.step / 10
+		return
+	}
+	// Quiet gap: stretch to keep the mean near step.
+	g.now += g.step * 4
+}
+
+// freshPrefix picks a prefix not currently live, near existing routes
+// (children or siblings) with high probability — real updates cluster in
+// allocated space.
+func (g *UpdateGen) freshPrefix() ip.Prefix {
+	for attempt := 0; attempt < 64; attempt++ {
+		var p ip.Prefix
+		base := g.live[g.rng.Intn(len(g.live))].Prefix
+		switch g.rng.Intn(3) {
+		case 0:
+			if base.Len < ip.AddrBits-8 {
+				p = base.Child(uint32(g.rng.Intn(2)))
+			} else {
+				p = base
+			}
+		case 1:
+			if base.Len > 0 {
+				p = base.Sibling()
+			} else {
+				p = base
+			}
+		default:
+			p = ip.MustPrefix(ip.Addr(g.rng.Uint32()), g.rng.Intn(9)+16)
+		}
+		if _, ok := g.idx[p]; !ok {
+			return p
+		}
+	}
+	// Dense table: fall back to a random long prefix.
+	return ip.MustPrefix(ip.Addr(g.rng.Uint32()), 28)
+}
+
+func (g *UpdateGen) apply(p ip.Prefix, hop ip.NextHop) {
+	if i, ok := g.idx[p]; ok {
+		g.live[i].NextHop = hop
+		return
+	}
+	g.idx[p] = len(g.live)
+	g.live = append(g.live, ip.Route{Prefix: p, NextHop: hop})
+}
+
+func (g *UpdateGen) remove(i int) {
+	delete(g.idx, g.live[i].Prefix)
+	last := len(g.live) - 1
+	if i != last {
+		g.live[i] = g.live[last]
+		g.idx[g.live[i].Prefix] = i
+	}
+	g.live = g.live[:last]
+}

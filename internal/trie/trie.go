@@ -1,0 +1,382 @@
+// Package trie implements the binary (unibit) prefix trie that underpins
+// every part of CLUE: the control plane keeps the original FIB in one, the
+// ONRTC compressor derives the optimal non-overlapping table from it, the
+// RRC-ME baseline walks it to compute minimal-expansion cache prefixes, and
+// the partition algorithms traverse it to carve TCAM partitions.
+//
+// The trie models the control plane's SRAM-resident structure, so node
+// visits are counted on the operations whose cost the paper charges to
+// SRAM accesses (lookup, RRC-ME, update). Counting is owned by the caller
+// through a Visits sink, keeping the trie itself free of global state.
+package trie
+
+import (
+	"clue/internal/ip"
+)
+
+// Visits accumulates trie node touches. The paper prices control-plane
+// work in SRAM accesses; every descended or inspected node adds one visit.
+type Visits struct {
+	// Nodes is the number of trie nodes touched.
+	Nodes int
+}
+
+// add records n node touches; a nil receiver discards them so callers that
+// don't care about accounting can pass nil.
+func (v *Visits) add(n int) {
+	if v != nil {
+		v.Nodes += n
+	}
+}
+
+// Node is a binary trie node. A node carries a route when Hop != NoRoute.
+// The prefix a node represents is determined by its path from the root and
+// stored explicitly to make walks and diff generation cheap.
+type Node struct {
+	// Children are the zero-bit and one-bit subtries; nil when absent.
+	Children [2]*Node
+	// Prefix is the address block this node represents.
+	Prefix ip.Prefix
+	// Hop is the route stored at this node, or NoRoute.
+	Hop ip.NextHop
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.Children[0] == nil && n.Children[1] == nil }
+
+// Trie is a binary prefix trie mapping prefixes to next hops, supporting
+// longest-prefix-match lookup and incremental update. The zero value is
+// not usable; call New.
+type Trie struct {
+	root   *Node
+	routes int
+}
+
+// New returns an empty trie.
+func New() *Trie {
+	return &Trie{root: &Node{Prefix: ip.Prefix{}}}
+}
+
+// Root exposes the root node for algorithms (compression, partitioning)
+// that need structural access. Callers must not modify the returned
+// subtree except through packages that document otherwise.
+func (t *Trie) Root() *Node { return t.root }
+
+// Len returns the number of routes stored.
+func (t *Trie) Len() int { return t.routes }
+
+// Insert adds or replaces the route for p, returning the previous next hop
+// (NoRoute if p was absent) and the number of trie nodes visited.
+func (t *Trie) Insert(p ip.Prefix, hop ip.NextHop, v *Visits) ip.NextHop {
+	n := t.root
+	v.add(1)
+	for depth := 0; depth < int(p.Len); depth++ {
+		bit := p.Bits.Bit(depth)
+		if n.Children[bit] == nil {
+			n.Children[bit] = &Node{Prefix: n.Prefix.Child(bit)}
+		}
+		n = n.Children[bit]
+		v.add(1)
+	}
+	prev := n.Hop
+	n.Hop = hop
+	if prev == ip.NoRoute && hop != ip.NoRoute {
+		t.routes++
+	}
+	return prev
+}
+
+// Delete removes the route for p, returning the removed next hop (NoRoute
+// if p was not present). Nodes left empty and childless are pruned so the
+// trie does not accumulate garbage under heavy update churn.
+func (t *Trie) Delete(p ip.Prefix, v *Visits) ip.NextHop {
+	// Record the descent path so empty nodes can be pruned bottom-up.
+	path := make([]*Node, 0, int(p.Len)+1)
+	n := t.root
+	v.add(1)
+	path = append(path, n)
+	for depth := 0; depth < int(p.Len); depth++ {
+		bit := p.Bits.Bit(depth)
+		n = n.Children[bit]
+		if n == nil {
+			return ip.NoRoute
+		}
+		v.add(1)
+		path = append(path, n)
+	}
+	prev := n.Hop
+	if prev == ip.NoRoute {
+		return ip.NoRoute
+	}
+	n.Hop = ip.NoRoute
+	t.routes--
+	// Prune childless, route-less nodes up to (but excluding) the root.
+	for i := len(path) - 1; i > 0; i-- {
+		cur := path[i]
+		if !cur.IsLeaf() || cur.Hop != ip.NoRoute {
+			break
+		}
+		parent := path[i-1]
+		bit := cur.Prefix.Bits.Bit(int(cur.Prefix.Len) - 1)
+		parent.Children[bit] = nil
+	}
+	return prev
+}
+
+// Lookup performs longest-prefix match on addr, returning the matched
+// route's next hop (NoRoute if nothing matches) and the matching prefix.
+func (t *Trie) Lookup(addr ip.Addr, v *Visits) (ip.NextHop, ip.Prefix) {
+	n := t.root
+	v.add(1)
+	best := ip.NoRoute
+	bestPfx := ip.Prefix{}
+	if n.Hop != ip.NoRoute {
+		best, bestPfx = n.Hop, n.Prefix
+	}
+	for depth := 0; depth < ip.AddrBits; depth++ {
+		n = n.Children[addr.Bit(depth)]
+		if n == nil {
+			break
+		}
+		v.add(1)
+		if n.Hop != ip.NoRoute {
+			best, bestPfx = n.Hop, n.Prefix
+		}
+	}
+	return best, bestPfx
+}
+
+// Get returns the next hop stored exactly at p (not via LPM), or NoRoute.
+func (t *Trie) Get(p ip.Prefix, v *Visits) ip.NextHop {
+	n := t.Find(p, v)
+	if n == nil {
+		return ip.NoRoute
+	}
+	return n.Hop
+}
+
+// Find returns the node exactly at p, or nil if the path does not exist.
+func (t *Trie) Find(p ip.Prefix, v *Visits) *Node {
+	n := t.root
+	v.add(1)
+	for depth := 0; depth < int(p.Len); depth++ {
+		n = n.Children[p.Bits.Bit(depth)]
+		if n == nil {
+			return nil
+		}
+		v.add(1)
+	}
+	return n
+}
+
+// InsertWithCover is Insert fused with FindWithCover: one walk that
+// inserts the route and reports the node at p together with the hop
+// inherited from p's strict ancestors. The ONRTC updater uses it to avoid
+// a second descent.
+func (t *Trie) InsertWithCover(p ip.Prefix, hop ip.NextHop, v *Visits) (prev ip.NextHop, n *Node, inh ip.NextHop) {
+	n = t.root
+	v.add(1)
+	inh = ip.NoRoute
+	for depth := 0; depth < int(p.Len); depth++ {
+		if n.Hop != ip.NoRoute {
+			inh = n.Hop
+		}
+		bit := p.Bits.Bit(depth)
+		if n.Children[bit] == nil {
+			n.Children[bit] = &Node{Prefix: n.Prefix.Child(bit)}
+		}
+		n = n.Children[bit]
+		v.add(1)
+	}
+	prev = n.Hop
+	n.Hop = hop
+	if prev == ip.NoRoute && hop != ip.NoRoute {
+		t.routes++
+	}
+	return prev, n, inh
+}
+
+// DeleteWithCover is Delete fused with FindWithCover: it removes the
+// route at p (pruning emptied nodes) and reports the surviving node at p
+// (nil if pruned or absent) plus the hop inherited from p's strict
+// ancestors.
+func (t *Trie) DeleteWithCover(p ip.Prefix, v *Visits) (prev ip.NextHop, n *Node, inh ip.NextHop) {
+	path := make([]*Node, 0, int(p.Len)+1)
+	cur := t.root
+	v.add(1)
+	path = append(path, cur)
+	inh = ip.NoRoute
+	for depth := 0; depth < int(p.Len); depth++ {
+		if cur.Hop != ip.NoRoute {
+			inh = cur.Hop
+		}
+		cur = cur.Children[p.Bits.Bit(depth)]
+		if cur == nil {
+			return ip.NoRoute, nil, inh
+		}
+		v.add(1)
+		path = append(path, cur)
+	}
+	prev = cur.Hop
+	if prev == ip.NoRoute {
+		return ip.NoRoute, cur, inh
+	}
+	cur.Hop = ip.NoRoute
+	t.routes--
+	n = cur
+	for i := len(path) - 1; i > 0; i-- {
+		node := path[i]
+		if !node.IsLeaf() || node.Hop != ip.NoRoute {
+			break
+		}
+		parent := path[i-1]
+		bit := node.Prefix.Bits.Bit(int(node.Prefix.Len) - 1)
+		parent.Children[bit] = nil
+		if node == n {
+			n = nil
+		}
+	}
+	return prev, n, inh
+}
+
+// FindWithCover descends to p in a single walk, returning the node at p
+// (nil if the path stops early) and the next hop inherited from p's
+// strict ancestors. It does the combined work of Find and CoveringHop at
+// one walk's cost.
+func (t *Trie) FindWithCover(p ip.Prefix, v *Visits) (*Node, ip.NextHop) {
+	n := t.root
+	v.add(1)
+	inh := ip.NoRoute
+	for depth := 0; depth < int(p.Len); depth++ {
+		if n.Hop != ip.NoRoute {
+			inh = n.Hop
+		}
+		n = n.Children[p.Bits.Bit(depth)]
+		if n == nil {
+			return nil, inh
+		}
+		v.add(1)
+	}
+	return n, inh
+}
+
+// CoveringHop returns the next hop inherited at prefix p from the longest
+// strict ancestor route of p (the hop packets would fall through to if p
+// itself had no route), along with that ancestor's prefix.
+func (t *Trie) CoveringHop(p ip.Prefix, v *Visits) (ip.NextHop, ip.Prefix) {
+	n := t.root
+	v.add(1)
+	best := ip.NoRoute
+	bestPfx := ip.Prefix{}
+	if n.Hop != ip.NoRoute && p.Len > 0 {
+		best, bestPfx = n.Hop, n.Prefix
+	}
+	for depth := 0; depth < int(p.Len)-1; depth++ {
+		n = n.Children[p.Bits.Bit(depth)]
+		if n == nil {
+			break
+		}
+		v.add(1)
+		if n.Hop != ip.NoRoute {
+			best, bestPfx = n.Hop, n.Prefix
+		}
+	}
+	return best, bestPfx
+}
+
+// WalkRoutes visits every stored route in inorder (ascending Prefix.Compare
+// order: by address, covering prefixes first). The walk stops early if fn
+// returns false.
+func (t *Trie) WalkRoutes(fn func(ip.Route) bool) {
+	walkRoutes(t.root, fn)
+}
+
+func walkRoutes(n *Node, fn func(ip.Route) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.Hop != ip.NoRoute {
+		if !fn(ip.Route{Prefix: n.Prefix, NextHop: n.Hop}) {
+			return false
+		}
+	}
+	return walkRoutes(n.Children[0], fn) && walkRoutes(n.Children[1], fn)
+}
+
+// Routes returns all stored routes in inorder.
+func (t *Trie) Routes() []ip.Route {
+	out := make([]ip.Route, 0, t.routes)
+	t.WalkRoutes(func(r ip.Route) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// FromRoutes builds a trie containing the given routes. Later duplicates
+// of the same prefix overwrite earlier ones, matching FIB semantics.
+func FromRoutes(routes []ip.Route) *Trie {
+	t := New()
+	for _, r := range routes {
+		t.Insert(r.Prefix, r.NextHop, nil)
+	}
+	return t
+}
+
+// NodeCount returns the total number of allocated trie nodes, including
+// internal nodes without routes. It is an SRAM-footprint proxy.
+func (t *Trie) NodeCount() int {
+	return countNodes(t.root)
+}
+
+func countNodes(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.Children[0]) + countNodes(n.Children[1])
+}
+
+// MaxDepth returns the length of the longest stored prefix.
+func (t *Trie) MaxDepth() int {
+	max := 0
+	t.WalkRoutes(func(r ip.Route) bool {
+		if int(r.Prefix.Len) > max {
+			max = int(r.Prefix.Len)
+		}
+		return true
+	})
+	return max
+}
+
+// Overlapping reports whether any stored route's prefix covers another
+// stored route's prefix. ONRTC output must make this false.
+func (t *Trie) Overlapping() bool {
+	return overlapping(t.root, false)
+}
+
+func overlapping(n *Node, ancestorHasRoute bool) bool {
+	if n == nil {
+		return false
+	}
+	if n.Hop != ip.NoRoute && ancestorHasRoute {
+		return true
+	}
+	has := ancestorHasRoute || n.Hop != ip.NoRoute
+	return overlapping(n.Children[0], has) || overlapping(n.Children[1], has)
+}
+
+// Clone returns a deep copy of the trie. The engine uses clones so that
+// baseline and CLUE pipelines mutate independent state.
+func (t *Trie) Clone() *Trie {
+	return &Trie{root: cloneNode(t.root), routes: t.routes}
+}
+
+func cloneNode(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Prefix: n.Prefix, Hop: n.Hop}
+	c.Children[0] = cloneNode(n.Children[0])
+	c.Children[1] = cloneNode(n.Children[1])
+	return c
+}

@@ -1,0 +1,354 @@
+package trie
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"clue/internal/ip"
+)
+
+func pfx(s string) ip.Prefix { return ip.MustParsePrefix(s) }
+func addr(s string) ip.Addr  { return ip.MustParseAddr(s) }
+
+func TestEmptyTrie(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Errorf("empty trie Len = %d", tr.Len())
+	}
+	hop, _ := tr.Lookup(addr("1.2.3.4"), nil)
+	if hop != ip.NoRoute {
+		t.Errorf("lookup in empty trie = %d, want NoRoute", hop)
+	}
+	if tr.Overlapping() {
+		t.Error("empty trie reports overlapping")
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.0.0.0/8"), 1, nil)
+	tr.Insert(pfx("10.1.0.0/16"), 2, nil)
+	tr.Insert(pfx("0.0.0.0/0"), 9, nil)
+
+	tests := []struct {
+		addr string
+		want ip.NextHop
+		via  string
+	}{
+		{addr: "10.1.2.3", want: 2, via: "10.1.0.0/16"},
+		{addr: "10.2.0.1", want: 1, via: "10.0.0.0/8"},
+		{addr: "11.0.0.1", want: 9, via: "0.0.0.0/0"},
+	}
+	for _, tt := range tests {
+		hop, via := tr.Lookup(addr(tt.addr), nil)
+		if hop != tt.want || via.String() != tt.via {
+			t.Errorf("Lookup(%s) = (%d, %s), want (%d, %s)", tt.addr, hop, via, tt.want, tt.via)
+		}
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tr.Len())
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tr := New()
+	if prev := tr.Insert(pfx("10.0.0.0/8"), 1, nil); prev != ip.NoRoute {
+		t.Errorf("first insert prev = %d", prev)
+	}
+	if prev := tr.Insert(pfx("10.0.0.0/8"), 5, nil); prev != 1 {
+		t.Errorf("replace prev = %d, want 1", prev)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len after replace = %d, want 1", tr.Len())
+	}
+	hop, _ := tr.Lookup(addr("10.0.0.1"), nil)
+	if hop != 5 {
+		t.Errorf("lookup after replace = %d, want 5", hop)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.0.0.0/8"), 1, nil)
+	tr.Insert(pfx("10.1.0.0/16"), 2, nil)
+
+	if got := tr.Delete(pfx("10.1.0.0/16"), nil); got != 2 {
+		t.Errorf("Delete returned %d, want 2", got)
+	}
+	hop, _ := tr.Lookup(addr("10.1.2.3"), nil)
+	if hop != 1 {
+		t.Errorf("lookup after delete = %d, want 1 (fall back to /8)", hop)
+	}
+	if got := tr.Delete(pfx("10.1.0.0/16"), nil); got != ip.NoRoute {
+		t.Errorf("double delete returned %d, want NoRoute", got)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestDeletePrunesNodes(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.1.0.0/16"), 2, nil)
+	before := tr.NodeCount()
+	tr.Delete(pfx("10.1.0.0/16"), nil)
+	after := tr.NodeCount()
+	if after != 1 {
+		t.Errorf("NodeCount after deleting only route = %d (before %d), want 1 (root)", after, before)
+	}
+}
+
+func TestDeleteKeepsNeededNodes(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.0.0.0/8"), 1, nil)
+	tr.Insert(pfx("10.1.0.0/16"), 2, nil)
+	tr.Delete(pfx("10.0.0.0/8"), nil)
+	hop, _ := tr.Lookup(addr("10.1.0.1"), nil)
+	if hop != 2 {
+		t.Errorf("child route lost after deleting ancestor: hop = %d", hop)
+	}
+}
+
+func TestDeleteAbsentPath(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.0.0.0/8"), 1, nil)
+	if got := tr.Delete(pfx("192.168.0.0/16"), nil); got != ip.NoRoute {
+		t.Errorf("delete of absent prefix = %d", got)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len changed by absent delete: %d", tr.Len())
+	}
+}
+
+func TestGetExact(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.0.0.0/8"), 1, nil)
+	if got := tr.Get(pfx("10.0.0.0/8"), nil); got != 1 {
+		t.Errorf("Get exact = %d, want 1", got)
+	}
+	if got := tr.Get(pfx("10.0.0.0/9"), nil); got != ip.NoRoute {
+		t.Errorf("Get non-stored = %d, want NoRoute", got)
+	}
+}
+
+func TestCoveringHop(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("0.0.0.0/0"), 9, nil)
+	tr.Insert(pfx("10.0.0.0/8"), 1, nil)
+	tr.Insert(pfx("10.1.0.0/16"), 2, nil)
+
+	hop, via := tr.CoveringHop(pfx("10.1.0.0/16"), nil)
+	if hop != 1 || via.String() != "10.0.0.0/8" {
+		t.Errorf("CoveringHop(/16) = (%d, %s), want (1, 10.0.0.0/8)", hop, via)
+	}
+	hop, via = tr.CoveringHop(pfx("10.0.0.0/8"), nil)
+	if hop != 9 || via.String() != "0.0.0.0/0" {
+		t.Errorf("CoveringHop(/8) = (%d, %s), want (9, 0.0.0.0/0)", hop, via)
+	}
+	// The covering hop of the default route itself is nothing.
+	hop, _ = tr.CoveringHop(ip.Prefix{}, nil)
+	if hop != ip.NoRoute {
+		t.Errorf("CoveringHop(/0) = %d, want NoRoute", hop)
+	}
+}
+
+func TestWalkRoutesOrder(t *testing.T) {
+	tr := New()
+	routes := []string{"192.0.2.0/24", "10.0.0.0/8", "10.0.0.0/16", "11.0.0.0/8"}
+	for i, s := range routes {
+		tr.Insert(pfx(s), ip.NextHop(i+1), nil)
+	}
+	got := tr.Routes()
+	if len(got) != len(routes) {
+		t.Fatalf("Routes len = %d, want %d", len(got), len(routes))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Prefix.Compare(got[i].Prefix) >= 0 {
+			t.Errorf("Routes not in inorder: %s before %s", got[i-1].Prefix, got[i].Prefix)
+		}
+	}
+}
+
+func TestWalkRoutesEarlyStop(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.0.0.0/8"), 1, nil)
+	tr.Insert(pfx("11.0.0.0/8"), 2, nil)
+	count := 0
+	tr.WalkRoutes(func(ip.Route) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early-stopped walk visited %d routes, want 1", count)
+	}
+}
+
+func TestOverlapping(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.0.0.0/8"), 1, nil)
+	tr.Insert(pfx("11.0.0.0/8"), 2, nil)
+	if tr.Overlapping() {
+		t.Error("disjoint routes reported overlapping")
+	}
+	tr.Insert(pfx("10.1.0.0/16"), 3, nil)
+	if !tr.Overlapping() {
+		t.Error("nested routes not reported overlapping")
+	}
+}
+
+func TestVisitsAccounting(t *testing.T) {
+	tr := New()
+	var v Visits
+	tr.Insert(pfx("10.0.0.0/8"), 1, &v)
+	if v.Nodes != 9 { // root + 8 descents
+		t.Errorf("insert visits = %d, want 9", v.Nodes)
+	}
+	v = Visits{}
+	tr.Lookup(addr("10.0.0.1"), &v)
+	if v.Nodes < 9 {
+		t.Errorf("lookup visits = %d, want >= 9", v.Nodes)
+	}
+	// nil sink must not panic.
+	tr.Lookup(addr("10.0.0.1"), nil)
+}
+
+func TestFromRoutesDuplicateOverwrites(t *testing.T) {
+	tr := FromRoutes([]ip.Route{
+		{Prefix: pfx("10.0.0.0/8"), NextHop: 1},
+		{Prefix: pfx("10.0.0.0/8"), NextHop: 7},
+	})
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+	hop, _ := tr.Lookup(addr("10.0.0.1"), nil)
+	if hop != 7 {
+		t.Errorf("duplicate route did not overwrite: hop = %d", hop)
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.0.0.0/8"), 1, nil)
+	c := tr.Clone()
+	c.Insert(pfx("10.0.0.0/8"), 5, nil)
+	c.Insert(pfx("11.0.0.0/8"), 2, nil)
+	hop, _ := tr.Lookup(addr("10.0.0.1"), nil)
+	if hop != 1 {
+		t.Error("mutating clone changed original")
+	}
+	if tr.Len() != 1 || c.Len() != 2 {
+		t.Errorf("Len original %d clone %d, want 1 and 2", tr.Len(), c.Len())
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	tr := New()
+	if tr.MaxDepth() != 0 {
+		t.Errorf("empty MaxDepth = %d", tr.MaxDepth())
+	}
+	tr.Insert(pfx("10.0.0.0/8"), 1, nil)
+	tr.Insert(pfx("192.0.2.128/25"), 2, nil)
+	if tr.MaxDepth() != 25 {
+		t.Errorf("MaxDepth = %d, want 25", tr.MaxDepth())
+	}
+}
+
+// referenceLPM does longest-prefix match by linear scan, as ground truth.
+func referenceLPM(routes []ip.Route, a ip.Addr) ip.NextHop {
+	best := ip.NoRoute
+	bestLen := -1
+	for _, r := range routes {
+		if r.Prefix.Contains(a) && int(r.Prefix.Len) > bestLen {
+			best, bestLen = r.NextHop, int(r.Prefix.Len)
+		}
+	}
+	return best
+}
+
+// Property: trie LPM agrees with linear-scan LPM on random tables.
+func TestLookupMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		seen := map[ip.Prefix]bool{}
+		var routes []ip.Route
+		for i := 0; i < 200; i++ {
+			p := ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(25)+8)
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			routes = append(routes, ip.Route{Prefix: p, NextHop: ip.NextHop(rng.Intn(16) + 1)})
+		}
+		tr := FromRoutes(routes)
+		for i := 0; i < 500; i++ {
+			a := ip.Addr(rng.Uint32())
+			got, _ := tr.Lookup(a, nil)
+			want := referenceLPM(routes, a)
+			if got != want {
+				t.Fatalf("trial %d: Lookup(%s) = %d, want %d", trial, a, got, want)
+			}
+		}
+	}
+}
+
+// Property: random interleaved inserts and deletes keep the trie
+// consistent with a map-based model.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tr := New()
+	model := map[ip.Prefix]ip.NextHop{}
+	// Work over a small universe so deletes frequently hit.
+	universe := make([]ip.Prefix, 0, 64)
+	for i := 0; i < 64; i++ {
+		universe = append(universe, ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(17)+8))
+	}
+	for op := 0; op < 5000; op++ {
+		p := universe[rng.Intn(len(universe))]
+		if rng.Intn(2) == 0 {
+			hop := ip.NextHop(rng.Intn(8) + 1)
+			tr.Insert(p, hop, nil)
+			model[p] = hop
+		} else {
+			tr.Delete(p, nil)
+			delete(model, p)
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model has %d", tr.Len(), len(model))
+	}
+	var want []ip.Route
+	for p, h := range model {
+		want = append(want, ip.Route{Prefix: p, NextHop: h})
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].Prefix.Compare(want[j].Prefix) < 0 })
+	got := tr.Routes()
+	if len(got) != len(want) {
+		t.Fatalf("Routes len = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("route %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	tr := New()
+	if tr.NodeCount() != 1 {
+		t.Errorf("empty NodeCount = %d, want 1", tr.NodeCount())
+	}
+	tr.Insert(pfx("128.0.0.0/1"), 1, nil)
+	if tr.NodeCount() != 2 {
+		t.Errorf("NodeCount = %d, want 2", tr.NodeCount())
+	}
+}
+
+func TestRootHopLookup(t *testing.T) {
+	tr := New()
+	tr.Insert(ip.Prefix{}, 4, nil)
+	hop, via := tr.Lookup(addr("8.8.8.8"), nil)
+	if hop != 4 || via != (ip.Prefix{}) {
+		t.Errorf("default-route lookup = (%d, %s)", hop, via)
+	}
+}

@@ -1,0 +1,136 @@
+package update
+
+import (
+	"fmt"
+
+	"clue/internal/dred"
+	"clue/internal/ip"
+	"clue/internal/rrcme"
+	"clue/internal/tcam"
+	"clue/internal/tracegen"
+	"clue/internal/trie"
+)
+
+// CLPLPipeline drives the baseline: an uncompressed trie (TTF1 ground
+// truth), a prefix-length-ordered TCAM (Figure 7(b)) and RRC-ME logical
+// caches whose maintenance needs control-plane trie walks.
+type CLPLPipeline struct {
+	fib    *trie.Trie
+	chip   *tcam.Chip
+	caches *dred.Group
+	cost   CostModel
+}
+
+var _ Pipeline = (*CLPLPipeline)(nil)
+
+// NewCLPLPipeline loads the original table into a PLO-layout TCAM. The
+// fib trie is owned by the pipeline afterwards.
+func NewCLPLPipeline(fib *trie.Trie, caches, cacheSize int, cost CostModel) (*CLPLPipeline, error) {
+	chip := tcam.NewChip(fib.Len()*2+1024, tcam.NewPLOLayout())
+	if err := chip.Load(fib.Routes()); err != nil {
+		return nil, fmt.Errorf("update: loading FIB table: %w", err)
+	}
+	g, err := dred.NewGroup(caches, cacheSize)
+	if err != nil {
+		return nil, err
+	}
+	return &CLPLPipeline{fib: fib, chip: chip, caches: g, cost: cost}, nil
+}
+
+// Name implements Pipeline.
+func (p *CLPLPipeline) Name() string { return "clpl" }
+
+// Chip exposes the TCAM model (tests, ablations).
+func (p *CLPLPipeline) Chip() *tcam.Chip { return p.chip }
+
+// Caches exposes the logical cache group (tests).
+func (p *CLPLPipeline) Caches() *dred.Group { return p.caches }
+
+// Warm implements Pipeline: each hit runs RRC-ME and fills all caches,
+// as CLPL's control plane does during forwarding.
+func (p *CLPLPipeline) Warm(addrs []ip.Addr) {
+	for _, a := range addrs {
+		hop, pfx := p.fib.Lookup(a, nil)
+		if hop == ip.NoRoute {
+			continue
+		}
+		exp := rrcme.MinimalExpansion(p.fib, a, pfx, nil)
+		p.caches.InsertAll(ip.Route{Prefix: exp, NextHop: hop})
+	}
+	p.chip.ResetStats()
+}
+
+// Apply implements Pipeline.
+func (p *CLPLPipeline) Apply(u tracegen.Update) (TTF, error) {
+	var ttf TTF
+	var visits trie.Visits
+	before := p.chip.Stats()
+	switch u.Kind {
+	case tracegen.Announce:
+		prev := p.fib.Insert(u.Prefix, u.Hop, &visits)
+		switch {
+		case prev == u.Hop:
+			// No-op re-announcement: nothing reaches the TCAM.
+		case prev != ip.NoRoute:
+			// Hop change: in-place TCAM rewrite.
+			if err := p.chip.Modify(ip.Route{Prefix: u.Prefix, NextHop: u.Hop}); err != nil {
+				return TTF{}, fmt.Errorf("update: clpl modify: %w", err)
+			}
+		default:
+			if _, err := p.chip.Insert(ip.Route{Prefix: u.Prefix, NextHop: u.Hop}); err != nil {
+				return TTF{}, fmt.Errorf("update: clpl insert: %w", err)
+			}
+		}
+	case tracegen.Withdraw:
+		prev := p.fib.Delete(u.Prefix, &visits)
+		if prev != ip.NoRoute {
+			if _, err := p.chip.Delete(u.Prefix); err != nil {
+				return TTF{}, fmt.Errorf("update: clpl delete: %w", err)
+			}
+		}
+	default:
+		return TTF{}, fmt.Errorf("update: unknown kind %v", u.Kind)
+	}
+	ttf.Trie = float64(visits.Nodes) * p.cost.SRAMAccessNs
+	after := p.chip.Stats()
+	ttf.TCAM = float64(after.UpdateAccesses()-before.UpdateAccesses()) * p.cost.TCAMAccessNs
+	ttf.DRed = p.cacheMaintenance(u.Prefix)
+	return ttf, nil
+}
+
+// cacheMaintenance models CLPL's RRC-ME update algorithm: the control
+// plane must re-examine the trie region around the updated prefix to find
+// every cached expansion the change may invalidate (several SRAM visits),
+// then fix the caches (one parallel access per affected entry set).
+func (p *CLPLPipeline) cacheMaintenance(changed ip.Prefix) float64 {
+	var v trie.Visits
+	// Walk the path to the prefix plus its remaining subtree — the
+	// region whose minimal expansions may have changed.
+	node := p.fib.Find(changed, &v)
+	if node != nil {
+		countSubtree(node, &v)
+	}
+	cost := float64(v.Nodes) * p.cost.SRAMAccessNs
+	removed := p.caches.InvalidateOverlapping(changed)
+	// Each distinct invalidated prefix is one parallel cache access;
+	// entries were replicated into all caches, so divide by the group
+	// size (rounding up).
+	n := p.caches.N()
+	perPrefix := (removed + n - 1) / n
+	// The round trip itself costs at least one access even when nothing
+	// was cached.
+	if perPrefix < 1 {
+		perPrefix = 1
+	}
+	return cost + float64(perPrefix)*p.cost.TCAMAccessNs
+}
+
+// countSubtree adds the subtree's node count to v.
+func countSubtree(n *trie.Node, v *trie.Visits) {
+	if n == nil {
+		return
+	}
+	v.Nodes++
+	countSubtree(n.Children[0], v)
+	countSubtree(n.Children[1], v)
+}

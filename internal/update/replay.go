@@ -1,0 +1,57 @@
+package update
+
+import (
+	"fmt"
+	"math"
+
+	"clue/internal/tracegen"
+)
+
+// Replay applies a full update stream to a pipeline, returning each
+// message's TTF.
+func Replay(p Pipeline, updates []tracegen.Update) ([]TTF, error) {
+	out := make([]TTF, 0, len(updates))
+	for i, u := range updates {
+		ttf, err := p.Apply(u)
+		if err != nil {
+			return nil, fmt.Errorf("update: replaying message %d (%v %s): %w", i, u.Kind, u.Prefix, err)
+		}
+		out = append(out, ttf)
+	}
+	return out, nil
+}
+
+// Summary aggregates a TTF series.
+type Summary struct {
+	// Mean is the element-wise average.
+	Mean TTF
+	// Min and Max are by total TTF.
+	Min, Max TTF
+	// Count is the number of messages.
+	Count int
+}
+
+// Summarise computes a Summary over the series.
+func Summarise(series []TTF) Summary {
+	if len(series) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		Min:   series[0],
+		Max:   series[0],
+		Count: len(series),
+	}
+	var sum TTF
+	minTotal, maxTotal := math.Inf(1), math.Inf(-1)
+	for _, t := range series {
+		sum = sum.Add(t)
+		if tot := t.Total(); tot < minTotal {
+			minTotal, s.Min = tot, t
+		}
+		if tot := t.Total(); tot > maxTotal {
+			maxTotal, s.Max = tot, t
+		}
+	}
+	s.Mean = sum.Scale(1 / float64(len(series)))
+	return s
+}

@@ -1,0 +1,291 @@
+package update
+
+import (
+	"testing"
+
+	"clue/internal/fibgen"
+	"clue/internal/ip"
+	"clue/internal/tcam"
+	"clue/internal/tracegen"
+	"clue/internal/trie"
+)
+
+func pfx(s string) ip.Prefix { return ip.MustParsePrefix(s) }
+
+func genFIB(t *testing.T, routes int, seed int64) *trie.Trie {
+	t.Helper()
+	fib, err := fibgen.Generate(fibgen.Config{Seed: seed, Routes: routes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fib
+}
+
+func newPipelines(t *testing.T, seed int64) (*CLUEPipeline, *CLPLPipeline) {
+	t.Helper()
+	clue, err := NewCLUEPipeline(genFIB(t, 5000, seed), 4, 1024, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clpl, err := NewCLPLPipeline(genFIB(t, 5000, seed), 4, 1024, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clue, clpl
+}
+
+func updateStream(t *testing.T, fib *trie.Trie, n int, seed int64) []tracegen.Update {
+	t.Helper()
+	// A flap-heavy mix (withdraw + re-announce dominating pure hop
+	// changes), the character of the paper's 24 h RIS trace.
+	gen, err := tracegen.NewUpdateGen(fib, tracegen.UpdateConfig{
+		Seed: seed, Messages: n, WithdrawFrac: 0.30, NewPrefixFrac: 0.55,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen.NextN(n)
+}
+
+func TestTTFArithmetic(t *testing.T) {
+	a := TTF{Trie: 1, TCAM: 2, DRed: 3}
+	if a.Total() != 6 {
+		t.Errorf("Total = %v", a.Total())
+	}
+	b := a.Add(TTF{Trie: 1, TCAM: 1, DRed: 1})
+	if b != (TTF{Trie: 2, TCAM: 3, DRed: 4}) {
+		t.Errorf("Add = %+v", b)
+	}
+	c := a.Scale(2)
+	if c != (TTF{Trie: 2, TCAM: 4, DRed: 6}) {
+		t.Errorf("Scale = %+v", c)
+	}
+}
+
+func TestCLUEPipelineAnnounceWithdraw(t *testing.T) {
+	clue, _ := newPipelines(t, 1)
+	ttf, err := clue.Apply(tracegen.Update{Kind: tracegen.Announce, Prefix: pfx("203.0.113.0/24"), Hop: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttf.Trie <= 0 {
+		t.Error("announce TTF1 should be positive")
+	}
+	if ttf.TCAM <= 0 {
+		t.Error("announce of fresh prefix should touch TCAM")
+	}
+	// The chip must now match the updater's table exactly.
+	if clue.Chip().Len() != clue.Updater().Table().Len() {
+		t.Errorf("chip has %d entries, table %d", clue.Chip().Len(), clue.Updater().Table().Len())
+	}
+	ttf, err = clue.Apply(tracegen.Update{Kind: tracegen.Withdraw, Prefix: pfx("203.0.113.0/24")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttf.TCAM <= 0 || ttf.DRed <= 0 {
+		t.Errorf("withdraw TTF = %+v, want TCAM and DRed work", ttf)
+	}
+	if clue.Chip().Len() != clue.Updater().Table().Len() {
+		t.Errorf("after withdraw: chip %d entries, table %d", clue.Chip().Len(), clue.Updater().Table().Len())
+	}
+}
+
+func TestCLUEPipelineUnknownKind(t *testing.T) {
+	clue, _ := newPipelines(t, 2)
+	if _, err := clue.Apply(tracegen.Update{Kind: 0, Prefix: pfx("10.0.0.0/8")}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestCLPLPipelineUnknownKind(t *testing.T) {
+	_, clpl := newPipelines(t, 2)
+	if _, err := clpl.Apply(tracegen.Update{Kind: 0, Prefix: pfx("10.0.0.0/8")}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestChipStaysInSyncUnderChurn is the pipeline integration invariant:
+// after thousands of messages, both pipelines' chips hold exactly their
+// reference tables.
+func TestChipStaysInSyncUnderChurn(t *testing.T) {
+	clue, clpl := newPipelines(t, 3)
+	stream := updateStream(t, clue.Updater().FIB().Clone(), 3000, 3)
+	if _, err := Replay(clue, stream); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(clpl, stream); err != nil {
+		t.Fatal(err)
+	}
+
+	if clue.Chip().Len() != clue.Updater().Table().Len() {
+		t.Errorf("CLUE chip %d entries, compressed table %d", clue.Chip().Len(), clue.Updater().Table().Len())
+	}
+	for _, r := range clue.Updater().Table().Routes() {
+		if !clue.Chip().Contains(r.Prefix) {
+			t.Fatalf("CLUE chip missing %s", r.Prefix)
+		}
+	}
+
+	if clpl.Chip().Len() != clpl.fib.Len() {
+		t.Errorf("CLPL chip %d entries, fib %d", clpl.Chip().Len(), clpl.fib.Len())
+	}
+	for _, r := range clpl.fib.Routes() {
+		if !clpl.Chip().Contains(r.Prefix) {
+			t.Fatalf("CLPL chip missing %s", r.Prefix)
+		}
+	}
+}
+
+// TestPipelinesForwardEquivalently checks the end state: after the same
+// stream, CLUE's compressed chip and CLPL's full chip forward all probes
+// identically.
+func TestPipelinesForwardEquivalently(t *testing.T) {
+	clue, clpl := newPipelines(t, 4)
+	stream := updateStream(t, clue.Updater().FIB().Clone(), 2000, 4)
+	if _, err := Replay(clue, stream); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(clpl, stream); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tracegen.NewTraffic(tracegen.PrefixesFromRoutes(clue.Updater().Table().Routes()), tracegen.TrafficConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		a := tr.Next()
+		ch, _, _ := clue.Chip().Lookup(a)
+		ph, _, _ := clpl.Chip().Lookup(a)
+		if ch != ph {
+			t.Fatalf("divergent forwarding for %s: clue %d, clpl %d", a, ch, ph)
+		}
+	}
+}
+
+// TestPaperHeadlines reproduces the paper's update-cost ordering on a
+// realistic stream: CLUE's TTF2 and TTF3 must be far below CLPL's, and
+// total TTF clearly below.
+func TestPaperHeadlines(t *testing.T) {
+	clue, clpl := newPipelines(t, 5)
+	// Warm both cache groups with real traffic so TTF3 is exercised.
+	tr, err := tracegen.NewTraffic(tracegen.PrefixesFromRoutes(clue.Updater().Table().Routes()), tracegen.TrafficConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := tr.NextN(20000)
+	clue.Warm(addrs)
+	clpl.Warm(addrs)
+
+	stream := updateStream(t, clue.Updater().FIB().Clone(), 4000, 5)
+	clueSeries, err := Replay(clue, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clplSeries, err := Replay(clpl, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ps := Summarise(clueSeries), Summarise(clplSeries)
+
+	if cs.Mean.TCAM >= ps.Mean.TCAM/2 {
+		t.Errorf("TTF2: clue %.1f ns vs clpl %.1f ns — want clue far below", cs.Mean.TCAM, ps.Mean.TCAM)
+	}
+	if cs.Mean.DRed >= ps.Mean.DRed/2 {
+		t.Errorf("TTF3: clue %.1f ns vs clpl %.1f ns — want clue far below", cs.Mean.DRed, ps.Mean.DRed)
+	}
+	if cs.Mean.Total() >= ps.Mean.Total() {
+		t.Errorf("TTF total: clue %.1f ns vs clpl %.1f ns", cs.Mean.Total(), ps.Mean.Total())
+	}
+	// TTF1: CLUE pays for compression maintenance, so it should be the
+	// larger of the two (the paper's "a little bit longer").
+	if cs.Mean.Trie <= ps.Mean.Trie {
+		t.Errorf("TTF1: clue %.1f ns vs clpl %.1f ns — want clue above ground truth", cs.Mean.Trie, ps.Mean.Trie)
+	}
+}
+
+func TestCLUEDRedInvalidatedOnWithdraw(t *testing.T) {
+	clue, _ := newPipelines(t, 6)
+	// Announce a distinctive prefix, warm a DRed with it, withdraw it.
+	u := tracegen.Update{Kind: tracegen.Announce, Prefix: pfx("198.51.100.0/24"), Hop: 5}
+	if _, err := clue.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+	clue.Warm([]ip.Addr{ip.MustParseAddr("198.51.100.7")})
+	cached := 0
+	for i := 0; i < clue.DReds().N(); i++ {
+		if clue.DReds().Cache(i).Contains(pfx("198.51.100.0/24")) {
+			cached++
+		}
+	}
+	if cached == 0 {
+		t.Fatal("warm-up did not cache the prefix")
+	}
+	if _, err := clue.Apply(tracegen.Update{Kind: tracegen.Withdraw, Prefix: pfx("198.51.100.0/24")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < clue.DReds().N(); i++ {
+		if clue.DReds().Cache(i).Contains(pfx("198.51.100.0/24")) {
+			t.Fatalf("DRed %d still caches withdrawn prefix", i)
+		}
+	}
+}
+
+func TestCLPLCacheInvalidatedOnWithdraw(t *testing.T) {
+	_, clpl := newPipelines(t, 7)
+	routes := clpl.fib.Routes()
+	victim := routes[len(routes)/2]
+	clpl.Warm([]ip.Addr{victim.Prefix.First()})
+	if _, err := clpl.Apply(tracegen.Update{Kind: tracegen.Withdraw, Prefix: victim.Prefix}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < clpl.Caches().N(); i++ {
+		c := clpl.Caches().Cache(i)
+		hop, _, ok := c.Lookup(victim.Prefix.First())
+		if ok && hop == victim.NextHop {
+			// A cached expansion serving the withdrawn route survived
+			// only if another route with the same hop covers it; verify
+			// against the trie.
+			want, _ := clpl.fib.Lookup(victim.Prefix.First(), nil)
+			if want != hop {
+				t.Fatalf("cache %d serves stale hop %d after withdraw", i, hop)
+			}
+		}
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	s := Summarise([]TTF{
+		{Trie: 1, TCAM: 1, DRed: 1},
+		{Trie: 3, TCAM: 3, DRed: 3},
+	})
+	if s.Count != 2 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Mean != (TTF{Trie: 2, TCAM: 2, DRed: 2}) {
+		t.Errorf("Mean = %+v", s.Mean)
+	}
+	if s.Min.Total() != 3 || s.Max.Total() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min.Total(), s.Max.Total())
+	}
+	if got := Summarise(nil); got.Count != 0 {
+		t.Errorf("empty Summarise = %+v", got)
+	}
+}
+
+func TestReplayPropagatesErrors(t *testing.T) {
+	clue, _ := newPipelines(t, 8)
+	_, err := Replay(clue, []tracegen.Update{{Kind: 0, Prefix: pfx("10.0.0.0/8")}})
+	if err == nil {
+		t.Error("Replay swallowed an error")
+	}
+}
+
+func TestDefaultCosts(t *testing.T) {
+	c := DefaultCosts()
+	if c.TCAMAccessNs != tcam.AccessNs {
+		t.Errorf("TCAMAccessNs = %v, want %v", c.TCAMAccessNs, tcam.AccessNs)
+	}
+	if c.SRAMAccessNs <= 0 {
+		t.Error("SRAMAccessNs must be positive")
+	}
+}
