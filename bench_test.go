@@ -9,14 +9,18 @@ package clue_test
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"clue"
 	"clue/internal/experiments"
 	"clue/internal/fibgen"
 	"clue/internal/ip"
 	"clue/internal/onrtc"
+	"clue/internal/serve"
 	"clue/internal/tracegen"
 	"clue/internal/trie"
 	"clue/internal/update"
@@ -248,6 +252,128 @@ func BenchmarkEngineStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Engine().Step(addrs[i&(1<<16-1)], true)
+	}
+}
+
+// --- Concurrent serving benchmarks ------------------------------------
+
+// benchServe stands up a serve.Runtime plus a probe-address pool drawn
+// from the compressed table's traffic model.
+func benchServe(b *testing.B, routes int, seed int64, cfg serve.Config) (*serve.Runtime, []ip.Addr) {
+	b.Helper()
+	fib := benchFIB(b, routes, seed)
+	rt, err := serve.New(fib.Routes(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Close)
+	traffic, err := tracegen.NewTraffic(
+		tracegen.PrefixesFromRoutes(fib.Routes()), tracegen.TrafficConfig{Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt, traffic.NextN(1 << 16)
+}
+
+// BenchmarkServeSnapshotLookupParallel measures aggregate throughput of
+// the RCU read side: every goroutine does atomic-load + binary-search
+// lookups with no locks anywhere. The lookups/s metric is the aggregate
+// across all procs.
+func BenchmarkServeSnapshotLookupParallel(b *testing.B) {
+	rt, addrs := benchServe(b, 20000, 9, serve.Config{})
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			rt.Lookup(addrs[i&(1<<16-1)])
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+// BenchmarkServeDispatchParallel measures the partition-worker path:
+// range-index dispatch over bounded queues, including divert handling.
+func BenchmarkServeDispatchParallel(b *testing.B) {
+	rt, addrs := benchServe(b, 20000, 10, serve.Config{})
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := rt.Dispatch(addrs[i&(1<<16-1)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+	st := rt.Stats()
+	b.ReportMetric(100*st.DivertRate(), "divert-%")
+}
+
+// BenchmarkServeLookupUnderUpdateStorm measures snapshot-lookup latency
+// (p50/p99) while a writer goroutine replays a tracegen update stream
+// through the batching pipeline — the paper's fast-update claim restated
+// as a service-level objective: read latency must not degrade while the
+// table churns.
+func BenchmarkServeLookupUnderUpdateStorm(b *testing.B) {
+	rt, addrs := benchServe(b, 20000, 11, serve.Config{})
+	fib := benchFIB(b, 20000, 11)
+	stream := benchUpdates(b, fib, 100000)
+
+	var (
+		stop    atomic.Bool
+		stormWG sync.WaitGroup
+		applied atomic.Int64
+	)
+	stormWG.Add(1)
+	go func() {
+		defer stormWG.Done()
+		for i := 0; !stop.Load(); i++ {
+			u := stream[i%len(stream)]
+			switch u.Kind {
+			case tracegen.Announce:
+				rt.Announce(u.Prefix, u.Hop)
+			case tracegen.Withdraw:
+				rt.Withdraw(u.Prefix)
+			}
+			applied.Add(1)
+		}
+	}()
+
+	var (
+		mu      sync.Mutex
+		samples []float64
+	)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]float64, 0, 4096)
+		i := 0
+		for pb.Next() {
+			if i%8 == 0 {
+				start := time.Now()
+				rt.Lookup(addrs[i&(1<<16-1)])
+				local = append(local, float64(time.Since(start).Nanoseconds()))
+			} else {
+				rt.Lookup(addrs[i&(1<<16-1)])
+			}
+			i++
+		}
+		mu.Lock()
+		samples = append(samples, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	stop.Store(true)
+	stormWG.Wait()
+
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+	b.ReportMetric(float64(applied.Load())/b.Elapsed().Seconds(), "updates/s")
+	if len(samples) > 0 {
+		sort.Float64s(samples)
+		b.ReportMetric(samples[len(samples)/2], "p50-ns")
+		b.ReportMetric(samples[len(samples)*99/100], "p99-ns")
 	}
 }
 

@@ -1,0 +1,284 @@
+// Command clue-serve runs the CLUE forwarding engine as a concurrent
+// HTTP service: lock-free RCU snapshot lookups dispatched to partition
+// workers, with live announce/withdraw batching through the incremental
+// update pipeline and per-batch TTF accounting.
+//
+// Usage:
+//
+//	clue-serve [-addr 127.0.0.1:8080] [-fib table.rib | -router rrc01 | -routes 20000]
+//	           [-workers 4] [-queue 256] [-batch 64] [-cache 1024]
+//	           [-tcams 4] [-buckets 32] [-router-scale 10] [-seed 42]
+//
+// Endpoints:
+//
+//	GET  /lookup?addr=A[&path=snapshot] — resolve A (worker dispatch by
+//	     default; path=snapshot uses the direct RCU read side)
+//	POST /announce {"prefix":"10.0.0.0/8","next_hop":3} — apply + TTF
+//	POST /withdraw {"prefix":"10.0.0.0/8"} — apply + TTF
+//	GET  /stats    — full runtime statistics as JSON
+//	GET  /metrics  — Prometheus text exposition
+//	GET  /healthz  — liveness
+//
+// SIGINT/SIGTERM drain the listener and the update queue, then exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"clue/internal/fibgen"
+	"clue/internal/ip"
+	"clue/internal/ribio"
+	"clue/internal/serve"
+	"clue/internal/update"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "clue-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the runtime, serves until ctx is cancelled, then drains.
+// ready (optional) receives the bound listener address once accepting.
+func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)) error {
+	fs := flag.NewFlagSet("clue-serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	fibPath := fs.String("fib", "", "load the FIB from a ribio file")
+	router := fs.String("router", "", "load a fibgen router profile (e.g. rrc01)")
+	routerScale := fs.Int("router-scale", 10, "divide the router profile size by this factor")
+	nRoutes := fs.Int("routes", 20000, "synthetic FIB size (when -fib/-router unset)")
+	seed := fs.Int64("seed", 42, "synthetic FIB seed")
+	workers := fs.Int("workers", 0, "partition worker goroutines (0 = TCAM count)")
+	queue := fs.Int("queue", 256, "per-worker queue depth")
+	batch := fs.Int("batch", 64, "max update ops per snapshot swap")
+	cache := fs.Int("cache", 1024, "per-worker DRed-analog cache size")
+	tcams := fs.Int("tcams", 4, "TCAM chip count in the underlying system")
+	buckets := fs.Int("buckets", 32, "range partition count in the underlying system")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	routes, origin, err := loadRoutes(*fibPath, *router, *routerScale, *nRoutes, *seed)
+	if err != nil {
+		return err
+	}
+	rt, err := serve.New(routes, serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		BatchMax:   *batch,
+		CacheSize:  *cache,
+		System:     serve.SystemConfig{TCAMs: *tcams, Buckets: *buckets},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		rt.Close()
+		return err
+	}
+	st := rt.Stats()
+	fmt.Fprintf(out, "clue-serve: %s — %d routes compressed to %d, %d workers, listening on %s\n",
+		origin, len(routes), st.Routes, st.Workers, ln.Addr())
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	srv := &http.Server{Handler: newHandler(rt)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(out, "clue-serve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			rt.Close()
+			return err
+		}
+		rt.Close()
+		final := rt.Stats()
+		fmt.Fprintf(out, "clue-serve: drained — %d lookups (%d dispatched, %.2f%% diverted), %d updates in %d batches\n",
+			final.SnapshotLookups+final.Dispatched, final.Dispatched,
+			100*final.DivertRate(), final.Announces+final.Withdraws, final.Batches)
+		return nil
+	case err := <-errCh:
+		rt.Close()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// loadRoutes resolves the FIB source precedence: file, router profile,
+// then synthetic.
+func loadRoutes(fibPath, router string, routerScale, nRoutes int, seed int64) ([]ip.Route, string, error) {
+	switch {
+	case fibPath != "":
+		f, err := os.Open(fibPath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		routes, err := ribio.Read(f)
+		if err != nil {
+			return nil, "", err
+		}
+		return routes, fmt.Sprintf("fib %s", fibPath), nil
+	case router != "":
+		profiles, err := fibgen.ScaleRouters(routerScale)
+		if err != nil {
+			return nil, "", err
+		}
+		for _, r := range profiles {
+			if r.ID == router {
+				fib, err := fibgen.Generate(r.Config())
+				if err != nil {
+					return nil, "", err
+				}
+				return fib.Routes(), fmt.Sprintf("router %s (%s, scale 1/%d)", r.ID, r.Location, routerScale), nil
+			}
+		}
+		return nil, "", fmt.Errorf("unknown router profile %q", router)
+	default:
+		fib, err := fibgen.Generate(fibgen.Config{Seed: seed, Routes: nRoutes})
+		if err != nil {
+			return nil, "", err
+		}
+		return fib.Routes(), fmt.Sprintf("synthetic FIB (%d routes, seed %d)", nRoutes, seed), nil
+	}
+}
+
+// newHandler wires the HTTP surface around the runtime.
+func newHandler(rt *serve.Runtime) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /lookup", func(w http.ResponseWriter, r *http.Request) {
+		a, err := ip.ParseAddr(r.URL.Query().Get("addr"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		type lookupResp struct {
+			Addr     string `json:"addr"`
+			NextHop  uint32 `json:"next_hop"`
+			Prefix   string `json:"prefix,omitempty"`
+			Found    bool   `json:"found"`
+			Path     string `json:"path"`
+			Home     int    `json:"home,omitempty"`
+			Worker   int    `json:"worker,omitempty"`
+			Diverted bool   `json:"diverted,omitempty"`
+			CacheHit bool   `json:"cache_hit,omitempty"`
+			Version  uint64 `json:"snapshot_version"`
+		}
+		resp := lookupResp{Addr: a.String()}
+		if r.URL.Query().Get("path") == "snapshot" {
+			resp.Path = "snapshot"
+			hop, pfx, ok := rt.Lookup(a)
+			resp.NextHop, resp.Found, resp.Version = uint32(hop), ok, rt.Snapshot().Version
+			if ok {
+				resp.Prefix = pfx.String()
+			}
+		} else {
+			resp.Path = "worker"
+			res, err := rt.Dispatch(a)
+			if err != nil {
+				httpError(w, http.StatusServiceUnavailable, err)
+				return
+			}
+			resp.NextHop, resp.Found, resp.Version = uint32(res.Hop), res.Found, res.Version
+			resp.Home, resp.Worker, resp.Diverted, resp.CacheHit = res.Home, res.Worker, res.Diverted, res.CacheHit
+			if res.Found {
+				resp.Prefix = res.Prefix.String()
+			}
+		}
+		writeJSON(w, resp)
+	})
+
+	type updateReq struct {
+		Prefix  string `json:"prefix"`
+		NextHop uint32 `json:"next_hop"`
+	}
+	type updateResp struct {
+		Prefix   string  `json:"prefix"`
+		TTFTrie  float64 `json:"ttf_trie_ns"`
+		TTFTCAM  float64 `json:"ttf_tcam_ns"`
+		TTFDRed  float64 `json:"ttf_dred_ns"`
+		TTFTotal float64 `json:"ttf_total_ns"`
+	}
+	applyUpdate := func(w http.ResponseWriter, r *http.Request, apply func(ip.Prefix, ip.NextHop) (update.TTF, error), needHop bool) {
+		var req updateReq
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		p, err := ip.ParsePrefix(req.Prefix)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if needHop && req.NextHop == 0 {
+			httpError(w, http.StatusBadRequest, errors.New("next_hop must be a positive integer"))
+			return
+		}
+		ttf, err := apply(p, ip.NextHop(req.NextHop))
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, serve.ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			httpError(w, status, err)
+			return
+		}
+		writeJSON(w, updateResp{
+			Prefix: p.String(), TTFTrie: ttf.Trie, TTFTCAM: ttf.TCAM,
+			TTFDRed: ttf.DRed, TTFTotal: ttf.Total(),
+		})
+	}
+	mux.HandleFunc("POST /announce", func(w http.ResponseWriter, r *http.Request) {
+		applyUpdate(w, r, rt.Announce, true)
+	})
+	mux.HandleFunc("POST /withdraw", func(w http.ResponseWriter, r *http.Request) {
+		applyUpdate(w, r, func(p ip.Prefix, _ ip.NextHop) (update.TTF, error) {
+			return rt.Withdraw(p)
+		}, false)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, rt.Stats())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		rt.Stats().WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

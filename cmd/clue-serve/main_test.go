@@ -1,0 +1,300 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a mutex-guarded buffer: run() writes from the server
+// goroutine while tests poll String().
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startServer runs the service on an ephemeral port and returns its base
+// URL plus a shutdown func that cancels and waits for a clean exit.
+func startServer(t *testing.T, ctx context.Context, cancel context.CancelFunc, extra ...string) (string, *syncBuffer, func() error) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-routes", "4000"}, extra...)
+	out := new(syncBuffer)
+	addrCh := make(chan net.Addr, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, args, out, func(a net.Addr) { addrCh <- a })
+	}()
+	select {
+	case a := <-addrCh:
+		return "http://" + a.String(), out, func() error {
+			cancel()
+			select {
+			case err := <-errCh:
+				return err
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("server did not shut down")
+			}
+		}
+	case err := <-errCh:
+		t.Fatalf("server failed to start: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+	return "", nil, nil
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func postJSON(t *testing.T, url, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %s", url, resp.Status)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+type lookupResp struct {
+	NextHop  uint32 `json:"next_hop"`
+	Prefix   string `json:"prefix"`
+	Found    bool   `json:"found"`
+	Path     string `json:"path"`
+	Version  uint64 `json:"snapshot_version"`
+	Diverted bool   `json:"diverted"`
+}
+
+func TestEndToEndLookupAnnounceWithdraw(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	base, _, shutdown := startServer(t, ctx, cancel)
+	defer shutdown()
+
+	// A fresh /24 far from the synthetic allocation is initially covered
+	// (or not) by the base table; after the announce it must resolve to
+	// the announced hop on both lookup paths.
+	var before lookupResp
+	getJSON(t, base+"/lookup?addr=203.0.113.9", &before)
+	if before.Path != "worker" {
+		t.Fatalf("default path = %q", before.Path)
+	}
+
+	res := postJSON(t, base+"/announce", `{"prefix":"203.0.113.0/24","next_hop":77}`)
+	if res["ttf_total_ns"].(float64) <= 0 {
+		t.Fatalf("announce TTF: %v", res)
+	}
+
+	var after, afterSnap lookupResp
+	getJSON(t, base+"/lookup?addr=203.0.113.9", &after)
+	getJSON(t, base+"/lookup?addr=203.0.113.9&path=snapshot", &afterSnap)
+	if !after.Found || after.NextHop != 77 || after.Prefix != "203.0.113.0/24" {
+		t.Fatalf("lookup after announce: %+v", after)
+	}
+	if !afterSnap.Found || afterSnap.NextHop != 77 || afterSnap.Path != "snapshot" {
+		t.Fatalf("snapshot lookup after announce: %+v", afterSnap)
+	}
+	if after.Version <= before.Version {
+		t.Fatalf("snapshot version did not advance: %d -> %d", before.Version, after.Version)
+	}
+
+	postJSON(t, base+"/withdraw", `{"prefix":"203.0.113.0/24"}`)
+	var reverted lookupResp
+	getJSON(t, base+"/lookup?addr=203.0.113.9", &reverted)
+	if reverted.Found != before.Found || reverted.NextHop != before.NextHop {
+		t.Fatalf("lookup after withdraw %+v, want pre-announce %+v", reverted, before)
+	}
+
+	// /stats and /metrics must reflect the traffic.
+	var stats map[string]any
+	getJSON(t, base+"/stats", &stats)
+	if stats["announces"].(float64) != 1 || stats["withdraws"].(float64) != 1 {
+		t.Fatalf("stats: %v", stats)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody := new(bytes.Buffer)
+	mbody.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	metrics := mbody.String()
+	if len(metrics) == 0 {
+		t.Fatal("/metrics is empty")
+	}
+	for _, want := range []string{"clue_serve_announces_total 1", "clue_serve_dispatched_total", "clue_serve_snapshot_routes"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", hresp.Status)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestLoadFIBFromRibioFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "table.rib")
+	var sb strings.Builder
+	sb.WriteString("# test table\n10.0.0.0/8 1\n10.1.0.0/16 2\n")
+	// The core system needs at least `buckets` compressed entries, so
+	// pad the table with disjoint /24s.
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&sb, "192.168.%d.0/24 %d\n", i, i%14+1)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	base, out, shutdown := startServer(t, ctx, cancel, "-fib", path)
+	defer shutdown()
+
+	var res lookupResp
+	getJSON(t, base+"/lookup?addr=10.1.2.3", &res)
+	if !res.Found || res.NextHop != 2 {
+		t.Fatalf("lookup from file-loaded FIB: %+v", res)
+	}
+	getJSON(t, base+"/lookup?addr=10.200.0.1", &res)
+	if !res.Found || res.NextHop != 1 {
+		t.Fatalf("lookup under 10/8: %+v", res)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fib "+path) {
+		t.Errorf("missing FIB origin in output:\n%s", out.String())
+	}
+}
+
+func TestRouterProfileAndBadInputs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	base, _, shutdown := startServer(t, ctx, cancel, "-router", "rrc01", "-router-scale", "400")
+	defer shutdown()
+
+	// Bad address, bad prefix, missing hop, absent endpoint.
+	for _, tc := range []struct {
+		method, url, body string
+		want              int
+	}{
+		{"GET", base + "/lookup?addr=notanip", "", http.StatusBadRequest},
+		{"GET", base + "/lookup", "", http.StatusBadRequest},
+		{"POST", base + "/announce", `{"prefix":"10.0.0.0/33","next_hop":1}`, http.StatusBadRequest},
+		{"POST", base + "/announce", `{"prefix":"10.0.0.0/8"}`, http.StatusBadRequest},
+		{"POST", base + "/announce", `not json`, http.StatusBadRequest},
+		{"GET", base + "/nosuch", "", http.StatusNotFound},
+	} {
+		var resp *http.Response
+		var err error
+		if tc.method == "GET" {
+			resp, err = http.Get(tc.url)
+		} else {
+			resp, err = http.Post(tc.url, "application/json", strings.NewReader(tc.body))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s: got %d want %d", tc.method, tc.url, resp.StatusCode, tc.want)
+		}
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownRouterAndBadFlag(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-router", "nope"}, new(bytes.Buffer), nil); err == nil {
+		t.Error("unknown router accepted")
+	}
+	if err := run(ctx, []string{"-bogus"}, new(bytes.Buffer), nil); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(ctx, []string{"-fib", "/nonexistent/table.rib"}, new(bytes.Buffer), nil); err == nil {
+		t.Error("missing FIB file accepted")
+	}
+}
+
+// TestSIGTERMShutdown reproduces main's signal wiring and delivers a real
+// SIGTERM to the process, asserting the server drains and exits cleanly —
+// the acceptance path for production shutdown.
+func TestSIGTERMShutdown(t *testing.T) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	base, out, shutdown := startServer(t, ctx, stop)
+	_ = shutdown
+
+	var res lookupResp
+	getJSON(t, base+"/lookup?addr=10.0.0.1", &res)
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("server did not exit on SIGTERM")
+		default:
+		}
+		if strings.Contains(out.String(), "drained") {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("missing shutdown notice:\n%s", out.String())
+	}
+}

@@ -55,6 +55,17 @@ func (c Config) withDefaults() Config {
 }
 
 // System is a running CLUE forwarding engine.
+//
+// # Concurrency contract
+//
+// A System is NOT goroutine-safe. Lookup reads the chip state that
+// Announce, Withdraw and Rebalance mutate, with no internal locking —
+// exactly like the hardware it models, where the control plane owns the
+// update bus. Callers must either confine a System to one goroutine or
+// provide their own synchronisation. For concurrent serving, wrap the
+// System in a serve.Runtime (internal/serve), which gives lock-free
+// lookup snapshots (RCU) plus a single writer goroutine that owns all
+// mutations.
 type System struct {
 	cfg     Config
 	updater *onrtc.Updater
@@ -110,6 +121,9 @@ func New(routes []ip.Route, cfg Config) (*System, error) {
 
 // Lookup resolves addr directly against the home chip — the data-plane
 // answer without queueing delay. Use Engine() for cycle-accurate runs.
+//
+// Lookup is not safe to call concurrently with Announce, Withdraw or
+// Rebalance; see the System concurrency contract.
 func (s *System) Lookup(addr ip.Addr) (ip.NextHop, bool) {
 	hop, _, ok := s.sys.Chip(s.sys.Home(addr)).Lookup(addr)
 	return hop, ok
@@ -121,6 +135,14 @@ func (s *System) Engine() *engine.Engine { return s.eng }
 
 // DReds exposes the dynamic redundancy group.
 func (s *System) DReds() *dred.Group { return s.eng.DReds() }
+
+// CompressedRoutes returns a fresh copy of the compressed table in
+// ascending address order (disjoint, so strictly ascending ranges). The
+// serve runtime snapshots the table through this on every batch swap;
+// the returned slice shares no state with the System.
+func (s *System) CompressedRoutes() []ip.Route {
+	return s.updater.Table().Routes()
+}
 
 // FIBLen returns the original route count; TableLen the compressed count.
 func (s *System) FIBLen() int   { return s.updater.FIB().Len() }
@@ -142,18 +164,41 @@ func (s *System) TCAMs() int { return s.cfg.TCAMs }
 
 // Announce applies a route announcement through the whole pipeline
 // (trie → TCAMs → DReds) and returns the update's TTF breakdown.
+//
+// Announce mutates the trie and chip state and must not run concurrently
+// with any other System method; see the System concurrency contract.
 func (s *System) Announce(p ip.Prefix, hop ip.NextHop) (update.TTF, error) {
+	ttf, _, err := s.AnnounceDiff(p, hop)
+	return ttf, err
+}
+
+// AnnounceDiff is Announce, additionally returning the compressed-table
+// diff the announcement produced. The serve runtime uses the diff to
+// propagate targeted invalidations to its per-worker caches.
+func (s *System) AnnounceDiff(p ip.Prefix, hop ip.NextHop) (update.TTF, onrtc.Diff, error) {
 	if hop == ip.NoRoute {
-		return update.TTF{}, fmt.Errorf("core: announce %s: next hop must be non-zero", p)
+		return update.TTF{}, onrtc.Diff{}, fmt.Errorf("core: announce %s: next hop must be non-zero", p)
 	}
 	diff := s.updater.Announce(p, hop)
-	return s.applyDiff(diff)
+	ttf, err := s.applyDiff(diff)
+	return ttf, diff, err
 }
 
 // Withdraw applies a route withdrawal through the whole pipeline.
+//
+// Withdraw mutates the trie and chip state and must not run concurrently
+// with any other System method; see the System concurrency contract.
 func (s *System) Withdraw(p ip.Prefix) (update.TTF, error) {
+	ttf, _, err := s.WithdrawDiff(p)
+	return ttf, err
+}
+
+// WithdrawDiff is Withdraw, additionally returning the compressed-table
+// diff the withdrawal produced.
+func (s *System) WithdrawDiff(p ip.Prefix) (update.TTF, onrtc.Diff, error) {
 	diff := s.updater.Withdraw(p)
-	return s.applyDiff(diff)
+	ttf, err := s.applyDiff(diff)
+	return ttf, diff, err
 }
 
 // applyDiff pushes compressed-table ops to the owning chips and fixes the

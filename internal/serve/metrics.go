@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+
+	"clue/internal/update"
+)
+
+// atomicFloat is a float64 accumulator with atomic loads/stores. Only the
+// writer goroutine adds to it (load-add-store without CAS is safe under a
+// single writer); any goroutine may read it.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) { f.bits.Store(math.Float64bits(f.load() + v)) }
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// metrics is the runtime's live counter set. Lookup-path counters are
+// bumped by dispatchers and workers (plain atomic adds); update-path and
+// TTF counters are bumped only by the writer goroutine.
+type metrics struct {
+	snapshotLookups atomic.Int64
+	dispatched      atomic.Int64
+	diverted        atomic.Int64
+	overflowBlocked atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	cacheFlushes    atomic.Int64
+	cacheInvalid    atomic.Int64
+
+	announces    atomic.Int64
+	withdraws    atomic.Int64
+	updateErrors atomic.Int64
+	batches      atomic.Int64
+	batchOps     atomic.Int64
+
+	ttfTrie atomicFloat
+	ttfTCAM atomicFloat
+	ttfDRed atomicFloat
+	swapNs  atomicFloat
+}
+
+// Stats is a point-in-time export of the runtime's metrics, safe to
+// serialise (all exported fields, JSON-friendly types).
+type Stats struct {
+	// SnapshotVersion and Routes describe the currently published
+	// snapshot; Workers the partition worker count.
+	SnapshotVersion uint64 `json:"snapshot_version"`
+	Routes          int    `json:"routes"`
+	Workers         int    `json:"workers"`
+
+	// SnapshotLookups counts direct (RCU read-side) lookups; Dispatched
+	// counts lookups routed through the partition workers.
+	SnapshotLookups int64 `json:"snapshot_lookups"`
+	Dispatched      int64 `json:"dispatched"`
+	// Diverted counts dispatches whose home queue was full and that were
+	// redirected to the least-loaded worker; OverflowBlocked counts
+	// dispatches that found the divert target full too and had to block.
+	Diverted        int64 `json:"diverted"`
+	OverflowBlocked int64 `json:"overflow_blocked"`
+	// CacheHits/CacheMisses count diverted lookups served from / missing
+	// the serving worker's DRed-analog cache. CacheFlushes counts full
+	// cache resets after multi-version snapshot jumps; CacheInvalidations
+	// counts targeted stale-prefix removals.
+	CacheHits          int64 `json:"cache_hits"`
+	CacheMisses        int64 `json:"cache_misses"`
+	CacheFlushes       int64 `json:"cache_flushes"`
+	CacheInvalidations int64 `json:"cache_invalidations"`
+	// WorkerServed is the per-worker served-lookup count.
+	WorkerServed []int64 `json:"worker_served"`
+
+	// Announces/Withdraws count applied update ops; UpdateErrors the ops
+	// that failed in the pipeline. Batches/BatchOps describe writer
+	// batching (BatchOps/Batches = mean batch size). PendingUpdates is
+	// the update-queue backlog at export time.
+	Announces      int64 `json:"announces"`
+	Withdraws      int64 `json:"withdraws"`
+	UpdateErrors   int64 `json:"update_errors"`
+	Batches        int64 `json:"batches"`
+	BatchOps       int64 `json:"batch_ops"`
+	PendingUpdates int   `json:"pending_updates"`
+
+	// TTFTotals accumulates the paper's per-update Time-To-Fresh
+	// breakdown (ns) across all applied ops; SwapNs the wall time spent
+	// building and publishing snapshots.
+	TTFTotals update.TTF `json:"ttf_totals_ns"`
+	SwapNs    float64    `json:"swap_ns"`
+}
+
+// DivertRate returns diverted/dispatched.
+func (s Stats) DivertRate() float64 {
+	if s.Dispatched == 0 {
+		return 0
+	}
+	return float64(s.Diverted) / float64(s.Dispatched)
+}
+
+// CacheHitRate returns hits/(hits+misses) on the divert path.
+func (s Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// MeanBatch returns the mean ops per writer batch.
+func (s Stats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchOps) / float64(s.Batches)
+}
+
+// MeanTTF returns the mean per-update TTF breakdown.
+func (s Stats) MeanTTF() update.TTF {
+	n := s.Announces + s.Withdraws
+	if n == 0 {
+		return update.TTF{}
+	}
+	return s.TTFTotals.Scale(1 / float64(n))
+}
+
+// WritePrometheus renders the stats in the Prometheus text exposition
+// format (counters and gauges only — no client library dependency).
+func (s Stats) WritePrometheus(w io.Writer) error {
+	var err error
+	emit := func(name, typ, help string, v float64) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	emit("clue_serve_snapshot_version", "gauge", "Version of the published lookup snapshot.", float64(s.SnapshotVersion))
+	emit("clue_serve_snapshot_routes", "gauge", "Compressed routes in the published snapshot.", float64(s.Routes))
+	emit("clue_serve_workers", "gauge", "Partition worker goroutines.", float64(s.Workers))
+	emit("clue_serve_snapshot_lookups_total", "counter", "Direct RCU snapshot lookups.", float64(s.SnapshotLookups))
+	emit("clue_serve_dispatched_total", "counter", "Lookups dispatched to partition workers.", float64(s.Dispatched))
+	emit("clue_serve_diverted_total", "counter", "Dispatches diverted off a full home queue.", float64(s.Diverted))
+	emit("clue_serve_overflow_blocked_total", "counter", "Dispatches that blocked with all queues full.", float64(s.OverflowBlocked))
+	emit("clue_serve_cache_hits_total", "counter", "Diverted lookups served from a worker cache.", float64(s.CacheHits))
+	emit("clue_serve_cache_misses_total", "counter", "Diverted lookups missing the worker cache.", float64(s.CacheMisses))
+	emit("clue_serve_cache_flushes_total", "counter", "Worker cache flushes after snapshot jumps.", float64(s.CacheFlushes))
+	emit("clue_serve_cache_invalidations_total", "counter", "Targeted worker cache invalidations.", float64(s.CacheInvalidations))
+	emit("clue_serve_announces_total", "counter", "Announce ops applied.", float64(s.Announces))
+	emit("clue_serve_withdraws_total", "counter", "Withdraw ops applied.", float64(s.Withdraws))
+	emit("clue_serve_update_errors_total", "counter", "Update ops that failed in the pipeline.", float64(s.UpdateErrors))
+	emit("clue_serve_update_batches_total", "counter", "Writer batches applied.", float64(s.Batches))
+	emit("clue_serve_update_batch_ops_total", "counter", "Update ops across all batches.", float64(s.BatchOps))
+	emit("clue_serve_update_pending", "gauge", "Update ops queued and not yet applied.", float64(s.PendingUpdates))
+	emit("clue_serve_ttf_trie_ns_total", "counter", "TTF1 (control-plane trie) nanoseconds.", s.TTFTotals.Trie)
+	emit("clue_serve_ttf_tcam_ns_total", "counter", "TTF2 (TCAM maintenance) nanoseconds.", s.TTFTotals.TCAM)
+	emit("clue_serve_ttf_dred_ns_total", "counter", "TTF3 (redundancy maintenance) nanoseconds.", s.TTFTotals.DRed)
+	emit("clue_serve_snapshot_swap_ns_total", "counter", "Wall time building and publishing snapshots.", s.SwapNs)
+	if err != nil {
+		return err
+	}
+	for i, v := range s.WorkerServed {
+		if _, err = fmt.Fprintf(w, "clue_serve_worker_served_total{worker=\"%d\"} %d\n", i, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,421 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clue/internal/core"
+	"clue/internal/ip"
+	"clue/internal/onrtc"
+	"clue/internal/tracegen"
+	"clue/internal/update"
+)
+
+// ErrClosed is returned by Dispatch/Announce/Withdraw after Close.
+// (Lookup keeps answering from the last published snapshot — RCU readers
+// are never cut off.)
+var ErrClosed = errors.New("serve: runtime closed")
+
+// SystemConfig aliases the underlying core system's Config, so service
+// callers configure TCAM/bucket/DRed parameters without importing
+// internal/core themselves.
+type SystemConfig = core.Config
+
+// Config parameterises a Runtime. Zero values take serving defaults.
+type Config struct {
+	// Workers is the number of partition worker goroutines (default: the
+	// underlying system's TCAM count, i.e. 4).
+	Workers int
+	// QueueDepth bounds each worker's request queue (default 256, the
+	// paper's FIFO depth). A full home queue diverts to the least-loaded
+	// worker.
+	QueueDepth int
+	// UpdateQueue bounds the announce/withdraw channel (default 1024);
+	// submitters block when the writer falls behind.
+	UpdateQueue int
+	// BatchMax caps how many queued ops the writer coalesces into one
+	// snapshot swap (default 64).
+	BatchMax int
+	// CacheSize is each worker's DRed-analog cache capacity (default
+	// 1024, the paper's DRed size; 0 keeps the struct but caches nothing).
+	CacheSize int
+	// System configures the underlying core.System.
+	System core.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		if c.System.TCAMs != 0 {
+			c.Workers = c.System.TCAMs
+		} else {
+			c.Workers = 4
+		}
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.UpdateQueue == 0 {
+		c.UpdateQueue = 1024
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	return c
+}
+
+// updateOp is one queued announce/withdraw with its completion channel.
+type updateOp struct {
+	kind tracegen.UpdateKind
+	pfx  ip.Prefix
+	hop  ip.NextHop
+	done chan opResult
+}
+
+type opResult struct {
+	ttf update.TTF
+	err error
+}
+
+// Runtime is the concurrent forwarding service around a core.System.
+//
+// Reads are RCU-style: the compressed table lives in an immutable
+// Snapshot behind an atomic pointer, so Lookup and the partition workers
+// never take a lock and never block updates. Writes are single-writer:
+// one goroutine owns the core.System (satisfying its concurrency
+// contract), drains the bounded update queue in batches, applies each op
+// through the full trie → TCAM → DRed pipeline with TTF accounting, and
+// publishes the next snapshot with one atomic store.
+type Runtime struct {
+	cfg Config
+	sys *core.System // owned by the writer goroutine after New
+	// table is the writer's sorted mirror of the compressed table,
+	// maintained incrementally from diff ops so a snapshot swap is a
+	// memcpy instead of a full trie walk — the O(1)-update property of
+	// the paper carried through to snapshot publication.
+	table   []ip.Route
+	snap    atomic.Pointer[Snapshot]
+	updates chan updateOp
+	workers []*worker
+	m       metrics
+
+	inflight   atomic.Int64
+	closed     atomic.Bool
+	closeOnce  sync.Once
+	writerDone chan struct{}
+	workersWG  sync.WaitGroup
+}
+
+// New compresses routes, builds the underlying core.System, publishes
+// snapshot version 1 and starts the writer and worker goroutines.
+func New(routes []ip.Route, cfg Config) (*Runtime, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("serve: Workers must be >= 1, got %d", cfg.Workers)
+	}
+	sys, err := core.New(routes, cfg.System)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		cfg:        cfg,
+		sys:        sys,
+		table:      sys.CompressedRoutes(),
+		updates:    make(chan updateOp, cfg.UpdateQueue),
+		writerDone: make(chan struct{}),
+	}
+	r.snap.Store(newSnapshot(1, sys.CompressedRoutes(), cfg.Workers, nil))
+	r.workers = make([]*worker, cfg.Workers)
+	for i := range r.workers {
+		r.workers[i] = newWorker(i, r)
+		r.workers[i].cacheVersion = 1
+		r.workersWG.Add(1)
+		go r.workers[i].run()
+	}
+	go r.writer()
+	return r, nil
+}
+
+// Snapshot returns the current published snapshot — the pure RCU
+// read-side handle. Callers can hold it across many lookups; it never
+// changes under them.
+func (r *Runtime) Snapshot() *Snapshot { return r.snap.Load() }
+
+// Lookup resolves addr on the snapshot path: one atomic load plus one
+// binary search, no locks, regardless of concurrent updates.
+func (r *Runtime) Lookup(addr ip.Addr) (ip.NextHop, ip.Prefix, bool) {
+	r.m.snapshotLookups.Add(1)
+	return r.snap.Load().Lookup(addr)
+}
+
+// Dispatch routes the lookup to its home partition worker over a bounded
+// queue, mirroring the paper's Indexing Logic. A full home queue diverts
+// the request to the least-loaded worker (Adaptive Load Balancing Logic),
+// where the worker's DRed-analog cache may answer it. Dispatch blocks
+// until the request is served.
+func (r *Runtime) Dispatch(addr ip.Addr) (Result, error) {
+	if r.closed.Load() {
+		return Result{}, ErrClosed
+	}
+	r.inflight.Add(1)
+	defer r.inflight.Add(-1)
+	if r.closed.Load() {
+		return Result{}, ErrClosed
+	}
+	home := r.snap.Load().Home(addr)
+	done := getDone()
+	req := lookupReq{addr: addr, home: home, done: done}
+	r.m.dispatched.Add(1)
+	select {
+	case r.workers[home].queue <- req:
+	default:
+		// Home queue full: divert to the least-loaded other worker.
+		target := r.leastLoaded(home)
+		if target == home {
+			// Single worker — nowhere to divert, block on home.
+			r.m.overflowBlocked.Add(1)
+			r.workers[home].queue <- req
+			break
+		}
+		div := req
+		div.diverted = true
+		select {
+		case r.workers[target].queue <- div:
+			r.m.diverted.Add(1)
+		default:
+			// Divert target full too: block on whichever frees first.
+			r.m.overflowBlocked.Add(1)
+			select {
+			case r.workers[home].queue <- req:
+			case r.workers[target].queue <- div:
+				r.m.diverted.Add(1)
+			}
+		}
+	}
+	res := <-done
+	putDone(done)
+	return res, nil
+}
+
+// leastLoaded returns the worker (other than home) with the shortest
+// queue right now.
+func (r *Runtime) leastLoaded(home int) int {
+	best, bestLen := home, int(^uint(0)>>1)
+	for i, w := range r.workers {
+		if i == home {
+			continue
+		}
+		if l := len(w.queue); l < bestLen {
+			best, bestLen = i, l
+		}
+	}
+	if best == home {
+		// Single-worker runtime: there is nowhere to divert.
+		return home
+	}
+	return best
+}
+
+// Announce queues a route announcement and blocks until the writer has
+// applied it and published the snapshot that contains it: when Announce
+// returns, every subsequent Lookup/Dispatch sees the new route.
+func (r *Runtime) Announce(p ip.Prefix, hop ip.NextHop) (update.TTF, error) {
+	return r.submit(updateOp{kind: tracegen.Announce, pfx: p, hop: hop})
+}
+
+// Withdraw queues a route withdrawal with the same visibility guarantee
+// as Announce. Withdrawing an absent prefix is a no-op.
+func (r *Runtime) Withdraw(p ip.Prefix) (update.TTF, error) {
+	return r.submit(updateOp{kind: tracegen.Withdraw, pfx: p})
+}
+
+func (r *Runtime) submit(op updateOp) (update.TTF, error) {
+	if r.closed.Load() {
+		return update.TTF{}, ErrClosed
+	}
+	r.inflight.Add(1)
+	defer r.inflight.Add(-1)
+	if r.closed.Load() {
+		return update.TTF{}, ErrClosed
+	}
+	op.done = make(chan opResult, 1)
+	r.updates <- op
+	res := <-op.done
+	return res.ttf, res.err
+}
+
+// writer is the single goroutine that owns the core.System. It coalesces
+// queued ops into batches (up to BatchMax), applies them through the
+// update pipeline, swaps the snapshot and only then completes the ops —
+// so a completed op is by construction visible to readers.
+func (r *Runtime) writer() {
+	defer close(r.writerDone)
+	for op := range r.updates {
+		batch := make([]updateOp, 1, r.cfg.BatchMax)
+		batch[0] = op
+	fill:
+		for len(batch) < r.cfg.BatchMax {
+			select {
+			case next, ok := <-r.updates:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, next)
+			default:
+				break fill
+			}
+		}
+		r.applyBatch(batch)
+	}
+}
+
+// applyBatch runs one batch through the pipeline and publishes the
+// resulting snapshot.
+func (r *Runtime) applyBatch(batch []updateOp) {
+	start := time.Now()
+	var stale []ip.Prefix
+	results := make([]opResult, len(batch))
+	for i, op := range batch {
+		var (
+			ttf  update.TTF
+			diff onrtc.Diff
+			err  error
+		)
+		switch op.kind {
+		case tracegen.Announce:
+			ttf, diff, err = r.sys.AnnounceDiff(op.pfx, op.hop)
+			r.m.announces.Add(1)
+		case tracegen.Withdraw:
+			ttf, diff, err = r.sys.WithdrawDiff(op.pfx)
+			r.m.withdraws.Add(1)
+		default:
+			err = fmt.Errorf("serve: unknown update kind %v", op.kind)
+		}
+		if err != nil {
+			r.m.updateErrors.Add(1)
+		}
+		results[i] = opResult{ttf: ttf, err: err}
+		r.m.ttfTrie.add(ttf.Trie)
+		r.m.ttfTCAM.add(ttf.TCAM)
+		r.m.ttfDRed.add(ttf.DRed)
+		// Deleted or modified compressed prefixes are what worker caches
+		// may hold stale; inserts are brand new and cannot be cached.
+		for _, dop := range diff.Ops {
+			if dop.Kind == onrtc.OpDelete || dop.Kind == onrtc.OpModify {
+				stale = append(stale, dop.Route.Prefix)
+			}
+		}
+		r.applyDiffToTable(diff.Ops)
+	}
+	prev := r.snap.Load()
+	routes := make([]ip.Route, len(r.table))
+	copy(routes, r.table)
+	r.snap.Store(newSnapshot(prev.Version+1, routes, r.cfg.Workers, stale))
+	r.m.batches.Add(1)
+	r.m.batchOps.Add(int64(len(batch)))
+	r.m.swapNs.add(float64(time.Since(start).Nanoseconds()))
+	for i := range batch {
+		batch[i].done <- results[i]
+	}
+}
+
+// applyDiffToTable replays compressed-table diff ops onto the writer's
+// sorted mirror. The slice stays sorted in trie inorder (ip.Prefix
+// Compare order) throughout, so each op is one binary search plus one
+// memmove — O(log M + M) with a tiny constant, versus the O(M) trie walk
+// and node-chasing a full re-export would cost per batch. The serve tests
+// cross-check the mirror against core.CompressedRoutes after churn.
+func (r *Runtime) applyDiffToTable(ops []onrtc.Op) {
+	for _, op := range ops {
+		p := op.Route.Prefix
+		i := sort.Search(len(r.table), func(i int) bool {
+			return r.table[i].Prefix.Compare(p) >= 0
+		})
+		exact := i < len(r.table) && r.table[i].Prefix == p
+		switch op.Kind {
+		case onrtc.OpInsert, onrtc.OpModify:
+			if exact {
+				r.table[i].NextHop = op.Route.NextHop
+			} else {
+				r.table = append(r.table, ip.Route{})
+				copy(r.table[i+1:], r.table[i:])
+				r.table[i] = op.Route
+			}
+		case onrtc.OpDelete:
+			if exact {
+				r.table = append(r.table[:i], r.table[i+1:]...)
+			}
+		}
+	}
+}
+
+// Close drains and stops the runtime: new calls fail with ErrClosed,
+// in-flight lookups and queued updates complete, then the writer and all
+// workers exit. Close is idempotent and safe to call concurrently.
+func (r *Runtime) Close() {
+	r.closeOnce.Do(func() {
+		r.closed.Store(true)
+		// All submitters that got past the closed re-check hold an
+		// inflight token until their op is answered; once the count
+		// drains, nobody can send on the channels we are about to close.
+		// (An atomic counter instead of a WaitGroup: Add-from-zero racing
+		// Wait is disallowed for WaitGroups, and late callers here bounce
+		// off the closed flag rather than joining the wait.)
+		for r.inflight.Load() != 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		close(r.updates)
+		<-r.writerDone
+		for _, w := range r.workers {
+			close(w.queue)
+		}
+		r.workersWG.Wait()
+	})
+}
+
+// Stats exports a point-in-time snapshot of the runtime's metrics.
+func (r *Runtime) Stats() Stats {
+	snap := r.snap.Load()
+	st := Stats{
+		SnapshotVersion:    snap.Version,
+		Routes:             snap.Len(),
+		Workers:            r.cfg.Workers,
+		SnapshotLookups:    r.m.snapshotLookups.Load(),
+		Dispatched:         r.m.dispatched.Load(),
+		Diverted:           r.m.diverted.Load(),
+		OverflowBlocked:    r.m.overflowBlocked.Load(),
+		CacheHits:          r.m.cacheHits.Load(),
+		CacheMisses:        r.m.cacheMisses.Load(),
+		CacheFlushes:       r.m.cacheFlushes.Load(),
+		CacheInvalidations: r.m.cacheInvalid.Load(),
+		WorkerServed:       make([]int64, len(r.workers)),
+		Announces:          r.m.announces.Load(),
+		Withdraws:          r.m.withdraws.Load(),
+		UpdateErrors:       r.m.updateErrors.Load(),
+		Batches:            r.m.batches.Load(),
+		BatchOps:           r.m.batchOps.Load(),
+		PendingUpdates:     len(r.updates),
+		TTFTotals: update.TTF{
+			Trie: r.m.ttfTrie.load(),
+			TCAM: r.m.ttfTCAM.load(),
+			DRed: r.m.ttfDRed.load(),
+		},
+		SwapNs: r.m.swapNs.load(),
+	}
+	for i, w := range r.workers {
+		st.WorkerServed[i] = w.served.Load()
+	}
+	return st
+}
+
+// donePool recycles reply channels across dispatches.
+var donePool = sync.Pool{New: func() any { return make(chan Result, 1) }}
+
+func getDone() chan Result  { return donePool.Get().(chan Result) }
+func putDone(c chan Result) { donePool.Put(c) }

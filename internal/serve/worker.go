@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"clue/internal/dred"
+	"clue/internal/ip"
+)
+
+// Result describes one lookup served through the partition workers.
+type Result struct {
+	// Hop and Prefix are the forwarding answer (Found false on no match).
+	Hop    ip.NextHop
+	Prefix ip.Prefix
+	Found  bool
+	// Home is the worker the range index assigned; Worker the one that
+	// actually served (different when Diverted).
+	Home   int
+	Worker int
+	// Diverted reports the home queue was full and the lookup was
+	// redirected to the least-loaded worker.
+	Diverted bool
+	// CacheHit reports a diverted lookup answered from the serving
+	// worker's DRed-analog cache without touching the snapshot.
+	CacheHit bool
+	// Version is the snapshot version that answered.
+	Version uint64
+}
+
+// lookupReq travels down a worker queue; done is a 1-buffered reply
+// channel owned by the dispatcher.
+type lookupReq struct {
+	addr     ip.Addr
+	home     int
+	diverted bool
+	done     chan Result
+	// stall, when non-nil, makes the worker block until the channel is
+	// closed instead of serving — tests use it to hold a queue full and
+	// exercise the divert path deterministically.
+	stall <-chan struct{}
+}
+
+// worker is one partition worker goroutine — the software analog of a
+// TCAM chip with its FIFO queue and DRed partition. The cache is touched
+// only by the worker's own goroutine, so it needs no locking; snapshot
+// version changes are caught up lazily on the next request.
+type worker struct {
+	id    int
+	rt    *Runtime
+	queue chan lookupReq
+	// cache holds foreign (other-home) prefixes served on the divert
+	// path, LRU-evicted — the DRed with the reduced-redundancy fill rule.
+	cache *dred.Cache
+	// cacheVersion is the snapshot version the cache content reflects.
+	cacheVersion uint64
+	served       atomic.Int64
+}
+
+func newWorker(id int, rt *Runtime) *worker {
+	return &worker{
+		id:    id,
+		rt:    rt,
+		queue: make(chan lookupReq, rt.cfg.QueueDepth),
+		cache: dred.NewCache(rt.cfg.CacheSize),
+	}
+}
+
+// run drains the queue until it is closed (Runtime.Close).
+func (w *worker) run() {
+	defer w.rt.workersWG.Done()
+	for req := range w.queue {
+		if req.stall != nil {
+			<-req.stall
+			continue
+		}
+		req.done <- w.serve(req)
+	}
+}
+
+// serve answers one request against the current snapshot, keeping the
+// cache consistent with it first.
+func (w *worker) serve(req lookupReq) Result {
+	snap := w.rt.snap.Load()
+	w.syncCache(snap)
+	w.served.Add(1)
+	res := Result{Home: req.home, Worker: w.id, Diverted: req.diverted, Version: snap.Version}
+	if req.diverted {
+		if hop, pfx, ok := w.cache.Lookup(req.addr); ok {
+			w.rt.m.cacheHits.Add(1)
+			res.Hop, res.Prefix, res.Found, res.CacheHit = hop, pfx, true, true
+			return res
+		}
+		w.rt.m.cacheMisses.Add(1)
+	}
+	res.Hop, res.Prefix, res.Found = snap.Lookup(req.addr)
+	if req.diverted && res.Found {
+		// Reduced-redundancy fill: the prefix's home is elsewhere (the
+		// packet was diverted here), so caching it cannot duplicate this
+		// worker's own partition.
+		w.cache.Insert(ip.Route{Prefix: res.Prefix, NextHop: res.Hop})
+	}
+	return res
+}
+
+// syncCache brings the cache up to snap's version: one version ahead is
+// fixed with the snapshot's targeted stale-prefix invalidations (the
+// cheap DRed maintenance the paper's update pipeline performs); a larger
+// jump means intermediate stale lists were missed, so the cache is
+// flushed wholesale.
+func (w *worker) syncCache(snap *Snapshot) {
+	if snap.Version == w.cacheVersion {
+		return
+	}
+	if snap.Version == w.cacheVersion+1 {
+		for _, p := range snap.stale {
+			if w.cache.Invalidate(p) {
+				w.rt.m.cacheInvalid.Add(1)
+			}
+		}
+	} else {
+		w.cache = dred.NewCache(w.rt.cfg.CacheSize)
+		w.rt.m.cacheFlushes.Add(1)
+	}
+	w.cacheVersion = snap.Version
+}
