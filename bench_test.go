@@ -312,6 +312,79 @@ func BenchmarkServeDispatchParallel(b *testing.B) {
 	b.ReportMetric(100*st.DivertRate(), "divert-%")
 }
 
+// BenchmarkSnapshotLookup pits the stride-indexed fast path against the
+// plain full-table binary search on the same large snapshot. The indexed
+// sub-benchmark is the acceptance gate for the DIR-24-8-style index: it
+// must be at least 3x faster than binary with zero allocations.
+func BenchmarkSnapshotLookup(b *testing.B) {
+	rt, addrs := benchServe(b, 120000, 13, serve.Config{})
+	snap := rt.Snapshot()
+	if !snap.Indexed() {
+		b.Fatal("large snapshot is not stride-indexed")
+	}
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			snap.Lookup(addrs[i&(1<<16-1)])
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+	})
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			snap.LookupBinary(addrs[i&(1<<16-1)])
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+	})
+}
+
+// BenchmarkServeLookupBatch measures the amortized snapshot read side:
+// one atomic snapshot load serves a whole 256-address batch through the
+// stride index, reusing the caller's result slice.
+func BenchmarkServeLookupBatch(b *testing.B) {
+	rt, addrs := benchServe(b, 120000, 13, serve.Config{})
+	const batch = 256
+	out := make([]serve.LookupResult, 0, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := (i * batch) & (1<<16 - 1)
+		if base+batch > 1<<16 {
+			base = 0
+		}
+		out, _ = rt.LookupBatch(addrs[base:base+batch], out)
+	}
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+// BenchmarkServeDispatchBatchParallel measures grouped worker dispatch:
+// each 256-address window is counting-sorted by home partition and
+// enqueued as one chunk per worker, versus 256 individual queue hops.
+func BenchmarkServeDispatchBatchParallel(b *testing.B) {
+	rt, addrs := benchServe(b, 20000, 10, serve.Config{})
+	const batch = 256
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var out []serve.Result
+		i := 0
+		for pb.Next() {
+			base := (i * batch) & (1<<16 - 1)
+			if base+batch > 1<<16 {
+				base = 0
+			}
+			var err error
+			if out, err = rt.DispatchBatch(addrs[base:base+batch], out); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "lookups/s")
+	st := rt.Stats()
+	b.ReportMetric(100*st.DivertRate(), "divert-%")
+}
+
 // BenchmarkServeLookupUnderUpdateStorm measures snapshot-lookup latency
 // (p50/p99) while a writer goroutine replays a tracegen update stream
 // through the batching pipeline — the paper's fast-update claim restated

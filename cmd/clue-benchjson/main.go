@@ -1,0 +1,124 @@
+// Command clue-benchjson converts `go test -bench` text output into a
+// stable JSON document, so CI can commit benchmark baselines (such as
+// BENCH_serve.json) and diff them across revisions.
+//
+// Usage:
+//
+//	go test -bench Serve -benchmem . | clue-benchjson [-o BENCH_serve.json]
+//
+// Each benchmark line becomes one entry keyed by the benchmark name with
+// the -N CPU suffix stripped; every "<value> <unit>" pair on the line
+// (ns/op, B/op, allocs/op, and custom b.ReportMetric units such as
+// lookups/s) lands in that entry's metrics map. Non-benchmark lines are
+// passed through untouched, so the command can sit at the end of a pipe
+// without hiding test output.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "clue-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("clue-benchjson", flag.ContinueOnError)
+	outPath := fs.String("o", "", "write JSON here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	doc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, doc, 0o644)
+	}
+	_, err = out.Write(doc)
+	return err
+}
+
+// parse reads go-test bench output and returns the sorted results. A
+// benchmark repeated in the input (e.g. -count=2) keeps its last line.
+func parse(in io.Reader) ([]result, error) {
+	byName := map[string]result{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		r, ok := parseLine(sc.Text())
+		if ok {
+			byName[r.Name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	results := make([]result, 0, len(byName))
+	for _, r := range byName {
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results, nil
+}
+
+// parseLine decodes one "BenchmarkX-8  N  v1 u1  v2 u2 ..." line.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: stripCPUSuffix(fields[0]), Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}
+
+// stripCPUSuffix removes go test's trailing -GOMAXPROCS marker so names
+// are stable across machines ("BenchmarkX/sub-8" -> "BenchmarkX/sub").
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

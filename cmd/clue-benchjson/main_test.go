@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: clue
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSnapshotLookup/indexed-4   100000000   24.05 ns/op   41584405 lookups/s   0 B/op   0 allocs/op
+BenchmarkSnapshotLookup/binary-4    31559820    82.68 ns/op   12094699 lookups/s   0 B/op   0 allocs/op
+BenchmarkServeDispatchParallel-4    1000000     1042 ns/op    959692 lookups/s     1.2 divert-%
+some unrelated log line
+PASS
+ok   clue   6.178s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	// Sorted by name, CPU suffix stripped.
+	if results[0].Name != "BenchmarkServeDispatchParallel" ||
+		results[1].Name != "BenchmarkSnapshotLookup/binary" ||
+		results[2].Name != "BenchmarkSnapshotLookup/indexed" {
+		t.Fatalf("wrong order/names: %+v", results)
+	}
+	idx := results[2]
+	if idx.Iterations != 100000000 {
+		t.Fatalf("iterations = %d", idx.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 24.05, "lookups/s": 41584405, "B/op": 0, "allocs/op": 0,
+	} {
+		if got := idx.Metrics[unit]; got != want {
+			t.Errorf("metrics[%q] = %v, want %v", unit, got, want)
+		}
+	}
+	if got := results[0].Metrics["divert-%"]; got != 1.2 {
+		t.Errorf("custom metric divert-%% = %v, want 1.2", got)
+	}
+}
+
+func TestParseLineRejectsJunk(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok   clue   6.178s",
+		"Benchmark",                      // too few fields
+		"BenchmarkX notanint 1 ns/op",    // bad iteration count
+		"BenchmarkX 100 notafloat ns/op", // bad value
+		"BenchmarkX 100",                 // no metrics at all
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+	r, ok := parseLine("BenchmarkSub/case-name-16 5 3.5 ns/op")
+	if !ok || r.Name != "BenchmarkSub/case-name" {
+		t.Errorf("suffix strip: %+v ok=%v", r, ok)
+	}
+	// A non-numeric trailing -part is kept (it is not a CPU suffix).
+	r, ok = parseLine("BenchmarkOdd-name 5 3.5 ns/op")
+	if !ok || r.Name != "BenchmarkOdd-name" {
+		t.Errorf("non-numeric suffix: %+v ok=%v", r, ok)
+	}
+}
+
+func TestRunWritesFileAndStdout(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	if err := run([]string{"-o", path}, strings.NewReader(sample), nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc []result
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc) != 3 || doc[2].Metrics["ns/op"] != 24.05 {
+		t.Fatalf("round-trip: %+v", doc)
+	}
+
+	var buf bytes.Buffer
+	if err := run(nil, strings.NewReader(sample), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Error("stdout output differs from -o output")
+	}
+
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &buf); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -13,6 +13,9 @@
 //
 //	GET  /lookup?addr=A[&path=snapshot] — resolve A (worker dispatch by
 //	     default; path=snapshot uses the direct RCU read side)
+//	POST /lookup/batch {"addrs":["1.2.3.4",...],"path":"snapshot"|""} —
+//	     resolve up to 8192 addresses against one snapshot (grouped
+//	     worker dispatch by default)
 //	POST /announce {"prefix":"10.0.0.0/8","next_hop":3} — apply + TTF
 //	POST /withdraw {"prefix":"10.0.0.0/8"} — apply + TTF
 //	GET  /stats    — full runtime statistics as JSON
@@ -166,6 +169,9 @@ func loadRoutes(fibPath, router string, routerScale, nRoutes int, seed int64) ([
 	}
 }
 
+// maxBatchAddrs bounds one /lookup/batch request.
+const maxBatchAddrs = 8192
+
 // newHandler wires the HTTP surface around the runtime.
 func newHandler(rt *serve.Runtime) http.Handler {
 	mux := http.NewServeMux()
@@ -206,6 +212,81 @@ func newHandler(rt *serve.Runtime) http.Handler {
 			resp.Home, resp.Worker, resp.Diverted, resp.CacheHit = res.Home, res.Worker, res.Diverted, res.CacheHit
 			if res.Found {
 				resp.Prefix = res.Prefix.String()
+			}
+		}
+		writeJSON(w, resp)
+	})
+
+	mux.HandleFunc("POST /lookup/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Addrs []string `json:"addrs"`
+			Path  string   `json:"path"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(req.Addrs) == 0 {
+			httpError(w, http.StatusBadRequest, errors.New("addrs must be a non-empty array"))
+			return
+		}
+		if len(req.Addrs) > maxBatchAddrs {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("batch of %d addrs exceeds limit %d", len(req.Addrs), maxBatchAddrs))
+			return
+		}
+		addrs := make([]ip.Addr, len(req.Addrs))
+		for i, s := range req.Addrs {
+			a, err := ip.ParseAddr(s)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			addrs[i] = a
+		}
+		type batchItem struct {
+			Addr     string `json:"addr"`
+			NextHop  uint32 `json:"next_hop"`
+			Prefix   string `json:"prefix,omitempty"`
+			Found    bool   `json:"found"`
+			Worker   int    `json:"worker,omitempty"`
+			Diverted bool   `json:"diverted,omitempty"`
+			CacheHit bool   `json:"cache_hit,omitempty"`
+		}
+		type batchResp struct {
+			Count   int         `json:"count"`
+			Path    string      `json:"path"`
+			Version uint64      `json:"snapshot_version"`
+			Results []batchItem `json:"results"`
+		}
+		resp := batchResp{Count: len(addrs), Results: make([]batchItem, len(addrs))}
+		if req.Path == "snapshot" {
+			resp.Path = "snapshot"
+			results, version := rt.LookupBatch(addrs, nil)
+			resp.Version = version
+			for i, res := range results {
+				item := batchItem{Addr: addrs[i].String(), NextHop: uint32(res.Hop), Found: res.Found}
+				if res.Found {
+					item.Prefix = res.Prefix.String()
+				}
+				resp.Results[i] = item
+			}
+		} else {
+			resp.Path = "worker"
+			results, err := rt.DispatchBatch(addrs, nil)
+			if err != nil {
+				httpError(w, http.StatusServiceUnavailable, err)
+				return
+			}
+			for i, res := range results {
+				item := batchItem{
+					Addr: addrs[i].String(), NextHop: uint32(res.Hop), Found: res.Found,
+					Worker: res.Worker, Diverted: res.Diverted, CacheHit: res.CacheHit,
+				}
+				if res.Found {
+					item.Prefix = res.Prefix.String()
+				}
+				resp.Results[i] = item
+				resp.Version = res.Version
 			}
 		}
 		writeJSON(w, resp)

@@ -183,6 +183,99 @@ func TestEndToEndLookupAnnounceWithdraw(t *testing.T) {
 	}
 }
 
+type batchItemResp struct {
+	Addr     string `json:"addr"`
+	NextHop  uint32 `json:"next_hop"`
+	Prefix   string `json:"prefix"`
+	Found    bool   `json:"found"`
+	Worker   int    `json:"worker"`
+	Diverted bool   `json:"diverted"`
+	CacheHit bool   `json:"cache_hit"`
+}
+
+type batchResp struct {
+	Count   int             `json:"count"`
+	Path    string          `json:"path"`
+	Version uint64          `json:"snapshot_version"`
+	Results []batchItemResp `json:"results"`
+}
+
+func TestLookupBatchEndpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	base, _, shutdown := startServer(t, ctx, cancel)
+	defer shutdown()
+
+	postBatch := func(body string, want int) *batchResp {
+		t.Helper()
+		resp, err := http.Post(base+"/lookup/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("POST /lookup/batch %s: got %s want %d", body, resp.Status, want)
+		}
+		if want != http.StatusOK {
+			return nil
+		}
+		var out batchResp
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return &out
+	}
+
+	// Announce a known route so at least one batch answer is deterministic.
+	postJSON(t, base+"/announce", `{"prefix":"203.0.113.0/24","next_hop":77}`)
+
+	body := `{"addrs":["203.0.113.9","203.0.113.200","8.8.8.8"]}`
+	worker := postBatch(body, http.StatusOK)
+	if worker.Path != "worker" || worker.Count != 3 || len(worker.Results) != 3 {
+		t.Fatalf("worker batch: %+v", worker)
+	}
+	for _, item := range worker.Results[:2] {
+		if !item.Found || item.NextHop != 77 || item.Prefix != "203.0.113.0/24" {
+			t.Fatalf("worker batch item: %+v", item)
+		}
+	}
+
+	// The snapshot path must agree item-for-item and report a version.
+	snap := postBatch(`{"addrs":["203.0.113.9","203.0.113.200","8.8.8.8"],"path":"snapshot"}`, http.StatusOK)
+	if snap.Path != "snapshot" || snap.Version == 0 {
+		t.Fatalf("snapshot batch: %+v", snap)
+	}
+	for i := range snap.Results {
+		w, s := worker.Results[i], snap.Results[i]
+		if w.Found != s.Found || w.NextHop != s.NextHop || w.Prefix != s.Prefix {
+			t.Fatalf("paths disagree at %d: worker %+v, snapshot %+v", i, w, s)
+		}
+	}
+
+	// Per-item ordering must match the request ordering.
+	for i, want := range []string{"203.0.113.9", "203.0.113.200", "8.8.8.8"} {
+		if worker.Results[i].Addr != want {
+			t.Fatalf("result %d addr = %q, want %q", i, worker.Results[i].Addr, want)
+		}
+	}
+
+	// Bad inputs: empty array, missing body, bad address, oversized batch.
+	postBatch(`{"addrs":[]}`, http.StatusBadRequest)
+	postBatch(`not json`, http.StatusBadRequest)
+	postBatch(`{"addrs":["not-an-ip"]}`, http.StatusBadRequest)
+	huge := `{"addrs":[` + strings.Repeat(`"1.2.3.4",`, maxBatchAddrs) + `"1.2.3.4"]}`
+	postBatch(huge, http.StatusBadRequest)
+
+	// Batch traffic must show up in the runtime statistics.
+	var stats map[string]any
+	getJSON(t, base+"/stats", &stats)
+	if stats["dispatch_batches"].(float64) < 1 {
+		t.Fatalf("stats missing batch dispatches: %v", stats)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestLoadFIBFromRibioFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "table.rib")

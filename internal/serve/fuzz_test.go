@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"clue/internal/ip"
+	"clue/internal/onrtc"
+	"clue/internal/trie"
+)
+
+// FuzzSnapshotIndex is the differential test for the lookup fast path:
+// over random FIBs and random addresses, the stride-indexed
+// Snapshot.Lookup, the full-binary-search Snapshot.LookupBinary and the
+// compressed trie's onrtc.Table.Lookup must give identical answers. The
+// raw bytes decode to 5-byte (address, prefix-length) records; probe
+// addresses come from the seeded RNG plus every route boundary.
+func FuzzSnapshotIndex(f *testing.F) {
+	f.Add(int64(1), []byte{})
+	f.Add(int64(2), []byte{10, 0, 0, 0, 8, 192, 168, 0, 0, 16})
+	// Default route plus nested lengths around the 16-bit stride.
+	f.Add(int64(3), []byte{
+		0, 0, 0, 0, 0,
+		10, 0, 0, 0, 7,
+		10, 128, 0, 0, 9,
+		10, 129, 0, 0, 16,
+		10, 129, 3, 0, 24,
+		10, 129, 3, 7, 32,
+	})
+	// A /1 next to deep host routes — the spanning-route extremes.
+	f.Add(int64(4), []byte{128, 0, 0, 0, 1, 127, 255, 255, 255, 32, 0, 0, 0, 0, 2})
+	f.Fuzz(func(t *testing.T, seed int64, raw []byte) {
+		if len(raw) > 5*2048 {
+			raw = raw[:5*2048]
+		}
+		fib := trie.New()
+		for i := 0; i+5 <= len(raw); i += 5 {
+			a := ip.Addr(uint32(raw[i])<<24 | uint32(raw[i+1])<<16 | uint32(raw[i+2])<<8 | uint32(raw[i+3]))
+			p, err := ip.NewPrefix(a, int(raw[i+4])%33)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fib.Insert(p, ip.NextHop(i/5%14+1), nil)
+		}
+		table := onrtc.Compress(fib)
+		routes := table.Routes()
+		snap := newSnapshot(1, routes, 4, nil)
+		if !snap.Indexed() && len(routes) > 0 {
+			// Force the indexed path for tables below the size gate, so
+			// the fuzzer always exercises the stride index.
+			snap.index = buildStrideIndex(routes)
+		}
+
+		probes := make([]ip.Addr, 0, 4*len(routes)+64)
+		for _, r := range routes {
+			probes = append(probes, r.Prefix.First(), r.Prefix.Last())
+			if f := r.Prefix.First(); f > 0 {
+				probes = append(probes, f-1)
+			}
+			if l := r.Prefix.Last(); l < ip.Addr(^uint32(0)) {
+				probes = append(probes, l+1)
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 64; i++ {
+			probes = append(probes, ip.Addr(rng.Uint32()))
+		}
+
+		for _, a := range probes {
+			hopI, pfxI, okI := snap.Lookup(a)
+			hopB, pfxB, okB := snap.LookupBinary(a)
+			hopT, pfxT := table.Lookup(a, nil)
+			okT := hopT != ip.NoRoute
+			if okI != okB || okI != okT {
+				t.Fatalf("lookup(%s): indexed found=%v, binary found=%v, table found=%v",
+					a, okI, okB, okT)
+			}
+			if okI && (hopI != hopB || hopI != hopT || pfxI != pfxB || pfxI != pfxT) {
+				t.Fatalf("lookup(%s): indexed %d/%s, binary %d/%s, table %d/%s",
+					a, hopI, pfxI, hopB, pfxB, hopT, pfxT)
+			}
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"clue/internal/ip"
+)
+
+// The stride index is the software analog of a line card's DIR-24-8 /
+// poptrie first stage: a flat array over the top strideBits of the
+// address that narrows every lookup to the handful of compressed routes
+// intersecting that bucket. Because the ONRTC output is disjoint and
+// sorted, a bucket's candidates form one contiguous slice of the route
+// table, so the whole first level is a single []uint32 of cut points.
+const (
+	// strideBits is the width of the first-level index: 2^16 buckets,
+	// each covering a /16 of the address space.
+	strideBits    = 16
+	strideShift   = ip.AddrBits - strideBits
+	strideBuckets = 1 << strideBits
+
+	// strideMinRoutes gates index construction: below this table size a
+	// plain binary search already fits in a couple of cache lines and the
+	// 256 KiB index is not worth carrying on every snapshot.
+	strideMinRoutes = 256
+
+	// strideScanMax bounds the linear candidate scan; buckets packed with
+	// more long prefixes than this fall back to a bounded binary search.
+	strideScanMax = 8
+
+	// stridePatchMax caps how many structural table changes a snapshot
+	// swap may patch through the previous index before a fresh parallel
+	// rebuild is cheaper.
+	stridePatchMax = 4096
+
+	// strideBuildChunk is the bucket range below which buildStrideIndex
+	// stays single-threaded: spawning the worker pool only pays off once
+	// the merge walk dominates goroutine startup.
+	strideBuildChunk = 1 << 13
+)
+
+// strideIndex maps the top strideBits of an address to the start of its
+// candidate range in the sorted route slice. idx[b] is the index of the
+// first route whose last address reaches bucket b (equivalently: the
+// count of routes lying entirely below the bucket); idx[strideBuckets]
+// is the table length. A bucket's candidates are routes[idx[b]:idx[b+1]]
+// plus at most one short prefix spanning past the bucket at idx[b+1].
+type strideIndex []uint32
+
+// buildStrideIndex computes the index over a sorted disjoint route table
+// from scratch, parallelized across bucket ranges with a worker pool so
+// snapshot swaps stay cheap under update storms. Disjointness makes the
+// routes' last addresses ascending too, so each worker binary-searches
+// its first cut and then linearly merges routes and buckets.
+func buildStrideIndex(routes []ip.Route) strideIndex {
+	idx := make(strideIndex, strideBuckets+1)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > strideBuckets/strideBuildChunk {
+		workers = strideBuckets / strideBuildChunk
+	}
+	if workers <= 1 {
+		fillStrideRange(idx, routes, 0, strideBuckets)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			b0 := w * strideBuckets / workers
+			b1 := (w + 1) * strideBuckets / workers
+			wg.Add(1)
+			go func(b0, b1 int) {
+				defer wg.Done()
+				fillStrideRange(idx, routes, b0, b1)
+			}(b0, b1)
+		}
+		wg.Wait()
+	}
+	idx[strideBuckets] = uint32(len(routes))
+	return idx
+}
+
+// fillStrideRange fills idx for buckets [b0, b1).
+func fillStrideRange(idx strideIndex, routes []ip.Route, b0, b1 int) {
+	first := ip.Addr(uint32(b0) << strideShift)
+	r := sort.Search(len(routes), func(i int) bool {
+		return routes[i].Prefix.Last() >= first
+	})
+	for b := b0; b < b1; b++ {
+		bf := ip.Addr(uint32(b) << strideShift)
+		for r < len(routes) && routes[r].Prefix.Last() < bf {
+			r++
+		}
+		idx[b] = uint32(r)
+	}
+}
+
+// patchStrideIndex derives the index for the post-batch route table from
+// the previous snapshot's index plus the (ascending) last addresses of
+// the routes the batch inserted and deleted. idx[b] counts the routes
+// entirely below bucket b, so the new value is exactly the old one plus
+// the inserts below the bucket minus the deletes below it — O(buckets)
+// with no table walk, regardless of table size.
+func patchStrideIndex(prev strideIndex, insLast, delLast []ip.Addr, total int) strideIndex {
+	idx := make(strideIndex, strideBuckets+1)
+	ii, di := 0, 0
+	for b := 0; b < strideBuckets; b++ {
+		bf := ip.Addr(uint32(b) << strideShift)
+		for ii < len(insLast) && insLast[ii] < bf {
+			ii++
+		}
+		for di < len(delLast) && delLast[di] < bf {
+			di++
+		}
+		idx[b] = prev[b] + uint32(ii) - uint32(di)
+	}
+	idx[strideBuckets] = uint32(total)
+	return idx
+}

@@ -23,6 +23,7 @@ func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()
 type metrics struct {
 	snapshotLookups atomic.Int64
 	dispatched      atomic.Int64
+	dispatchBatches atomic.Int64
 	diverted        atomic.Int64
 	overflowBlocked atomic.Int64
 	cacheHits       atomic.Int64
@@ -49,12 +50,19 @@ type Stats struct {
 	// snapshot; Workers the partition worker count.
 	SnapshotVersion uint64 `json:"snapshot_version"`
 	Routes          int    `json:"routes"`
-	Workers         int    `json:"workers"`
+	// Indexed reports whether the published snapshot carries the stride
+	// index (false only for tables below the index threshold).
+	Indexed bool `json:"indexed"`
+	Workers int  `json:"workers"`
 
-	// SnapshotLookups counts direct (RCU read-side) lookups; Dispatched
-	// counts lookups routed through the partition workers.
+	// SnapshotLookups counts direct (RCU read-side) lookups, including
+	// addresses resolved through LookupBatch; Dispatched counts lookups
+	// routed through the partition workers, including addresses inside
+	// DispatchBatch calls. DispatchBatches counts the batch calls
+	// themselves.
 	SnapshotLookups int64 `json:"snapshot_lookups"`
 	Dispatched      int64 `json:"dispatched"`
+	DispatchBatches int64 `json:"dispatch_batches"`
 	// Diverted counts dispatches whose home queue was full and that were
 	// redirected to the least-loaded worker; OverflowBlocked counts
 	// dispatches that found the divert target full too and had to block.
@@ -138,6 +146,7 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 	emit("clue_serve_workers", "gauge", "Partition worker goroutines.", float64(s.Workers))
 	emit("clue_serve_snapshot_lookups_total", "counter", "Direct RCU snapshot lookups.", float64(s.SnapshotLookups))
 	emit("clue_serve_dispatched_total", "counter", "Lookups dispatched to partition workers.", float64(s.Dispatched))
+	emit("clue_serve_dispatch_batches_total", "counter", "DispatchBatch calls served.", float64(s.DispatchBatches))
 	emit("clue_serve_diverted_total", "counter", "Dispatches diverted off a full home queue.", float64(s.Diverted))
 	emit("clue_serve_overflow_blocked_total", "counter", "Dispatches that blocked with all queues full.", float64(s.OverflowBlocked))
 	emit("clue_serve_cache_hits_total", "counter", "Diverted lookups served from a worker cache.", float64(s.CacheHits))

@@ -72,6 +72,25 @@ func TestConcurrentReadersDuringUpdateStorm(t *testing.T) {
 			}
 		}(int64(g))
 	}
+	// One batch-dispatch reader racing the same storm through the
+	// grouped per-worker queue path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		batch := make([]ip.Addr, 64)
+		var out []Result
+		for i := int64(0); !stop.Load(); i++ {
+			for j := range batch {
+				batch[j] = probe(i*64 + int64(j))
+			}
+			var err error
+			if out, err = rt.DispatchBatch(batch, out); err != nil {
+				failures.Add(1)
+				return
+			}
+			lookups.Add(int64(len(batch)))
+		}
+	}()
 	// Two writers split the storm; the runtime serialises them through
 	// the single writer goroutine.
 	var uwg sync.WaitGroup

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -83,6 +84,21 @@ type opResult struct {
 	err error
 }
 
+// writerScratch holds the writer goroutine's reusable per-batch buffers.
+// All of them are owned exclusively by the writer; anything a published
+// snapshot must keep (the stale list) is copied out at exact size so the
+// scratch capacity survives the batch.
+type writerScratch struct {
+	batch   []updateOp
+	results []opResult
+	stale   []ip.Prefix
+	// insLast/delLast collect the last addresses of routes the batch
+	// inserted into / deleted from the sorted mirror; sorted, they feed
+	// the stride-index patch on the next snapshot.
+	insLast []ip.Addr
+	delLast []ip.Addr
+}
+
 // Runtime is the concurrent forwarding service around a core.System.
 //
 // Reads are RCU-style: the compressed table lives in an immutable
@@ -100,6 +116,7 @@ type Runtime struct {
 	// memcpy instead of a full trie walk — the O(1)-update property of
 	// the paper carried through to snapshot publication.
 	table   []ip.Route
+	ws      writerScratch
 	snap    atomic.Pointer[Snapshot]
 	updates chan updateOp
 	workers []*worker
@@ -123,10 +140,19 @@ func New(routes []ip.Route, cfg Config) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	base := sys.CompressedRoutes()
+	// Headroom on the sorted mirror keeps the insert fast path from
+	// reallocating for the first batches of an update storm.
+	table := make([]ip.Route, len(base), len(base)+len(base)/8+64)
+	copy(table, base)
 	r := &Runtime{
-		cfg:        cfg,
-		sys:        sys,
-		table:      sys.CompressedRoutes(),
+		cfg:   cfg,
+		sys:   sys,
+		table: table,
+		ws: writerScratch{
+			batch:   make([]updateOp, 0, cfg.BatchMax),
+			results: make([]opResult, 0, cfg.BatchMax),
+		},
 		updates:    make(chan updateOp, cfg.UpdateQueue),
 		writerDone: make(chan struct{}),
 	}
@@ -148,10 +174,19 @@ func New(routes []ip.Route, cfg Config) (*Runtime, error) {
 func (r *Runtime) Snapshot() *Snapshot { return r.snap.Load() }
 
 // Lookup resolves addr on the snapshot path: one atomic load plus one
-// binary search, no locks, regardless of concurrent updates.
+// stride-indexed probe, no locks, regardless of concurrent updates.
 func (r *Runtime) Lookup(addr ip.Addr) (ip.NextHop, ip.Prefix, bool) {
 	r.m.snapshotLookups.Add(1)
 	return r.snap.Load().Lookup(addr)
+}
+
+// LookupBatch resolves addrs on the snapshot path with one atomic load
+// for the whole batch. Results are appended into out (reused when its
+// capacity suffices) and returned with the answering snapshot's version.
+func (r *Runtime) LookupBatch(addrs []ip.Addr, out []LookupResult) ([]LookupResult, uint64) {
+	r.m.snapshotLookups.Add(int64(len(addrs)))
+	snap := r.snap.Load()
+	return snap.LookupBatch(addrs, out), snap.Version
 }
 
 // Dispatch routes the lookup to its home partition worker over a bounded
@@ -170,54 +205,183 @@ func (r *Runtime) Dispatch(addr ip.Addr) (Result, error) {
 	}
 	home := r.snap.Load().Home(addr)
 	done := getDone()
-	req := lookupReq{addr: addr, home: home, done: done}
 	r.m.dispatched.Add(1)
-	select {
-	case r.workers[home].queue <- req:
-	default:
-		// Home queue full: divert to the least-loaded other worker.
-		target := r.leastLoaded(home)
-		if target == home {
-			// Single worker — nowhere to divert, block on home.
-			r.m.overflowBlocked.Add(1)
-			r.workers[home].queue <- req
-			break
-		}
-		div := req
-		div.diverted = true
-		select {
-		case r.workers[target].queue <- div:
-			r.m.diverted.Add(1)
-		default:
-			// Divert target full too: block on whichever frees first.
-			r.m.overflowBlocked.Add(1)
-			select {
-			case r.workers[home].queue <- req:
-			case r.workers[target].queue <- div:
-				r.m.diverted.Add(1)
-			}
-		}
-	}
+	r.enqueue(lookupReq{addr: addr, home: home, done: done})
 	res := <-done
 	putDone(done)
 	return res, nil
 }
 
+// batchScratch holds one DispatchBatch call's reusable buffers, pooled
+// across calls.
+type batchScratch struct {
+	homes   []int32
+	counts  []int32
+	offs    []int32
+	ordered []ip.Addr
+	perm    []int32
+	res     []Result
+	dones   []chan Result
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func (sc *batchScratch) size(workers, n int) {
+	if cap(sc.counts) < workers {
+		sc.counts = make([]int32, workers)
+		sc.offs = make([]int32, workers)
+		sc.dones = make([]chan Result, workers)
+	}
+	sc.counts = sc.counts[:workers]
+	sc.offs = sc.offs[:workers]
+	sc.dones = sc.dones[:workers]
+	if cap(sc.homes) < n {
+		sc.homes = make([]int32, n)
+		sc.ordered = make([]ip.Addr, n)
+		sc.perm = make([]int32, n)
+		sc.res = make([]Result, n)
+	}
+	sc.homes = sc.homes[:n]
+	sc.ordered = sc.ordered[:n]
+	sc.perm = sc.perm[:n]
+	sc.res = sc.res[:n]
+}
+
+// DispatchBatch routes a batch of lookups through the partition workers
+// with one queue operation per worker: the addresses are grouped by home
+// partition (a counting sort — improving worker-side cache locality and
+// amortizing queue traffic), each group is served against a single
+// snapshot load, and the results are scattered back into input order.
+// Groups whose home queue is full divert whole to the least-loaded
+// worker, like single dispatches. Results are written into out (reused
+// when its capacity suffices).
+func (r *Runtime) DispatchBatch(addrs []ip.Addr, out []Result) ([]Result, error) {
+	if r.closed.Load() {
+		return nil, ErrClosed
+	}
+	r.inflight.Add(1)
+	defer r.inflight.Add(-1)
+	if r.closed.Load() {
+		return nil, ErrClosed
+	}
+	n := len(addrs)
+	if cap(out) < n {
+		out = make([]Result, n)
+	} else {
+		out = out[:n]
+	}
+	if n == 0 {
+		return out, nil
+	}
+	snap := r.snap.Load()
+	nw := len(r.workers)
+	sc := batchPool.Get().(*batchScratch)
+	sc.size(nw, n)
+	for i := range sc.counts {
+		sc.counts[i] = 0
+	}
+	for i, a := range addrs {
+		h := int32(snap.Home(a))
+		sc.homes[i] = h
+		sc.counts[h]++
+	}
+	off := int32(0)
+	for h := 0; h < nw; h++ {
+		sc.offs[h] = off
+		off += sc.counts[h]
+	}
+	for i, a := range addrs {
+		h := sc.homes[i]
+		j := sc.offs[h]
+		sc.ordered[j] = a
+		sc.perm[j] = int32(i)
+		sc.offs[h] = j + 1
+	}
+	r.m.dispatched.Add(int64(n))
+	r.m.dispatchBatches.Add(1)
+	pending := 0
+	for h := 0; h < nw; h++ {
+		cnt := sc.counts[h]
+		if cnt == 0 {
+			continue
+		}
+		end := sc.offs[h] // advanced to the group's end by the scatter pass
+		done := getDone()
+		sc.dones[pending] = done
+		pending++
+		r.enqueue(lookupReq{
+			home:  h,
+			batch: sc.ordered[end-cnt : end],
+			out:   sc.res[end-cnt : end],
+			done:  done,
+		})
+	}
+	for i := 0; i < pending; i++ {
+		<-sc.dones[i]
+		putDone(sc.dones[i])
+	}
+	for j := 0; j < n; j++ {
+		out[sc.perm[j]] = sc.res[j]
+	}
+	batchPool.Put(sc)
+	return out, nil
+}
+
+// enqueue places req on its home worker's queue, diverting to the
+// least-loaded worker when the home queue is full (the Adaptive Load
+// Balancing Logic). It blocks until some worker accepts the request.
+func (r *Runtime) enqueue(req lookupReq) {
+	weight := int64(1)
+	if req.batch != nil {
+		weight = int64(len(req.batch))
+	}
+	home := req.home
+	select {
+	case r.workers[home].queue <- req:
+	default:
+		// Home queue full: divert to the least-loaded eligible worker.
+		target := r.leastLoaded(home)
+		if target == home {
+			// Nowhere to divert — block on home.
+			r.m.overflowBlocked.Add(weight)
+			r.workers[home].queue <- req
+			return
+		}
+		div := req
+		div.diverted = true
+		select {
+		case r.workers[target].queue <- div:
+			r.m.diverted.Add(weight)
+		default:
+			// Divert target full too: block on whichever frees first.
+			r.m.overflowBlocked.Add(weight)
+			select {
+			case r.workers[home].queue <- req:
+			case r.workers[target].queue <- div:
+				r.m.diverted.Add(weight)
+			}
+		}
+	}
+}
+
 // leastLoaded returns the worker (other than home) with the shortest
-// queue right now.
+// queue right now, or home itself when no other worker is eligible.
 func (r *Runtime) leastLoaded(home int) int {
+	snap := r.snap.Load()
 	best, bestLen := home, int(^uint(0)>>1)
 	for i, w := range r.workers {
 		if i == home {
 			continue
 		}
+		// A worker with a zero-width home range and a cold cache has no
+		// locality to offer a diverted lookup; skip it so tiny tables
+		// don't shed load onto permanently-idle partitions.
+		if snap.emptyHome(i) && w.cached.Load() == 0 {
+			continue
+		}
 		if l := len(w.queue); l < bestLen {
 			best, bestLen = i, l
 		}
-	}
-	if best == home {
-		// Single-worker runtime: there is nowhere to divert.
-		return home
 	}
 	return best
 }
@@ -257,8 +421,7 @@ func (r *Runtime) submit(op updateOp) (update.TTF, error) {
 func (r *Runtime) writer() {
 	defer close(r.writerDone)
 	for op := range r.updates {
-		batch := make([]updateOp, 1, r.cfg.BatchMax)
-		batch[0] = op
+		batch := append(r.ws.batch[:0], op)
 	fill:
 		for len(batch) < r.cfg.BatchMax {
 			select {
@@ -271,6 +434,7 @@ func (r *Runtime) writer() {
 				break fill
 			}
 		}
+		r.ws.batch = batch
 		r.applyBatch(batch)
 	}
 }
@@ -279,9 +443,11 @@ func (r *Runtime) writer() {
 // resulting snapshot.
 func (r *Runtime) applyBatch(batch []updateOp) {
 	start := time.Now()
-	var stale []ip.Prefix
-	results := make([]opResult, len(batch))
-	for i, op := range batch {
+	results := r.ws.results[:0]
+	stale := r.ws.stale[:0]
+	r.ws.insLast = r.ws.insLast[:0]
+	r.ws.delLast = r.ws.delLast[:0]
+	for _, op := range batch {
 		var (
 			ttf  update.TTF
 			diff onrtc.Diff
@@ -300,7 +466,7 @@ func (r *Runtime) applyBatch(batch []updateOp) {
 		if err != nil {
 			r.m.updateErrors.Add(1)
 		}
-		results[i] = opResult{ttf: ttf, err: err}
+		results = append(results, opResult{ttf: ttf, err: err})
 		r.m.ttfTrie.add(ttf.Trie)
 		r.m.ttfTCAM.add(ttf.TCAM)
 		r.m.ttfDRed.add(ttf.DRed)
@@ -313,10 +479,20 @@ func (r *Runtime) applyBatch(batch []updateOp) {
 		}
 		r.applyDiffToTable(diff.Ops)
 	}
+	r.ws.results = results
+	r.ws.stale = stale
+	// The snapshot owns its stale list; hand it an exact-size copy so the
+	// scratch slice stays reusable across batches.
+	var staleOut []ip.Prefix
+	if len(stale) > 0 {
+		staleOut = append(make([]ip.Prefix, 0, len(stale)), stale...)
+	}
+	slices.Sort(r.ws.insLast)
+	slices.Sort(r.ws.delLast)
 	prev := r.snap.Load()
 	routes := make([]ip.Route, len(r.table))
 	copy(routes, r.table)
-	r.snap.Store(newSnapshot(prev.Version+1, routes, r.cfg.Workers, stale))
+	r.snap.Store(newSnapshotFrom(prev, prev.Version+1, routes, r.cfg.Workers, staleOut, r.ws.insLast, r.ws.delLast))
 	r.m.batches.Add(1)
 	r.m.batchOps.Add(int64(len(batch)))
 	r.m.swapNs.add(float64(time.Since(start).Nanoseconds()))
@@ -329,8 +505,10 @@ func (r *Runtime) applyBatch(batch []updateOp) {
 // sorted mirror. The slice stays sorted in trie inorder (ip.Prefix
 // Compare order) throughout, so each op is one binary search plus one
 // memmove — O(log M + M) with a tiny constant, versus the O(M) trie walk
-// and node-chasing a full re-export would cost per batch. The serve tests
-// cross-check the mirror against core.CompressedRoutes after churn.
+// and node-chasing a full re-export would cost per batch. Structural
+// changes (real inserts and deletes) are recorded in the writer scratch
+// for the stride-index patch. The serve tests cross-check the mirror
+// against core.CompressedRoutes after churn.
 func (r *Runtime) applyDiffToTable(ops []onrtc.Op) {
 	for _, op := range ops {
 		p := op.Route.Prefix
@@ -346,10 +524,12 @@ func (r *Runtime) applyDiffToTable(ops []onrtc.Op) {
 				r.table = append(r.table, ip.Route{})
 				copy(r.table[i+1:], r.table[i:])
 				r.table[i] = op.Route
+				r.ws.insLast = append(r.ws.insLast, p.Last())
 			}
 		case onrtc.OpDelete:
 			if exact {
 				r.table = append(r.table[:i], r.table[i+1:]...)
+				r.ws.delLast = append(r.ws.delLast, p.Last())
 			}
 		}
 	}
@@ -385,9 +565,11 @@ func (r *Runtime) Stats() Stats {
 	st := Stats{
 		SnapshotVersion:    snap.Version,
 		Routes:             snap.Len(),
+		Indexed:            snap.Indexed(),
 		Workers:            r.cfg.Workers,
 		SnapshotLookups:    r.m.snapshotLookups.Load(),
 		Dispatched:         r.m.dispatched.Load(),
+		DispatchBatches:    r.m.dispatchBatches.Load(),
 		Diverted:           r.m.diverted.Load(),
 		OverflowBlocked:    r.m.overflowBlocked.Load(),
 		CacheHits:          r.m.cacheHits.Load(),

@@ -227,6 +227,195 @@ func TestUpdateBatching(t *testing.T) {
 	}
 }
 
+func TestDispatchBatchMatchesFIB(t *testing.T) {
+	fib, routes := testRoutes(t, 4000, 51)
+	rt, err := New(routes, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rng := rand.New(rand.NewSource(51))
+	addrs := make([]ip.Addr, 1000)
+	for i := range addrs {
+		addrs[i] = ip.Addr(rng.Uint32())
+	}
+	out, err := rt.DispatchBatch(addrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(addrs) {
+		t.Fatalf("batch returned %d results for %d addrs", len(out), len(addrs))
+	}
+	for i, a := range addrs {
+		want, _ := fib.Lookup(a, nil)
+		if out[i].Found != (want != ip.NoRoute) || (out[i].Found && out[i].Hop != want) {
+			t.Fatalf("batch[%d] (%s) = %+v, want hop %d", i, a, out[i], want)
+		}
+		if out[i].Home != rt.Snapshot().Home(a) {
+			t.Fatalf("batch[%d] home = %d, want %d", i, out[i].Home, rt.Snapshot().Home(a))
+		}
+		if !out[i].Diverted && out[i].Worker != out[i].Home {
+			t.Fatalf("batch[%d] served by %d, home %d, not diverted", i, out[i].Worker, out[i].Home)
+		}
+	}
+	st := rt.Stats()
+	if st.Dispatched != 1000 || st.DispatchBatches != 1 {
+		t.Fatalf("batch accounting: dispatched %d, batches %d", st.Dispatched, st.DispatchBatches)
+	}
+	var served int64
+	for _, v := range st.WorkerServed {
+		served += v
+	}
+	if served != 1000 {
+		t.Fatalf("workers served %d, want 1000", served)
+	}
+	// Second call reuses the caller's result slice.
+	out2, err := rt.DispatchBatch(addrs[:64], out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out2[0] != &out[0] || len(out2) != 64 {
+		t.Fatal("DispatchBatch did not reuse the output slice")
+	}
+	if empty, err := rt.DispatchBatch(nil, nil); err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: %v, %v", empty, err)
+	}
+}
+
+func TestRuntimeLookupBatch(t *testing.T) {
+	fib, routes := testRoutes(t, 3000, 52)
+	rt, err := New(routes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rng := rand.New(rand.NewSource(52))
+	addrs := make([]ip.Addr, 500)
+	for i := range addrs {
+		addrs[i] = ip.Addr(rng.Uint32())
+	}
+	out, version := rt.LookupBatch(addrs, nil)
+	if version != rt.Snapshot().Version {
+		t.Fatalf("batch version %d, snapshot %d", version, rt.Snapshot().Version)
+	}
+	for i, a := range addrs {
+		want, _ := fib.Lookup(a, nil)
+		if out[i].Found != (want != ip.NoRoute) || (out[i].Found && out[i].Hop != want) {
+			t.Fatalf("batch[%d] (%s) = %+v, want hop %d", i, a, out[i], want)
+		}
+	}
+	if st := rt.Stats(); st.SnapshotLookups != 500 {
+		t.Fatalf("snapshot lookups = %d, want 500", st.SnapshotLookups)
+	}
+}
+
+// TestTinyTableDivertSkipsEmptyWorkers is the regression for the load
+// balancer on tables smaller than the worker count: with 2 routes and 4
+// workers, workers 2 and 3 have zero-width home ranges and cold caches,
+// so a divert off worker 0's full queue must land on worker 1 — never on
+// a worker that can contribute neither locality nor cached answers.
+func TestTinyTableDivertSkipsEmptyWorkers(t *testing.T) {
+	routes := []ip.Route{
+		{Prefix: ip.MustParsePrefix("10.0.0.0/8"), NextHop: 1},
+		{Prefix: ip.MustParsePrefix("192.168.0.0/16"), NextHop: 2},
+	}
+	rt, err := New(routes, Config{
+		Workers:    4,
+		QueueDepth: 1,
+		System:     SystemConfig{TCAMs: 2, Buckets: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	snap := rt.Snapshot()
+	if snap.Len() != 2 {
+		t.Fatalf("compressed table has %d entries, want 2", snap.Len())
+	}
+	if !snap.emptyHome(2) || !snap.emptyHome(3) {
+		t.Fatalf("workers 2/3 not marked empty: %v", snap.empty)
+	}
+
+	// Stall worker 0 and fill its 1-deep queue, so a lookup homed to it
+	// must take the divert path.
+	stall := make(chan struct{})
+	defer close(stall)
+	rt.workers[0].queue <- lookupReq{stall: stall}
+	rt.workers[0].queue <- lookupReq{stall: stall}
+
+	a := ip.MustParseAddr("10.1.2.3")
+	if home := snap.Home(a); home != 0 {
+		t.Fatalf("probe homed to %d, want 0", home)
+	}
+	for i := 0; i < 16; i++ {
+		res, err := rt.Dispatch(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Diverted {
+			t.Fatalf("dispatch %d not diverted: %+v", i, res)
+		}
+		if res.Worker != 1 {
+			t.Fatalf("dispatch %d diverted to worker %d (empty range, cold cache), want 1", i, res.Worker)
+		}
+		if !res.Found || res.Hop != 1 {
+			t.Fatalf("dispatch %d wrong answer: %+v", i, res)
+		}
+	}
+	if ll := rt.leastLoaded(0); ll != 1 {
+		t.Fatalf("leastLoaded(0) = %d, want 1", ll)
+	}
+}
+
+// TestSnapshotIndexPatchedUnderChurn runs update batches through the
+// writer and checks that the incrementally-patched stride index equals a
+// from-scratch rebuild of the final table — the compounding-error
+// regression for the patch path.
+func TestSnapshotIndexPatchedUnderChurn(t *testing.T) {
+	_, routes := testRoutes(t, 3000, 53)
+	rt, err := New(routes, Config{BatchMax: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	gen, err := tracegen.NewUpdateGen(tracegenFIB(t, routes), tracegen.UpdateConfig{
+		Seed: 53, Messages: 3000, WithdrawFrac: 0.35, NewPrefixFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stream := gen.NextN(3000)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(part []tracegen.Update) {
+			defer wg.Done()
+			for _, u := range part {
+				switch u.Kind {
+				case tracegen.Announce:
+					rt.Announce(u.Prefix, u.Hop)
+				case tracegen.Withdraw:
+					rt.Withdraw(u.Prefix)
+				}
+			}
+		}(stream[g*500 : (g+1)*500])
+	}
+	wg.Wait()
+	snap := rt.Snapshot()
+	if snap.Version == 1 {
+		t.Fatal("no batches applied")
+	}
+	if !snap.Indexed() {
+		t.Fatalf("snapshot lost its stride index at %d routes", snap.Len())
+	}
+	want := buildStrideIndex(snap.routes)
+	for b := range want {
+		if snap.index[b] != want[b] {
+			t.Fatalf("after churn: patched index[%#x] = %d, rebuild %d", b, snap.index[b], want[b])
+		}
+	}
+}
+
 func TestCloseRejectsAndIsIdempotent(t *testing.T) {
 	_, routes := testRoutes(t, 1000, 27)
 	rt, err := New(routes, Config{})

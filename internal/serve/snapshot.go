@@ -6,7 +6,8 @@
 //   - The compressed table is published as an immutable Snapshot behind
 //     an atomic.Pointer (RCU style). Readers never lock, never retry and
 //     never observe a half-applied update; the disjoint table means a
-//     snapshot lookup is one binary search with no priority tie-break.
+//     snapshot lookup is one stride-index load plus a scan of a handful
+//     of candidate routes, with no priority tie-break.
 //   - A single writer goroutine plays the control plane: it drains a
 //     bounded channel of announce/withdraw ops, applies them in batches
 //     through the core pipeline (trie → TCAM diff → DRed) and atomically
@@ -34,11 +35,19 @@ type Snapshot struct {
 	Version uint64
 	// routes is the compressed table in ascending address order. The
 	// table is disjoint, so ranges are non-overlapping and strictly
-	// ascending — lookup is a binary search with at most one match.
+	// ascending — lookup matches at most one route.
 	routes []ip.Route
+	// index is the DIR-24-8-style first-level stride index over routes;
+	// nil for tables below strideMinRoutes, where Lookup falls back to
+	// the full binary search.
+	index strideIndex
 	// starts[i] is the first address partition worker i is home to
 	// (starts[0] is always 0), the software Indexing Logic.
 	starts []ip.Addr
+	// empty[i] marks workers whose home range is zero-width (more
+	// workers than routes). Home never returns them and the load
+	// balancer will not divert to them while their caches are cold.
+	empty []bool
 	// stale lists the compressed prefixes deleted or modified by the
 	// batch that produced this snapshot. Workers one version behind use
 	// it to fix their caches with targeted invalidations instead of a
@@ -46,21 +55,68 @@ type Snapshot struct {
 	stale []ip.Prefix
 }
 
+// LookupResult is one answer of a Snapshot.LookupBatch call.
+type LookupResult struct {
+	Hop    ip.NextHop
+	Prefix ip.Prefix
+	Found  bool
+}
+
 // newSnapshot builds a snapshot over routes (which must be sorted
-// ascending and disjoint — the order core.CompressedRoutes guarantees).
-// The snapshot takes ownership of both slices.
+// ascending and disjoint — the order core.CompressedRoutes guarantees),
+// including a fresh stride index for tables above strideMinRoutes. The
+// snapshot takes ownership of both slices.
 func newSnapshot(version uint64, routes []ip.Route, workers int, stale []ip.Prefix) *Snapshot {
+	s := snapshotShell(version, routes, workers, stale)
+	if len(routes) >= strideMinRoutes {
+		s.index = buildStrideIndex(routes)
+	}
+	return s
+}
+
+// newSnapshotFrom builds the successor of prev after a writer batch.
+// When the batch made few structural changes (the usual case under an
+// update storm) the previous snapshot's stride index is patched in
+// O(buckets) instead of rebuilt from the table; insLast and delLast must
+// be the ascending last addresses of the routes the batch inserted into
+// and deleted from prev's table.
+func newSnapshotFrom(prev *Snapshot, version uint64, routes []ip.Route, workers int, stale []ip.Prefix, insLast, delLast []ip.Addr) *Snapshot {
+	s := snapshotShell(version, routes, workers, stale)
+	switch {
+	case len(routes) < strideMinRoutes:
+		// Small table: binary-search fallback needs no index.
+	case prev != nil && prev.index != nil && len(insLast)+len(delLast) <= stridePatchMax:
+		s.index = patchStrideIndex(prev.index, insLast, delLast, len(routes))
+	default:
+		s.index = buildStrideIndex(routes)
+	}
+	return s
+}
+
+// snapshotShell builds everything but the stride index: the route table
+// and the partition range index with its cut points.
+func snapshotShell(version uint64, routes []ip.Route, workers int, stale []ip.Prefix) *Snapshot {
 	s := &Snapshot{Version: version, routes: routes, stale: stale}
-	// Even count split, exactly like partition.CLUE: cut points double
-	// as the range index. Fewer routes than workers leaves the tail
-	// workers with empty (zero-width) home ranges.
+	// Even count split, exactly like partition.CLUE: cut points double as
+	// the range index. With fewer routes than workers the cuts would
+	// collapse onto each other, so the split runs over min(workers,
+	// routes) active partitions and the tail workers are marked empty —
+	// they get no home range and no home traffic.
 	s.starts = make([]ip.Addr, workers)
-	for i := 1; i < workers; i++ {
-		cut := i * len(routes) / workers
-		if cut < len(routes) {
-			s.starts[i] = routes[cut].Prefix.First()
-		} else {
+	s.empty = make([]bool, workers)
+	parts := workers
+	if len(routes) < parts {
+		parts = len(routes)
+	}
+	for i := 1; i < parts; i++ {
+		// parts <= len(routes) makes successive cuts strictly increasing,
+		// so every active worker owns a non-empty route range.
+		s.starts[i] = routes[i*len(routes)/parts].Prefix.First()
+	}
+	for i := parts; i < workers; i++ {
+		if i > 0 {
 			s.starts[i] = ip.Addr(^uint32(0))
+			s.empty[i] = true
 		}
 	}
 	return s
@@ -72,9 +128,63 @@ func (s *Snapshot) Len() int { return len(s.routes) }
 // Workers returns the partition count the range index dispatches over.
 func (s *Snapshot) Workers() int { return len(s.starts) }
 
-// Lookup resolves addr against the snapshot: a single binary search over
-// the disjoint ranges. It is lock-free and allocation-free.
+// Indexed reports whether the snapshot carries the stride index (large
+// tables) or serves Lookup through the binary-search fallback.
+func (s *Snapshot) Indexed() bool { return s.index != nil }
+
+// Lookup resolves addr against the snapshot. With the stride index the
+// common case is one indexed load plus a scan of the few routes whose
+// ranges intersect addr's /16 bucket; buckets packed with long prefixes
+// degrade to a binary search bounded to the bucket, and small tables
+// fall back to the full binary search. It is lock-free and
+// allocation-free.
 func (s *Snapshot) Lookup(addr ip.Addr) (ip.NextHop, ip.Prefix, bool) {
+	if s.index == nil {
+		return s.LookupBinary(addr)
+	}
+	b := uint32(addr) >> strideShift
+	lo := int(s.index[b])
+	hi := int(s.index[b+1])
+	if hi < len(s.routes) {
+		// A short prefix spanning past the bucket boundary sits at
+		// index[b+1]; at most one exists, and the scan's First() guard
+		// excludes it when it actually starts beyond addr.
+		hi++
+	}
+	// Routes below lo end before the bucket starts, so the answer — the
+	// last route with First() <= addr — lives in [lo, hi) or nowhere.
+	if hi-lo > strideScanMax {
+		i, j := lo, hi
+		for i < j {
+			mid := int(uint(i+j) >> 1)
+			if s.routes[mid].Prefix.First() <= addr {
+				i = mid + 1
+			} else {
+				j = mid
+			}
+		}
+		if i > lo {
+			if r := &s.routes[i-1]; r.Prefix.Contains(addr) {
+				return r.NextHop, r.Prefix, true
+			}
+		}
+		return ip.NoRoute, ip.Prefix{}, false
+	}
+	for k := hi - 1; k >= lo; k-- {
+		if r := &s.routes[k]; r.Prefix.First() <= addr {
+			if r.Prefix.Contains(addr) {
+				return r.NextHop, r.Prefix, true
+			}
+			return ip.NoRoute, ip.Prefix{}, false
+		}
+	}
+	return ip.NoRoute, ip.Prefix{}, false
+}
+
+// LookupBinary resolves addr with a full binary search over the table —
+// the pre-index reference path, kept as the small-table fallback and as
+// the oracle for the differential tests and benchmarks.
+func (s *Snapshot) LookupBinary(addr ip.Addr) (ip.NextHop, ip.Prefix, bool) {
 	i := sort.Search(len(s.routes), func(i int) bool {
 		return s.routes[i].Prefix.First() > addr
 	}) - 1
@@ -84,7 +194,24 @@ func (s *Snapshot) Lookup(addr ip.Addr) (ip.NextHop, ip.Prefix, bool) {
 	return ip.NoRoute, ip.Prefix{}, false
 }
 
-// Home returns the partition worker responsible for addr.
+// LookupBatch resolves addrs against this one snapshot, amortizing the
+// snapshot load across the batch. Results are written into out (reused
+// when its capacity suffices) and returned in input order.
+func (s *Snapshot) LookupBatch(addrs []ip.Addr, out []LookupResult) []LookupResult {
+	if cap(out) < len(addrs) {
+		out = make([]LookupResult, len(addrs))
+	} else {
+		out = out[:len(addrs)]
+	}
+	for i, a := range addrs {
+		hop, pfx, ok := s.Lookup(a)
+		out[i] = LookupResult{Hop: hop, Prefix: pfx, Found: ok}
+	}
+	return out
+}
+
+// Home returns the partition worker responsible for addr. Workers with
+// empty home ranges are never returned.
 func (s *Snapshot) Home(addr ip.Addr) int {
 	i := sort.Search(len(s.starts), func(i int) bool {
 		return s.starts[i] > addr
@@ -92,7 +219,15 @@ func (s *Snapshot) Home(addr ip.Addr) int {
 	if i < 0 {
 		return 0
 	}
+	for i > 0 && s.empty[i] {
+		i--
+	}
 	return i
+}
+
+// emptyHome reports whether worker i's home range is zero-width.
+func (s *Snapshot) emptyHome(i int) bool {
+	return i < len(s.empty) && s.empty[i]
 }
 
 // Routes returns a copy of the snapshot's compressed table (diagnostics

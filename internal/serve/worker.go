@@ -34,6 +34,12 @@ type lookupReq struct {
 	home     int
 	diverted bool
 	done     chan Result
+	// batch, when non-nil, carries a whole home-partition group of
+	// addresses: the worker serves all of them against one snapshot load,
+	// writes the answers into out (same length as batch) and sends a
+	// single completion sentinel on done.
+	batch []ip.Addr
+	out   []Result
 	// stall, when non-nil, makes the worker block until the channel is
 	// closed instead of serving — tests use it to hold a queue full and
 	// exercise the divert path deterministically.
@@ -53,7 +59,11 @@ type worker struct {
 	cache *dred.Cache
 	// cacheVersion is the snapshot version the cache content reflects.
 	cacheVersion uint64
-	served       atomic.Int64
+	// cached mirrors cache.Len() so dispatchers can read cache occupancy
+	// without touching the worker-owned cache (the load balancer skips
+	// empty-range workers only while their caches are cold).
+	cached atomic.Int64
+	served atomic.Int64
 }
 
 func newWorker(id int, rt *Runtime) *worker {
@@ -73,6 +83,11 @@ func (w *worker) run() {
 			<-req.stall
 			continue
 		}
+		if req.batch != nil {
+			w.serveBatch(req)
+			req.done <- Result{}
+			continue
+		}
 		req.done <- w.serve(req)
 	}
 }
@@ -83,21 +98,40 @@ func (w *worker) serve(req lookupReq) Result {
 	snap := w.rt.snap.Load()
 	w.syncCache(snap)
 	w.served.Add(1)
-	res := Result{Home: req.home, Worker: w.id, Diverted: req.diverted, Version: snap.Version}
-	if req.diverted {
-		if hop, pfx, ok := w.cache.Lookup(req.addr); ok {
+	return w.answer(snap, req.addr, req.home, req.diverted)
+}
+
+// serveBatch answers a whole home-partition group against one snapshot
+// load — the per-request snapshot and cache-sync overhead is paid once
+// for the group, and the group's addresses share the worker's cache-warm
+// slice of the table.
+func (w *worker) serveBatch(req lookupReq) {
+	snap := w.rt.snap.Load()
+	w.syncCache(snap)
+	w.served.Add(int64(len(req.batch)))
+	for i, a := range req.batch {
+		req.out[i] = w.answer(snap, a, req.home, req.diverted)
+	}
+}
+
+// answer resolves one address: diverted requests probe the DRed-analog
+// cache first and fill it on miss (the reduced-redundancy rule — the
+// prefix's home is elsewhere, so caching it cannot duplicate this
+// worker's own partition).
+func (w *worker) answer(snap *Snapshot, addr ip.Addr, home int, diverted bool) Result {
+	res := Result{Home: home, Worker: w.id, Diverted: diverted, Version: snap.Version}
+	if diverted {
+		if hop, pfx, ok := w.cache.Lookup(addr); ok {
 			w.rt.m.cacheHits.Add(1)
 			res.Hop, res.Prefix, res.Found, res.CacheHit = hop, pfx, true, true
 			return res
 		}
 		w.rt.m.cacheMisses.Add(1)
 	}
-	res.Hop, res.Prefix, res.Found = snap.Lookup(req.addr)
-	if req.diverted && res.Found {
-		// Reduced-redundancy fill: the prefix's home is elsewhere (the
-		// packet was diverted here), so caching it cannot duplicate this
-		// worker's own partition.
+	res.Hop, res.Prefix, res.Found = snap.Lookup(addr)
+	if diverted && res.Found {
 		w.cache.Insert(ip.Route{Prefix: res.Prefix, NextHop: res.Hop})
+		w.cached.Store(int64(w.cache.Len()))
 	}
 	return res
 }
@@ -117,9 +151,11 @@ func (w *worker) syncCache(snap *Snapshot) {
 				w.rt.m.cacheInvalid.Add(1)
 			}
 		}
+		w.cached.Store(int64(w.cache.Len()))
 	} else {
 		w.cache = dred.NewCache(w.rt.cfg.CacheSize)
 		w.rt.m.cacheFlushes.Add(1)
+		w.cached.Store(0)
 	}
 	w.cacheVersion = snap.Version
 }
