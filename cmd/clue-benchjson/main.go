@@ -5,6 +5,8 @@
 // Usage:
 //
 //	go test -bench Serve -benchmem . | clue-benchjson [-o BENCH_serve.json]
+//	go test -bench Serve -benchmem . | clue-benchjson -baseline BENCH_serve.json \
+//	    -match 'SnapshotLookup|DispatchBatch' -max-regress 20
 //
 // Each benchmark line becomes one entry keyed by the benchmark name with
 // the -N CPU suffix stripped; every "<value> <unit>" pair on the line
@@ -12,6 +14,13 @@
 // lookups/s) lands in that entry's metrics map. Non-benchmark lines are
 // passed through untouched, so the command can sit at the end of a pipe
 // without hiding test output.
+//
+// With -baseline the parsed results are additionally compared against a
+// previously committed JSON document: for every benchmark whose name
+// matches -match, the -metric value (default ns/op) is diffed against
+// the baseline and the command exits non-zero when any regression
+// exceeds -max-regress percent. Rate metrics (units ending in "/s")
+// regress downward; cost metrics (/op) regress upward.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,6 +53,10 @@ func main() {
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("clue-benchjson", flag.ContinueOnError)
 	outPath := fs.String("o", "", "write JSON here instead of stdout")
+	baseline := fs.String("baseline", "", "committed baseline JSON to compare against")
+	match := fs.String("match", ".*", "regexp selecting benchmark names to compare")
+	metric := fs.String("metric", "ns/op", "metric compared against the baseline")
+	maxRegress := fs.Float64("max-regress", 20, "fail when the compared metric regresses by more than this percent")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,10 +74,97 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	doc = append(doc, '\n')
 	if *outPath != "" {
-		return os.WriteFile(*outPath, doc, 0o644)
+		if err := os.WriteFile(*outPath, doc, 0o644); err != nil {
+			return err
+		}
+	} else if *baseline == "" {
+		if _, err := out.Write(doc); err != nil {
+			return err
+		}
 	}
-	_, err = out.Write(doc)
-	return err
+	if *baseline == "" {
+		return nil
+	}
+	return compare(results, *baseline, *match, *metric, *maxRegress, out)
+}
+
+// compare diffs the matched benchmarks' metric against the baseline file
+// and errors when any regression exceeds maxRegress percent. A benchmark
+// present on only one side is reported but is not a failure — CI should
+// regenerate the baseline when the benchmark set changes.
+func compare(results []result, baselinePath, match, metric string, maxRegress float64, out io.Writer) error {
+	re, err := regexp.Compile(match)
+	if err != nil {
+		return fmt.Errorf("bad -match: %w", err)
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base []result
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	baseByName := make(map[string]result, len(base))
+	for _, r := range base {
+		baseByName[r.Name] = r
+	}
+
+	compared := 0
+	var regressions []string
+	for _, cur := range results {
+		if !re.MatchString(cur.Name) {
+			continue
+		}
+		b, ok := baseByName[cur.Name]
+		if !ok {
+			fmt.Fprintf(out, "%-50s %12s (not in baseline)\n", cur.Name, "-")
+			continue
+		}
+		bv, cv := b.Metrics[metric], cur.Metrics[metric]
+		if bv == 0 {
+			fmt.Fprintf(out, "%-50s %12s (baseline %s is zero)\n", cur.Name, "-", metric)
+			continue
+		}
+		compared++
+		// Rate metrics (lookups/s, updates/s) regress downward; cost
+		// metrics (ns/op, B/op) regress upward.
+		regress := (cv - bv) / bv * 100
+		if strings.HasSuffix(metric, "/s") {
+			regress = -regress
+		}
+		verdict := "ok"
+		if regress > maxRegress {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%, limit %.1f%%)", cur.Name, metric, bv, cv, regress, maxRegress))
+		}
+		fmt.Fprintf(out, "%-50s %s %12.4g -> %-12.4g %+6.1f%% %s\n", cur.Name, metric, bv, cv, regress, verdict)
+	}
+	for _, b := range base {
+		if re.MatchString(b.Name) {
+			if _, ok := resultsHave(results, b.Name); !ok {
+				fmt.Fprintf(out, "%-50s %12s (baseline only — not run)\n", b.Name, "-")
+			}
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks matched %q in both the input and %s", match, baselinePath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchmark regression vs %s:\n  %s", baselinePath, strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+// resultsHave reports whether name appears in the parsed results.
+func resultsHave(results []result, name string) (result, bool) {
+	for _, r := range results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return result{}, false
 }
 
 // parse reads go-test bench output and returns the sorted results. A

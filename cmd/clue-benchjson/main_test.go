@@ -106,3 +106,128 @@ func TestRunWritesFileAndStdout(t *testing.T) {
 		t.Error("empty input accepted")
 	}
 }
+
+// writeBaseline commits a baseline doc for the compare-mode tests.
+func writeBaseline(t *testing.T, entries []result) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareAgainstBaseline(t *testing.T) {
+	baseline := writeBaseline(t, []result{
+		{Name: "BenchmarkSnapshotLookup/indexed", Iterations: 1, Metrics: map[string]float64{"ns/op": 20, "lookups/s": 5e7}},
+		{Name: "BenchmarkSnapshotLookup/binary", Iterations: 1, Metrics: map[string]float64{"ns/op": 80}},
+		{Name: "BenchmarkServeDispatchParallel", Iterations: 1, Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "BenchmarkGone", Iterations: 1, Metrics: map[string]float64{"ns/op": 5}},
+	})
+
+	// Within budget: indexed 20 -> 24.05 is +20.25% but only the binary
+	// case is matched here (82.68 vs 80 = +3.4%).
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", baseline, "-match", "SnapshotLookup/binary"},
+		strings.NewReader(sample), &buf)
+	if err != nil {
+		t.Fatalf("within-budget compare failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "ok") {
+		t.Fatalf("no verdict printed:\n%s", buf.String())
+	}
+
+	// Over budget: indexed regresses 20 -> 24.05 ns/op (+20.25% > 20%).
+	buf.Reset()
+	err = run([]string{"-baseline", baseline, "-match", "SnapshotLookup", "-max-regress", "20"},
+		strings.NewReader(sample), &buf)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("regression not detected: err=%v\n%s", err, buf.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkSnapshotLookup/indexed") {
+		t.Fatalf("wrong benchmark blamed: %v", err)
+	}
+
+	// A looser budget passes the same input.
+	buf.Reset()
+	if err := run([]string{"-baseline", baseline, "-match", "SnapshotLookup", "-max-regress", "25"},
+		strings.NewReader(sample), &buf); err != nil {
+		t.Fatalf("loose budget failed: %v\n%s", err, buf.String())
+	}
+
+	// Rate metrics regress downward: 5e7 -> 41584405 lookups/s is -16.8%.
+	buf.Reset()
+	if err := run([]string{"-baseline", baseline, "-match", "indexed", "-metric", "lookups/s", "-max-regress", "20"},
+		strings.NewReader(sample), &buf); err != nil {
+		t.Fatalf("rate metric within budget failed: %v\n%s", err, buf.String())
+	}
+	buf.Reset()
+	err = run([]string{"-baseline", baseline, "-match", "indexed", "-metric", "lookups/s", "-max-regress", "10"},
+		strings.NewReader(sample), &buf)
+	if err == nil {
+		t.Fatalf("rate regression not detected:\n%s", buf.String())
+	}
+
+	// Benchmarks on only one side are reported, not failed.
+	buf.Reset()
+	if err := run([]string{"-baseline", baseline, "-match", "Benchmark", "-max-regress", "1000"},
+		strings.NewReader(sample), &buf); err != nil {
+		t.Fatalf("one-sided benchmarks failed the run: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{"BenchmarkGone", "baseline only"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q in report:\n%s", want, buf.String())
+		}
+	}
+
+	// Nothing matched at all is an error, as is a bad regexp or a missing
+	// or corrupt baseline file.
+	if err := run([]string{"-baseline", baseline, "-match", "NoSuchBenchmark"},
+		strings.NewReader(sample), &buf); err == nil {
+		t.Error("empty match set accepted")
+	}
+	if err := run([]string{"-baseline", baseline, "-match", "(["},
+		strings.NewReader(sample), &buf); err == nil {
+		t.Error("bad regexp accepted")
+	}
+	if err := run([]string{"-baseline", filepath.Join(t.TempDir(), "nope.json")},
+		strings.NewReader(sample), &buf); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	corrupt := filepath.Join(t.TempDir(), "corrupt.json")
+	os.WriteFile(corrupt, []byte("not json"), 0o644)
+	if err := run([]string{"-baseline", corrupt}, strings.NewReader(sample), &buf); err == nil {
+		t.Error("corrupt baseline accepted")
+	}
+}
+
+// TestCompareCommittedBaseline guards the committed BENCH_serve.json: the
+// CI regression step matches these names, so they must stay present and
+// carry ns/op.
+func TestCompareCommittedBaseline(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_serve.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base []result
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	re := "SnapshotLookup|DispatchBatch"
+	matched := 0
+	for _, r := range base {
+		if strings.Contains(r.Name, "SnapshotLookup") || strings.Contains(r.Name, "DispatchBatch") {
+			matched++
+			if r.Metrics["ns/op"] <= 0 {
+				t.Errorf("%s has no ns/op in committed baseline", r.Name)
+			}
+		}
+	}
+	if matched == 0 {
+		t.Fatalf("no committed benchmarks match CI regexp %q", re)
+	}
+}

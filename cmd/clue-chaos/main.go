@@ -1,0 +1,73 @@
+// Command clue-chaos runs the deterministic fault-injection soak from
+// internal/chaos against a live serve.Runtime: a seeded update storm
+// with concurrent lookup traffic while workers are failed, poisoned,
+// stalled and recovered on schedule, checkpointed against a fresh
+// oracle rebuild.
+//
+// Usage:
+//
+//	clue-chaos [-seed 7] [-ops 10000] [-routes 12000] [-workers 4]
+//	           [-cycles 3] [-sequential] [-v]
+//
+// The report is printed as JSON on stdout; the exit status is non-zero
+// when any invariant broke (wrong answer vs the oracle, a dispatch that
+// exhausted its retry/timeout budget, a TTF replay mismatch in
+// -sequential mode, or a goroutine leak).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"clue/internal/chaos"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "clue-chaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("clue-chaos", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	seed := fs.Int64("seed", 7, "seed for FIB, trace, fault schedule and probes")
+	ops := fs.Int("ops", 10000, "update-storm length")
+	routes := fs.Int("routes", 12000, "base FIB size")
+	workers := fs.Int("workers", 4, "partition worker count")
+	cycles := fs.Int("cycles", 3, "worker kill/recover cycles")
+	checkpoints := fs.Int("checkpoints", 10, "oracle checkpoints over the storm")
+	probes := fs.Int("probes", 2000, "random probes per checkpoint")
+	lookers := fs.Int("lookers", 4, "concurrent lookup goroutines")
+	sequential := fs.Bool("sequential", false, "apply ops one at a time and verify TTF replay equivalence")
+	verbose := fs.Bool("v", false, "log faults and checkpoints to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := chaos.Config{
+		Seed:                *seed,
+		Ops:                 *ops,
+		Routes:              *routes,
+		Workers:             *workers,
+		Cycles:              *cycles,
+		Checkpoints:         *checkpoints,
+		ProbesPerCheckpoint: *probes,
+		Lookers:             *lookers,
+		Sequential:          *sequential,
+	}
+	if *verbose {
+		cfg.Log = errw
+	}
+	rep, err := chaos.Run(cfg)
+	doc, jerr := json.MarshalIndent(rep, "", "  ")
+	if jerr != nil {
+		return jerr
+	}
+	fmt.Fprintln(out, string(doc))
+	return err
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSoak(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{
+		"-seed", "5", "-ops", "600", "-routes", "3000", "-cycles", "2",
+		"-checkpoints", "3", "-probes", "200", "-lookers", "2", "-v",
+	}, &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errw.String())
+	}
+	var rep struct {
+		Ops          int `json:"ops"`
+		Checkpoints  int `json:"checkpoints"`
+		WrongAnswers int `json:"wrong_answers"`
+		Kills        int `json:"kills"`
+		Poisons      int `json:"poisons"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Ops != 600 || rep.Checkpoints == 0 || rep.WrongAnswers != 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if rep.Kills+rep.Poisons == 0 {
+		t.Fatalf("no faults injected: %+v", rep)
+	}
+	if !strings.Contains(errw.String(), "checkpoint") {
+		t.Fatalf("-v produced no progress log: %q", errw.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-ops", "not-a-number"}, &out, &errw); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

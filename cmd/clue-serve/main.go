@@ -20,7 +20,12 @@
 //	POST /withdraw {"prefix":"10.0.0.0/8"} — apply + TTF
 //	GET  /stats    — full runtime statistics as JSON
 //	GET  /metrics  — Prometheus text exposition
-//	GET  /healthz  — liveness
+//	GET  /healthz  — liveness + degraded-mode status (503 when no
+//	     worker is healthy; the snapshot path still answers then)
+//	POST /admin/worker/fail {"worker":N} — take worker N out of service
+//	     and re-home its range across the survivors
+//	POST /admin/worker/recover {"worker":N} — return worker N to service
+//	GET  /admin/worker — per-worker health states
 //
 // SIGINT/SIGTERM drain the listener and the update queue, then exit.
 package main
@@ -348,7 +353,71 @@ func newHandler(rt *serve.Runtime) http.Handler {
 		rt.Stats().WritePrometheus(w)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		states := rt.WorkerStates()
+		healthy := 0
+		for _, s := range states {
+			if s == serve.WorkerHealthy {
+				healthy++
+			}
+		}
+		switch {
+		case healthy == len(states):
+			fmt.Fprintln(w, "ok")
+		case healthy > 0:
+			// Degraded but forwarding: the survivors own the whole table.
+			fmt.Fprintf(w, "degraded: %d/%d workers healthy\n", healthy, len(states))
+		default:
+			// Worker-path forwarding is down; only the snapshot path answers.
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "no healthy workers (snapshot path only)\n")
+		}
+	})
+
+	type workerReq struct {
+		Worker *int `json:"worker"`
+	}
+	workerStates := func() []map[string]any {
+		states := rt.WorkerStates()
+		out := make([]map[string]any, len(states))
+		for i, s := range states {
+			out[i] = map[string]any{"worker": i, "state": s.String()}
+		}
+		return out
+	}
+	adminWorker := func(action string, apply func(int) error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			var req workerReq
+			if err := json.NewDecoder(io.LimitReader(r.Body, 1<<12)).Decode(&req); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			if req.Worker == nil {
+				httpError(w, http.StatusBadRequest, errors.New("worker must be set"))
+				return
+			}
+			if err := apply(*req.Worker); err != nil {
+				status := http.StatusInternalServerError
+				switch {
+				case errors.Is(err, serve.ErrUnknownWorker):
+					status = http.StatusNotFound
+				case errors.Is(err, serve.ErrWorkerState):
+					// Double-fail, recover-when-healthy, failing the last
+					// healthy worker: the request conflicts with the
+					// worker's current state.
+					status = http.StatusConflict
+				case errors.Is(err, serve.ErrClosed):
+					status = http.StatusServiceUnavailable
+				}
+				httpError(w, status, err)
+				return
+			}
+			writeJSON(w, map[string]any{"action": action, "worker": *req.Worker, "workers": workerStates()})
+		}
+	}
+	mux.HandleFunc("POST /admin/worker/fail", adminWorker("fail", rt.FailWorker))
+	mux.HandleFunc("POST /admin/worker/recover", adminWorker("recover", rt.RecoverWorker))
+	mux.HandleFunc("GET /admin/worker", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, map[string]any{"workers": workerStates()})
 	})
 	return mux
 }

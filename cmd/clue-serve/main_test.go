@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -15,6 +16,9 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"clue/internal/fibgen"
+	"clue/internal/serve"
 )
 
 // syncBuffer is a mutex-guarded buffer: run() writes from the server
@@ -357,6 +361,217 @@ func TestUnknownRouterAndBadFlag(t *testing.T) {
 	}
 	if err := run(ctx, []string{"-fib", "/nonexistent/table.rib"}, new(bytes.Buffer), nil); err == nil {
 		t.Error("missing FIB file accepted")
+	}
+}
+
+// newTestRuntime builds a runtime directly so tests can drive state the
+// HTTP surface must report (worker health, Close) without a listener.
+func newTestRuntime(t *testing.T, workers int) *serve.Runtime {
+	t.Helper()
+	fib, err := fibgen.Generate(fibgen.Config{Seed: 9, Routes: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := serve.New(fib.Routes(), serve.Config{
+		Workers: workers, QueueDepth: 64, BatchMax: 16, CacheSize: 256,
+		System: serve.SystemConfig{TCAMs: 2, Buckets: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// doReq issues one request and returns the status plus decoded JSON body
+// (nil when the body is not JSON).
+func doReq(t *testing.T, method, url, body string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+func adminStates(res map[string]any) []string {
+	workers, _ := res["workers"].([]any)
+	out := make([]string, len(workers))
+	for i, w := range workers {
+		m, _ := w.(map[string]any)
+		out[i], _ = m["state"].(string)
+	}
+	return out
+}
+
+func TestAdminWorkerEndpoints(t *testing.T) {
+	rt := newTestRuntime(t, 3)
+	defer rt.Close()
+	srv := httptest.NewServer(newHandler(rt))
+	defer srv.Close()
+
+	status, res := doReq(t, "GET", srv.URL+"/admin/worker", "")
+	if status != http.StatusOK {
+		t.Fatalf("GET /admin/worker: %d", status)
+	}
+	if got := adminStates(res); len(got) != 3 || got[0] != "healthy" || got[1] != "healthy" || got[2] != "healthy" {
+		t.Fatalf("initial states: %v", got)
+	}
+
+	status, res = doReq(t, "POST", srv.URL+"/admin/worker/fail", `{"worker":1}`)
+	if status != http.StatusOK {
+		t.Fatalf("fail worker 1: %d %v", status, res)
+	}
+	if got := adminStates(res); got[1] != "failed" {
+		t.Fatalf("states after fail: %v", got)
+	}
+
+	// Transition conflicts and unknown ids map to 409 and 404.
+	for _, tc := range []struct {
+		path, body string
+		want       int
+	}{
+		{"/admin/worker/fail", `{"worker":1}`, http.StatusConflict},    // double-fail
+		{"/admin/worker/recover", `{"worker":0}`, http.StatusConflict}, // recover-when-healthy
+		{"/admin/worker/fail", `{"worker":99}`, http.StatusNotFound},
+		{"/admin/worker/fail", `{"worker":-1}`, http.StatusNotFound},
+		{"/admin/worker/recover", `{"worker":99}`, http.StatusNotFound},
+		{"/admin/worker/fail", `not json`, http.StatusBadRequest},
+		{"/admin/worker/fail", `{}`, http.StatusBadRequest},
+	} {
+		status, res = doReq(t, "POST", srv.URL+tc.path, tc.body)
+		if status != tc.want {
+			t.Errorf("POST %s %s: got %d want %d (%v)", tc.path, tc.body, status, tc.want, res)
+		}
+	}
+
+	// Degraded but forwarding: healthz stays 200 and says so.
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody := new(bytes.Buffer)
+	hbody.ReadFrom(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || !strings.Contains(hbody.String(), "degraded") {
+		t.Fatalf("degraded healthz: %s %q", hresp.Status, hbody.String())
+	}
+
+	// Lookups keep working around the failed worker.
+	status, res = doReq(t, "GET", srv.URL+"/lookup?addr=10.0.0.1", "")
+	if status != http.StatusOK {
+		t.Fatalf("lookup while degraded: %d %v", status, res)
+	}
+
+	status, res = doReq(t, "POST", srv.URL+"/admin/worker/recover", `{"worker":1}`)
+	if status != http.StatusOK {
+		t.Fatalf("recover worker 1: %d %v", status, res)
+	}
+	if got := adminStates(res); got[1] != "healthy" {
+		t.Fatalf("states after recover: %v", got)
+	}
+	hresp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody.Reset()
+	hbody.ReadFrom(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || !strings.Contains(hbody.String(), "ok") {
+		t.Fatalf("recovered healthz: %s %q", hresp.Status, hbody.String())
+	}
+}
+
+// TestHealthzNoHealthyWorkers drives every worker down via the panic
+// path (operator fail refuses the last healthy worker) and checks that
+// healthz goes 503, worker-path lookups fail 503, and the snapshot path
+// keeps answering.
+func TestHealthzNoHealthyWorkers(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	defer rt.Close()
+	srv := httptest.NewServer(newHandler(rt))
+	defer srv.Close()
+
+	for id := 0; id < 2; id++ {
+		if err := rt.PoisonWorker(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		states := rt.WorkerStates()
+		if states[0] == serve.WorkerFailed && states[1] == serve.WorkerFailed {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("workers did not fail: %v", states)
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	status, _ := doReq(t, "GET", srv.URL+"/healthz", "")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with no healthy workers: %d", status)
+	}
+	status, res := doReq(t, "GET", srv.URL+"/lookup?addr=10.0.0.1", "")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("worker lookup with no healthy workers: %d %v", status, res)
+	}
+	status, res = doReq(t, "GET", srv.URL+"/lookup?addr=10.0.0.1&path=snapshot", "")
+	if status != http.StatusOK {
+		t.Fatalf("snapshot lookup with no healthy workers: %d %v", status, res)
+	}
+
+	status, res = doReq(t, "POST", srv.URL+"/admin/worker/recover", `{"worker":0}`)
+	if status != http.StatusOK {
+		t.Fatalf("recover worker 0: %d %v", status, res)
+	}
+	status, _ = doReq(t, "GET", srv.URL+"/healthz", "")
+	if status != http.StatusOK {
+		t.Fatalf("healthz after partial recovery: %d", status)
+	}
+	status, res = doReq(t, "GET", srv.URL+"/lookup?addr=10.0.0.1", "")
+	if status != http.StatusOK {
+		t.Fatalf("worker lookup after partial recovery: %d %v", status, res)
+	}
+}
+
+// TestEndpointsAfterClose checks every mutating endpoint fails 503 once
+// the runtime is closed, while the snapshot read side still answers.
+func TestEndpointsAfterClose(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	srv := httptest.NewServer(newHandler(rt))
+	defer srv.Close()
+	rt.Close()
+
+	for _, tc := range []struct {
+		method, path, body string
+	}{
+		{"GET", "/lookup?addr=10.0.0.1", ""},
+		{"POST", "/lookup/batch", `{"addrs":["10.0.0.1"]}`},
+		{"POST", "/announce", `{"prefix":"203.0.113.0/24","next_hop":7}`},
+		{"POST", "/withdraw", `{"prefix":"203.0.113.0/24"}`},
+		{"POST", "/admin/worker/fail", `{"worker":0}`},
+	} {
+		status, res := doReq(t, tc.method, srv.URL+tc.path, tc.body)
+		if status != http.StatusServiceUnavailable {
+			t.Errorf("%s %s after Close: got %d want 503 (%v)", tc.method, tc.path, status, res)
+		}
+	}
+
+	status, res := doReq(t, "GET", srv.URL+"/lookup?addr=10.0.0.1&path=snapshot", "")
+	if status != http.StatusOK {
+		t.Errorf("snapshot lookup after Close: %d %v", status, res)
+	}
+	if status, _ := doReq(t, "GET", srv.URL+"/stats", ""); status != http.StatusOK {
+		t.Errorf("stats after Close: %d", status)
 	}
 }
 

@@ -1,0 +1,130 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clue/internal/tracegen"
+	"clue/internal/update"
+)
+
+// TestChaosSoak is the acceptance soak: a 10K-op update storm with three
+// kill/recover cycles (operator fails and injected panics), queue
+// stalls, and concurrent lookup traffic, checkpointed against a fresh
+// oracle. -short runs a scaled-down storm with the same structure.
+func TestChaosSoak(t *testing.T) {
+	cfg := Config{Seed: 7}
+	if testing.Short() {
+		cfg = Config{Seed: 7, Routes: 4000, Ops: 1500, Cycles: 2, Checkpoints: 5, ProbesPerCheckpoint: 500, Lookers: 2}
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("chaos run failed: %v\nreport: %+v", err, rep)
+	}
+	wantCycles := 3
+	if testing.Short() {
+		wantCycles = 2
+	}
+	if rep.Kills+rep.Poisons < wantCycles {
+		t.Fatalf("only %d kills + %d poisons, want %d cycles", rep.Kills, rep.Poisons, wantCycles)
+	}
+	if rep.Recoveries != rep.Kills+rep.Poisons {
+		t.Fatalf("recoveries %d != kills+poisons %d", rep.Recoveries, rep.Kills+rep.Poisons)
+	}
+	if rep.Poisons > 0 && rep.Panics < int64(rep.Poisons) {
+		t.Fatalf("panics %d < poisons %d", rep.Panics, rep.Poisons)
+	}
+	if rep.Stalls == 0 {
+		t.Fatal("no stalls injected")
+	}
+	if rep.WrongAnswers != 0 || rep.DispatchErrors != 0 {
+		t.Fatalf("wrong=%d dispatch errors=%d", rep.WrongAnswers, rep.DispatchErrors)
+	}
+	if rep.CheckedLookups == 0 || rep.Lookups == 0 {
+		t.Fatalf("no verification traffic: checked=%d lookups=%d", rep.CheckedLookups, rep.Lookups)
+	}
+	if rep.FinalStats.Rehomes < int64(rep.Kills+rep.Poisons+rep.Recoveries) {
+		t.Fatalf("rehomes %d < health transitions %d", rep.FinalStats.Rehomes, rep.Kills+rep.Poisons+rep.Recoveries)
+	}
+	if rep.GoroutinesAfter > rep.GoroutinesBefore {
+		t.Fatalf("goroutine leak: %d -> %d", rep.GoroutinesBefore, rep.GoroutinesAfter)
+	}
+}
+
+// TestChaosSequentialTTFReplay runs the storm one op at a time and
+// demands the runtime's TTF accounting exactly matches an
+// internal/update replay of the same trace over a fresh core.System.
+func TestChaosSequentialTTFReplay(t *testing.T) {
+	cfg := Config{Seed: 11, Routes: 3000, Ops: 400, Cycles: 2, Checkpoints: 4, ProbesPerCheckpoint: 300, Lookers: 2, Sequential: true}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("sequential chaos run failed: %v\nreport: %+v", err, rep)
+	}
+	if !rep.TTFChecked {
+		t.Fatal("TTF replay equivalence did not run")
+	}
+	if rep.WrongAnswers != 0 {
+		t.Fatalf("wrong answers: %d", rep.WrongAnswers)
+	}
+}
+
+// TestChaosDeterministic replays the same seed twice and expects the
+// deterministic half of the report (everything except traffic volume)
+// to be identical.
+func TestChaosDeterministic(t *testing.T) {
+	cfg := Config{Seed: 23, Routes: 3000, Ops: 1200, Cycles: 2, Checkpoints: 4, ProbesPerCheckpoint: 300, Lookers: 2}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type det struct {
+		kills, poisons, stalls, recoveries, checkpoints, checked, wrong, finalRoutes int
+	}
+	da := det{a.Kills, a.Poisons, a.Stalls, a.Recoveries, a.Checkpoints, a.CheckedLookups, a.WrongAnswers, a.FinalRoutes}
+	db := det{b.Kills, b.Poisons, b.Stalls, b.Recoveries, b.Checkpoints, b.CheckedLookups, b.WrongAnswers, b.FinalRoutes}
+	if da != db {
+		t.Fatalf("same seed, different runs:\n%+v\n%+v", da, db)
+	}
+}
+
+func TestConfigDefaultsAndHelpers(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Routes != 12000 || c.Ops != 10000 || c.Workers != 4 || c.Cycles != 3 ||
+		c.Checkpoints != 10 || c.ProbesPerCheckpoint != 2000 || c.Lookers != 4 {
+		t.Fatalf("zero config defaults: %+v", c)
+	}
+	c = Config{Routes: 1, Ops: 2, Workers: 3, Cycles: 4, Checkpoints: 5, ProbesPerCheckpoint: 6, Lookers: 7}.withDefaults()
+	if c.Routes != 1 || c.Ops != 2 || c.Workers != 3 || c.Cycles != 4 ||
+		c.Checkpoints != 5 || c.ProbesPerCheckpoint != 6 || c.Lookers != 7 {
+		t.Fatalf("explicit config overwritten: %+v", c)
+	}
+
+	var buf bytes.Buffer
+	logf(&buf, "checkpoint %d", 3)
+	logf(nil, "dropped")
+	if got := buf.String(); got != "checkpoint 3\n" {
+		t.Fatalf("logf wrote %q", got)
+	}
+
+	var p sysPipeline
+	if p.Name() != "serve-chaos" {
+		t.Fatalf("pipeline name %q", p.Name())
+	}
+	p.Warm(nil)
+	if _, err := p.Apply(tracegen.Update{Kind: tracegen.UpdateKind(99)}); err == nil ||
+		!strings.Contains(err.Error(), "unknown update kind") {
+		t.Fatalf("unknown kind accepted: %v", err)
+	}
+
+	if !ttfClose(update.TTF{Trie: 1, TCAM: 2, DRed: 3}, update.TTF{Trie: 1, TCAM: 2, DRed: 3}) {
+		t.Fatal("identical TTFs not close")
+	}
+	if ttfClose(update.TTF{Trie: 1}, update.TTF{Trie: 2}) {
+		t.Fatal("distinct TTFs reported close")
+	}
+}

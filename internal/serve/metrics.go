@@ -31,6 +31,11 @@ type metrics struct {
 	cacheFlushes    atomic.Int64
 	cacheInvalid    atomic.Int64
 
+	rehomes         atomic.Int64
+	enqueueRetries  atomic.Int64
+	enqueueTimeouts atomic.Int64
+	workerPanics    atomic.Int64
+
 	announces    atomic.Int64
 	withdraws    atomic.Int64
 	updateErrors atomic.Int64
@@ -78,6 +83,20 @@ type Stats struct {
 	CacheInvalidations int64 `json:"cache_invalidations"`
 	// WorkerServed is the per-worker served-lookup count.
 	WorkerServed []int64 `json:"worker_served"`
+	// WorkerHealth is each worker's health state ("healthy", "draining",
+	// "failed"); FailedWorkers counts the ones not currently healthy —
+	// non-zero means the runtime is in degraded mode.
+	WorkerHealth  []string `json:"worker_health"`
+	FailedWorkers int      `json:"failed_workers"`
+	// Rehomes counts published snapshots that recut the partition bounds
+	// after a worker health change; EnqueueRetries the backoff retries on
+	// the dispatch path, EnqueueTimeouts the dispatches whose whole
+	// retry/timeout budget expired; WorkerPanics the panics recovered
+	// inside worker goroutines.
+	Rehomes         int64 `json:"rehomes"`
+	EnqueueRetries  int64 `json:"enqueue_retries"`
+	EnqueueTimeouts int64 `json:"enqueue_timeouts"`
+	WorkerPanics    int64 `json:"worker_panics"`
 
 	// Announces/Withdraws count applied update ops; UpdateErrors the ops
 	// that failed in the pipeline. Batches/BatchOps describe writer
@@ -153,6 +172,11 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 	emit("clue_serve_cache_misses_total", "counter", "Diverted lookups missing the worker cache.", float64(s.CacheMisses))
 	emit("clue_serve_cache_flushes_total", "counter", "Worker cache flushes after snapshot jumps.", float64(s.CacheFlushes))
 	emit("clue_serve_cache_invalidations_total", "counter", "Targeted worker cache invalidations.", float64(s.CacheInvalidations))
+	emit("clue_serve_failed_workers", "gauge", "Workers currently draining or failed (non-zero = degraded mode).", float64(s.FailedWorkers))
+	emit("clue_serve_rehomes_total", "counter", "Snapshots published with recut partition bounds.", float64(s.Rehomes))
+	emit("clue_serve_enqueue_retries_total", "counter", "Dispatch enqueue backoff retries.", float64(s.EnqueueRetries))
+	emit("clue_serve_enqueue_timeouts_total", "counter", "Dispatches whose enqueue retry/timeout budget expired.", float64(s.EnqueueTimeouts))
+	emit("clue_serve_worker_panics_total", "counter", "Panics recovered inside worker goroutines.", float64(s.WorkerPanics))
 	emit("clue_serve_announces_total", "counter", "Announce ops applied.", float64(s.Announces))
 	emit("clue_serve_withdraws_total", "counter", "Withdraw ops applied.", float64(s.Withdraws))
 	emit("clue_serve_update_errors_total", "counter", "Update ops that failed in the pipeline.", float64(s.UpdateErrors))
@@ -168,6 +192,15 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 	}
 	for i, v := range s.WorkerServed {
 		if _, err = fmt.Fprintf(w, "clue_serve_worker_served_total{worker=\"%d\"} %d\n", i, v); err != nil {
+			return err
+		}
+	}
+	for i, h := range s.WorkerHealth {
+		healthy := 0
+		if h == WorkerHealthy.String() {
+			healthy = 1
+		}
+		if _, err = fmt.Fprintf(w, "clue_serve_worker_healthy{worker=\"%d\",state=\"%s\"} %d\n", i, h, healthy); err != nil {
 			return err
 		}
 	}

@@ -44,8 +44,41 @@ type Config struct {
 	// CacheSize is each worker's DRed-analog cache capacity (default
 	// 1024, the paper's DRed size; 0 keeps the struct but caches nothing).
 	CacheSize int
+	// EnqueueTimeout bounds how long a dispatch may wait for any
+	// eligible worker queue to accept it before failing with
+	// ErrEnqueueTimeout (default 1s). Together with EnqueueRetries it
+	// turns a wedged worker from a forever-block into a bounded error.
+	EnqueueTimeout time.Duration
+	// EnqueueRetries caps the backoff rounds a dispatch attempts within
+	// EnqueueTimeout (default 32).
+	EnqueueRetries int
 	// System configures the underlying core.System.
 	System core.Config
+}
+
+// validate rejects configurations withDefaults would silently accept:
+// negative sizes have no meaning and used to fall through to the
+// channel/make calls with confusing panics.
+func (c Config) validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"Workers", c.Workers},
+		{"QueueDepth", c.QueueDepth},
+		{"UpdateQueue", c.UpdateQueue},
+		{"BatchMax", c.BatchMax},
+		{"CacheSize", c.CacheSize},
+		{"EnqueueRetries", c.EnqueueRetries},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("serve: Config.%s must be >= 0 (0 means default), got %d", f.name, f.v)
+		}
+	}
+	if c.EnqueueTimeout < 0 {
+		return fmt.Errorf("serve: Config.EnqueueTimeout must be >= 0 (0 means default), got %v", c.EnqueueTimeout)
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -68,14 +101,32 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 1024
 	}
+	if c.EnqueueTimeout == 0 {
+		c.EnqueueTimeout = time.Second
+	}
+	if c.EnqueueRetries == 0 {
+		c.EnqueueRetries = 32
+	}
 	return c
 }
 
+// enqueue backoff bounds: the first retry sleeps enqueueBackoffMin and
+// each round doubles up to enqueueBackoffMax, re-checking worker health
+// every round so a recovery or divert target opening up is picked up
+// quickly.
+const (
+	enqueueBackoffMin = 20 * time.Microsecond
+	enqueueBackoffMax = 5 * time.Millisecond
+)
+
 // updateOp is one queued announce/withdraw with its completion channel.
+// ctl ops carry no route change: they force the writer to publish a
+// re-homed snapshot from the current worker health states.
 type updateOp struct {
 	kind tracegen.UpdateKind
 	pfx  ip.Prefix
 	hop  ip.NextHop
+	ctl  bool
 	done chan opResult
 }
 
@@ -97,6 +148,9 @@ type writerScratch struct {
 	// the stride-index patch on the next snapshot.
 	insLast []ip.Addr
 	delLast []ip.Addr
+	// down is the per-publication worker health mask (true = out of
+	// service), read fresh from the worker states for every snapshot.
+	down []bool
 }
 
 // Runtime is the concurrent forwarding service around a core.System.
@@ -132,6 +186,9 @@ type Runtime struct {
 // New compresses routes, builds the underlying core.System, publishes
 // snapshot version 1 and starts the writer and worker goroutines.
 func New(routes []ip.Route, cfg Config) (*Runtime, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("serve: Workers must be >= 1, got %d", cfg.Workers)
@@ -190,10 +247,12 @@ func (r *Runtime) LookupBatch(addrs []ip.Addr, out []LookupResult) ([]LookupResu
 }
 
 // Dispatch routes the lookup to its home partition worker over a bounded
-// queue, mirroring the paper's Indexing Logic. A full home queue diverts
-// the request to the least-loaded worker (Adaptive Load Balancing Logic),
-// where the worker's DRed-analog cache may answer it. Dispatch blocks
-// until the request is served.
+// queue, mirroring the paper's Indexing Logic. A full home queue — or a
+// failed/draining home worker — diverts the request to the least-loaded
+// healthy worker (Adaptive Load Balancing Logic), where the worker's
+// DRed-analog cache may answer it. Dispatch blocks until the request is
+// served, bounded by the enqueue retry/timeout budget: a wedged runtime
+// yields ErrEnqueueTimeout (or ErrNoHealthyWorkers), never a hang.
 func (r *Runtime) Dispatch(addr ip.Addr) (Result, error) {
 	if r.closed.Load() {
 		return Result{}, ErrClosed
@@ -205,8 +264,11 @@ func (r *Runtime) Dispatch(addr ip.Addr) (Result, error) {
 	}
 	home := r.snap.Load().Home(addr)
 	done := getDone()
+	if err := r.enqueue(lookupReq{addr: addr, home: home, done: done}); err != nil {
+		putDone(done) // never enqueued, so the channel is clean
+		return Result{}, err
+	}
 	r.m.dispatched.Add(1)
-	r.enqueue(lookupReq{addr: addr, home: home, done: done})
 	res := <-done
 	putDone(done)
 	return res, nil
@@ -297,9 +359,8 @@ func (r *Runtime) DispatchBatch(addrs []ip.Addr, out []Result) ([]Result, error)
 		sc.perm[j] = int32(i)
 		sc.offs[h] = j + 1
 	}
-	r.m.dispatched.Add(int64(n))
-	r.m.dispatchBatches.Add(1)
 	pending := 0
+	var enqErr error
 	for h := 0; h < nw; h++ {
 		cnt := sc.counts[h]
 		if cnt == 0 {
@@ -307,19 +368,33 @@ func (r *Runtime) DispatchBatch(addrs []ip.Addr, out []Result) ([]Result, error)
 		}
 		end := sc.offs[h] // advanced to the group's end by the scatter pass
 		done := getDone()
-		sc.dones[pending] = done
-		pending++
-		r.enqueue(lookupReq{
+		err := r.enqueue(lookupReq{
 			home:  h,
 			batch: sc.ordered[end-cnt : end],
 			out:   sc.res[end-cnt : end],
 			done:  done,
 		})
+		if err != nil {
+			putDone(done) // this group never enqueued; its channel is clean
+			enqErr = err
+			break
+		}
+		sc.dones[pending] = done
+		pending++
 	}
+	// Drain every enqueued group even when a later group failed:
+	// returning a done channel to the pool with a send still pending
+	// would poison an unrelated future dispatch.
 	for i := 0; i < pending; i++ {
 		<-sc.dones[i]
 		putDone(sc.dones[i])
 	}
+	if enqErr != nil {
+		batchPool.Put(sc)
+		return nil, enqErr
+	}
+	r.m.dispatched.Add(int64(n))
+	r.m.dispatchBatches.Add(1)
 	for j := 0; j < n; j++ {
 		out[sc.perm[j]] = sc.res[j]
 	}
@@ -328,49 +403,93 @@ func (r *Runtime) DispatchBatch(addrs []ip.Addr, out []Result) ([]Result, error)
 }
 
 // enqueue places req on its home worker's queue, diverting to the
-// least-loaded worker when the home queue is full (the Adaptive Load
-// Balancing Logic). It blocks until some worker accepts the request.
-func (r *Runtime) enqueue(req lookupReq) {
+// least-loaded healthy worker when the home queue is full or the home
+// worker is out of service (the Adaptive Load Balancing Logic, extended
+// with health awareness). Instead of blocking forever on a wedged
+// queue, full queues are retried with exponential backoff bounded by
+// Config.EnqueueRetries and Config.EnqueueTimeout; worker health is
+// re-read every round so failures and recoveries take effect mid-wait.
+func (r *Runtime) enqueue(req lookupReq) error {
 	weight := int64(1)
 	if req.batch != nil {
 		weight = int64(len(req.batch))
 	}
-	home := req.home
-	select {
-	case r.workers[home].queue <- req:
-	default:
-		// Home queue full: divert to the least-loaded eligible worker.
-		target := r.leastLoaded(home)
-		if target == home {
-			// Nowhere to divert — block on home.
-			r.m.overflowBlocked.Add(weight)
-			r.workers[home].queue <- req
-			return
-		}
-		div := req
-		div.diverted = true
-		select {
-		case r.workers[target].queue <- div:
-			r.m.diverted.Add(weight)
-		default:
-			// Divert target full too: block on whichever frees first.
-			r.m.overflowBlocked.Add(weight)
+	var deadline time.Time
+	backoff := enqueueBackoffMin
+	for attempt := 0; ; attempt++ {
+		home := req.home
+		if r.workers[home].healthy() {
 			select {
 			case r.workers[home].queue <- req:
+				return nil
+			default:
+			}
+		}
+		// Home full or out of service: divert to the least-loaded
+		// healthy worker.
+		if target := r.leastLoaded(home); target != home {
+			div := req
+			div.diverted = true
+			select {
 			case r.workers[target].queue <- div:
 				r.m.diverted.Add(weight)
+				return nil
+			default:
 			}
+		} else if !r.workers[home].healthy() {
+			// Home is down and no locality-eligible divert target exists.
+			// leastLoaded skips empty-range cold-cache workers, so before
+			// declaring the runtime dead, fall back to any healthy worker.
+			fallback := -1
+			for i, w := range r.workers {
+				if i != home && w.healthy() {
+					fallback = i
+					break
+				}
+			}
+			if fallback < 0 {
+				return ErrNoHealthyWorkers
+			}
+			div := req
+			div.diverted = true
+			select {
+			case r.workers[fallback].queue <- div:
+				r.m.diverted.Add(weight)
+				return nil
+			default:
+			}
+		}
+		// Every eligible queue is full: bounded backoff, not a block.
+		now := time.Now()
+		if attempt == 0 {
+			deadline = now.Add(r.cfg.EnqueueTimeout)
+			r.m.overflowBlocked.Add(weight)
+		} else {
+			r.m.enqueueRetries.Add(1)
+		}
+		if attempt >= r.cfg.EnqueueRetries || !now.Before(deadline) {
+			r.m.enqueueTimeouts.Add(1)
+			return fmt.Errorf("%w (home %d, %d attempts)", ErrEnqueueTimeout, req.home, attempt+1)
+		}
+		time.Sleep(backoff)
+		if backoff < enqueueBackoffMax {
+			backoff *= 2
 		}
 	}
 }
 
-// leastLoaded returns the worker (other than home) with the shortest
-// queue right now, or home itself when no other worker is eligible.
+// leastLoaded returns the healthy worker (other than home) with the
+// shortest queue right now, or home itself when no other worker is
+// eligible.
 func (r *Runtime) leastLoaded(home int) int {
 	snap := r.snap.Load()
 	best, bestLen := home, int(^uint(0)>>1)
 	for i, w := range r.workers {
 		if i == home {
+			continue
+		}
+		// Failed and draining workers accept no new lookups.
+		if !w.healthy() {
 			continue
 		}
 		// A worker with a zero-width home range and a cold cache has no
@@ -440,14 +559,23 @@ func (r *Runtime) writer() {
 }
 
 // applyBatch runs one batch through the pipeline and publishes the
-// resulting snapshot.
+// resulting snapshot. Control (rehome) ops contribute no route change
+// but force the publication to flush worker caches; every publication —
+// ctl or not — recuts the partition bounds from the live worker health
+// states, so a batch racing a failure re-homes on its own.
 func (r *Runtime) applyBatch(batch []updateOp) {
 	start := time.Now()
 	results := r.ws.results[:0]
 	stale := r.ws.stale[:0]
 	r.ws.insLast = r.ws.insLast[:0]
 	r.ws.delLast = r.ws.delLast[:0]
+	rehome := false
 	for _, op := range batch {
+		if op.ctl {
+			rehome = true
+			results = append(results, opResult{})
+			continue
+		}
 		var (
 			ttf  update.TTF
 			diff onrtc.Diff
@@ -492,7 +620,10 @@ func (r *Runtime) applyBatch(batch []updateOp) {
 	prev := r.snap.Load()
 	routes := make([]ip.Route, len(r.table))
 	copy(routes, r.table)
-	r.snap.Store(newSnapshotFrom(prev, prev.Version+1, routes, r.cfg.Workers, staleOut, r.ws.insLast, r.ws.delLast))
+	r.snap.Store(newSnapshotFrom(prev, prev.Version+1, routes, r.cfg.Workers, staleOut, r.ws.insLast, r.ws.delLast, r.downMask(), rehome))
+	if rehome {
+		r.m.rehomes.Add(1)
+	}
 	r.m.batches.Add(1)
 	r.m.batchOps.Add(int64(len(batch)))
 	r.m.swapNs.add(float64(time.Since(start).Nanoseconds()))
@@ -533,6 +664,27 @@ func (r *Runtime) applyDiffToTable(ops []onrtc.Op) {
 			}
 		}
 	}
+}
+
+// downMask snapshots the worker health states into the writer's scratch
+// mask (true = out of service). It returns nil when every worker is
+// healthy, which keeps the all-healthy snapshotShell path allocation-
+// and branch-identical to the pre-failure-handling code.
+func (r *Runtime) downMask() []bool {
+	if cap(r.ws.down) < len(r.workers) {
+		r.ws.down = make([]bool, len(r.workers))
+	}
+	down := r.ws.down[:len(r.workers)]
+	any := false
+	for i, w := range r.workers {
+		d := !w.healthy()
+		down[i] = d
+		any = any || d
+	}
+	if !any {
+		return nil
+	}
+	return down
 }
 
 // Close drains and stops the runtime: new calls fail with ErrClosed,
@@ -588,10 +740,20 @@ func (r *Runtime) Stats() Stats {
 			TCAM: r.m.ttfTCAM.load(),
 			DRed: r.m.ttfDRed.load(),
 		},
-		SwapNs: r.m.swapNs.load(),
+		SwapNs:          r.m.swapNs.load(),
+		WorkerHealth:    make([]string, len(r.workers)),
+		Rehomes:         r.m.rehomes.Load(),
+		EnqueueRetries:  r.m.enqueueRetries.Load(),
+		EnqueueTimeouts: r.m.enqueueTimeouts.Load(),
+		WorkerPanics:    r.m.workerPanics.Load(),
 	}
 	for i, w := range r.workers {
 		st.WorkerServed[i] = w.served.Load()
+		state := WorkerState(w.state.Load())
+		st.WorkerHealth[i] = state.String()
+		if state != WorkerHealthy {
+			st.FailedWorkers++
+		}
 	}
 	return st
 }

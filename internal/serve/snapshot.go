@@ -53,6 +53,12 @@ type Snapshot struct {
 	// it to fix their caches with targeted invalidations instead of a
 	// full flush.
 	stale []ip.Prefix
+	// flushCaches forces every worker to reset its DRed-analog cache on
+	// this snapshot instead of taking the targeted-invalidation shortcut.
+	// Set on re-homed snapshots: the partition bounds moved, so cached
+	// foreign prefixes may now be home prefixes (and vice versa) and the
+	// stale list cannot describe the change.
+	flushCaches bool
 }
 
 // LookupResult is one answer of a Snapshot.LookupBatch call.
@@ -67,7 +73,7 @@ type LookupResult struct {
 // including a fresh stride index for tables above strideMinRoutes. The
 // snapshot takes ownership of both slices.
 func newSnapshot(version uint64, routes []ip.Route, workers int, stale []ip.Prefix) *Snapshot {
-	s := snapshotShell(version, routes, workers, stale)
+	s := snapshotShell(version, routes, workers, stale, nil)
 	if len(routes) >= strideMinRoutes {
 		s.index = buildStrideIndex(routes)
 	}
@@ -79,12 +85,20 @@ func newSnapshot(version uint64, routes []ip.Route, workers int, stale []ip.Pref
 // update storm) the previous snapshot's stride index is patched in
 // O(buckets) instead of rebuilt from the table; insLast and delLast must
 // be the ascending last addresses of the routes the batch inserted into
-// and deleted from prev's table.
-func newSnapshotFrom(prev *Snapshot, version uint64, routes []ip.Route, workers int, stale []ip.Prefix, insLast, delLast []ip.Addr) *Snapshot {
-	s := snapshotShell(version, routes, workers, stale)
+// and deleted from prev's table. down marks workers excluded from the
+// partition recut (nil when all are healthy); flush marks the snapshot
+// as cache-flushing (set for re-homed publications).
+func newSnapshotFrom(prev *Snapshot, version uint64, routes []ip.Route, workers int, stale []ip.Prefix, insLast, delLast []ip.Addr, down []bool, flush bool) *Snapshot {
+	s := snapshotShell(version, routes, workers, stale, down)
+	s.flushCaches = flush
 	switch {
 	case len(routes) < strideMinRoutes:
 		// Small table: binary-search fallback needs no index.
+	case prev != nil && prev.index != nil && len(insLast)+len(delLast) == 0:
+		// Pure control publication (re-home, health change): the table is
+		// untouched, so the immutable index is shared as-is — a re-home
+		// costs partition cut points only, never an index copy.
+		s.index = prev.index
 	case prev != nil && prev.index != nil && len(insLast)+len(delLast) <= stridePatchMax:
 		s.index = patchStrideIndex(prev.index, insLast, delLast, len(routes))
 	default:
@@ -94,29 +108,58 @@ func newSnapshotFrom(prev *Snapshot, version uint64, routes []ip.Route, workers 
 }
 
 // snapshotShell builds everything but the stride index: the route table
-// and the partition range index with its cut points.
-func snapshotShell(version uint64, routes []ip.Route, workers int, stale []ip.Prefix) *Snapshot {
+// and the partition range index with its cut points. down (nil when all
+// workers are healthy) excludes failed/draining workers from the recut:
+// their ranges are re-split exactly evenly across the survivors — the
+// disjoint table makes this a pure boundary move, no reordering.
+func snapshotShell(version uint64, routes []ip.Route, workers int, stale []ip.Prefix, down []bool) *Snapshot {
 	s := &Snapshot{Version: version, routes: routes, stale: stale}
 	// Even count split, exactly like partition.CLUE: cut points double as
-	// the range index. With fewer routes than workers the cuts would
-	// collapse onto each other, so the split runs over min(workers,
-	// routes) active partitions and the tail workers are marked empty —
-	// they get no home range and no home traffic.
+	// the range index. With fewer routes than eligible workers the cuts
+	// would collapse onto each other, so the split runs over min(active,
+	// routes) partitions and the rest are marked empty — they get no home
+	// range and no home traffic.
 	s.starts = make([]ip.Addr, workers)
 	s.empty = make([]bool, workers)
-	parts := workers
+	active := make([]int, 0, workers)
+	for i := 0; i < workers; i++ {
+		s.empty[i] = true
+		if down == nil || !down[i] {
+			active = append(active, i)
+		}
+	}
+	if len(active) == 0 {
+		// Every worker is down (reachable only when panics took out the
+		// last one). Keep worker 0 as nominal home so Home stays total;
+		// the dispatch-path health checks reject new work anyway.
+		active = append(active, 0)
+	}
+	parts := len(active)
 	if len(routes) < parts {
 		parts = len(routes)
 	}
-	for i := 1; i < parts; i++ {
+	for j := 0; j < parts; j++ {
 		// parts <= len(routes) makes successive cuts strictly increasing,
 		// so every active worker owns a non-empty route range.
-		s.starts[i] = routes[i*len(routes)/parts].Prefix.First()
+		w := active[j]
+		s.empty[w] = false
+		if j > 0 {
+			s.starts[w] = routes[j*len(routes)/parts].Prefix.First()
+		}
 	}
-	for i := parts; i < workers; i++ {
-		if i > 0 {
-			s.starts[i] = ip.Addr(^uint32(0))
-			s.empty[i] = true
+	if parts == 0 {
+		// Empty table: the first active worker is the nominal home.
+		s.empty[active[0]] = false
+	}
+	// Empty workers inherit their successor's start so starts stays
+	// monotone and Home's search can never land inside a zero-width
+	// range; trailing ones get the max-address sentinel.
+	next := ip.Addr(^uint32(0))
+	for i := workers - 1; i >= 0; i-- {
+		if s.empty[i] {
+			s.starts[i] = next
+		} else {
+			next = s.starts[i]
 		}
 	}
 	return s

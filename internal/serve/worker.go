@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"clue/internal/dred"
@@ -44,6 +45,9 @@ type lookupReq struct {
 	// closed instead of serving — tests use it to hold a queue full and
 	// exercise the divert path deterministically.
 	stall <-chan struct{}
+	// poison makes the worker panic on dequeue — the chaos/test hook for
+	// the panic-recovery path.
+	poison bool
 }
 
 // worker is one partition worker goroutine — the software analog of a
@@ -54,6 +58,9 @@ type worker struct {
 	id    int
 	rt    *Runtime
 	queue chan lookupReq
+	// state is the WorkerState health machine; dispatchers read it to
+	// route around draining/failed workers.
+	state atomic.Int32
 	// cache holds foreign (other-home) prefixes served on the divert
 	// path, LRU-evicted — the DRed with the reduced-redundancy fill rule.
 	cache *dred.Cache
@@ -75,21 +82,64 @@ func newWorker(id int, rt *Runtime) *worker {
 	}
 }
 
-// run drains the queue until it is closed (Runtime.Close).
+// healthy reports whether the worker accepts new lookups.
+func (w *worker) healthy() bool { return w.state.Load() == int32(WorkerHealthy) }
+
+// run drains the queue until it is closed (Runtime.Close). The goroutine
+// never dies early: handle recovers panics, so a failed worker keeps
+// draining whatever was queued to it and stays recoverable.
 func (w *worker) run() {
 	defer w.rt.workersWG.Done()
 	for req := range w.queue {
-		if req.stall != nil {
-			<-req.stall
-			continue
-		}
-		if req.batch != nil {
-			w.serveBatch(req)
-			req.done <- Result{}
-			continue
-		}
-		req.done <- w.serve(req)
+		w.handle(req)
 	}
+}
+
+// handle serves one queued request, surviving panics: a panicking
+// handler marks the worker failed (which re-homes its range) and still
+// answers the request straight off the snapshot so the dispatcher never
+// hangs on the done channel.
+func (w *worker) handle(req lookupReq) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			w.rt.failAfterPanic(w)
+			w.answerAfterPanic(req)
+		}
+	}()
+	if req.stall != nil {
+		<-req.stall
+		return
+	}
+	if req.poison {
+		panic(fmt.Sprintf("serve: worker %d poisoned", w.id))
+	}
+	if req.batch != nil {
+		w.serveBatch(req)
+		req.done <- Result{}
+		return
+	}
+	req.done <- w.serve(req)
+}
+
+// answerAfterPanic completes a request whose handler panicked before the
+// done send (the only panic windows — serve, serveBatch, poison). The
+// dispatcher is still waiting, so the answer is computed from the bare
+// snapshot with no cache involvement.
+func (w *worker) answerAfterPanic(req lookupReq) {
+	if req.done == nil {
+		return
+	}
+	snap := w.rt.snap.Load()
+	if req.batch != nil {
+		for i, a := range req.batch {
+			hop, pfx, ok := snap.Lookup(a)
+			req.out[i] = Result{Hop: hop, Prefix: pfx, Found: ok, Home: req.home, Worker: w.id, Diverted: req.diverted, Version: snap.Version}
+		}
+		req.done <- Result{}
+		return
+	}
+	hop, pfx, ok := snap.Lookup(req.addr)
+	req.done <- Result{Hop: hop, Prefix: pfx, Found: ok, Home: req.home, Worker: w.id, Diverted: req.diverted, Version: snap.Version}
 }
 
 // serve answers one request against the current snapshot, keeping the
@@ -145,7 +195,7 @@ func (w *worker) syncCache(snap *Snapshot) {
 	if snap.Version == w.cacheVersion {
 		return
 	}
-	if snap.Version == w.cacheVersion+1 {
+	if snap.Version == w.cacheVersion+1 && !snap.flushCaches {
 		for _, p := range snap.stale {
 			if w.cache.Invalidate(p) {
 				w.rt.m.cacheInvalid.Add(1)
