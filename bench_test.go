@@ -275,6 +275,16 @@ func benchServe(b *testing.B, routes int, seed int64, cfg serve.Config) (*serve.
 	return rt, traffic.NextN(1 << 16)
 }
 
+// reportP99 surfaces a runtime-histogram p99 as a benchmark metric so
+// the committed baseline (BENCH_serve.json) carries tail latency and CI
+// can gate on its regressions, not just on mean ns/op.
+func reportP99(b *testing.B, name string, s serve.LatencySummary) {
+	b.Helper()
+	if s.Count > 0 {
+		b.ReportMetric(s.P99, name)
+	}
+}
+
 // BenchmarkServeSnapshotLookupParallel measures aggregate throughput of
 // the RCU read side: every goroutine does atomic-load + binary-search
 // lookups with no locks anywhere. The lookups/s metric is the aggregate
@@ -290,6 +300,7 @@ func BenchmarkServeSnapshotLookupParallel(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+	reportP99(b, "p99-ns", rt.Stats().Latency.SnapshotLookup)
 }
 
 // BenchmarkServeDispatchParallel measures the partition-worker path:
@@ -310,6 +321,8 @@ func BenchmarkServeDispatchParallel(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
 	st := rt.Stats()
 	b.ReportMetric(100*st.DivertRate(), "divert-%")
+	reportP99(b, "p99-ns", st.Latency.DispatchHome)
+	reportP99(b, "divert-p99-ns", st.Latency.DispatchDiverted)
 }
 
 // BenchmarkSnapshotLookup pits the stride-indexed fast path against the
@@ -383,6 +396,7 @@ func BenchmarkServeDispatchBatchParallel(b *testing.B) {
 	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "lookups/s")
 	st := rt.Stats()
 	b.ReportMetric(100*st.DivertRate(), "divert-%")
+	reportP99(b, "p99-ns", st.Latency.DispatchBatch)
 }
 
 // BenchmarkServeLookupUnderUpdateStorm measures snapshot-lookup latency

@@ -17,10 +17,14 @@
 //
 // With -baseline the parsed results are additionally compared against a
 // previously committed JSON document: for every benchmark whose name
-// matches -match, the -metric value (default ns/op) is diffed against
-// the baseline and the command exits non-zero when any regression
-// exceeds -max-regress percent. Rate metrics (units ending in "/s")
-// regress downward; cost metrics (/op) regress upward.
+// matches -match, each comma-separated -metric value (default ns/op) is
+// diffed against the baseline and the command exits non-zero when any
+// regression exceeds -max-regress percent. Rate metrics (units ending
+// in "/s") regress downward; cost metrics (/op) and latency metrics
+// (-ns, such as the p99-ns percentile a benchmark reports) regress
+// upward. A metric absent from a benchmark on either side is skipped —
+// only some benchmarks report percentiles, and that must not fail the
+// gate for the rest.
 package main
 
 import (
@@ -55,7 +59,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	outPath := fs.String("o", "", "write JSON here instead of stdout")
 	baseline := fs.String("baseline", "", "committed baseline JSON to compare against")
 	match := fs.String("match", ".*", "regexp selecting benchmark names to compare")
-	metric := fs.String("metric", "ns/op", "metric compared against the baseline")
+	metric := fs.String("metric", "ns/op", "comma-separated metrics compared against the baseline")
 	maxRegress := fs.Float64("max-regress", 20, "fail when the compared metric regresses by more than this percent")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,14 +92,20 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	return compare(results, *baseline, *match, *metric, *maxRegress, out)
 }
 
-// compare diffs the matched benchmarks' metric against the baseline file
-// and errors when any regression exceeds maxRegress percent. A benchmark
+// compare diffs the matched benchmarks' metrics against the baseline
+// file and errors when any regression exceeds maxRegress percent.
+// metrics is a comma-separated list; a metric one side does not report
+// for a benchmark is skipped for that benchmark only. A benchmark
 // present on only one side is reported but is not a failure — CI should
 // regenerate the baseline when the benchmark set changes.
-func compare(results []result, baselinePath, match, metric string, maxRegress float64, out io.Writer) error {
+func compare(results []result, baselinePath, match, metrics string, maxRegress float64, out io.Writer) error {
 	re, err := regexp.Compile(match)
 	if err != nil {
 		return fmt.Errorf("bad -match: %w", err)
+	}
+	metricList := strings.Split(metrics, ",")
+	for i, m := range metricList {
+		metricList[i] = strings.TrimSpace(m)
 	}
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -121,25 +131,36 @@ func compare(results []result, baselinePath, match, metric string, maxRegress fl
 			fmt.Fprintf(out, "%-50s %12s (not in baseline)\n", cur.Name, "-")
 			continue
 		}
-		bv, cv := b.Metrics[metric], cur.Metrics[metric]
-		if bv == 0 {
-			fmt.Fprintf(out, "%-50s %12s (baseline %s is zero)\n", cur.Name, "-", metric)
-			continue
+		for _, metric := range metricList {
+			if metric == "" {
+				continue
+			}
+			bv, bok := b.Metrics[metric]
+			cv, cok := cur.Metrics[metric]
+			if !bok || !cok {
+				// Not every benchmark reports every metric (percentiles
+				// come from b.ReportMetric in a few of them only).
+				continue
+			}
+			if bv == 0 {
+				fmt.Fprintf(out, "%-50s %12s (baseline %s is zero)\n", cur.Name, "-", metric)
+				continue
+			}
+			compared++
+			// Rate metrics (lookups/s, updates/s) regress downward; cost
+			// and latency metrics (ns/op, B/op, p99-ns) regress upward.
+			regress := (cv - bv) / bv * 100
+			if strings.HasSuffix(metric, "/s") {
+				regress = -regress
+			}
+			verdict := "ok"
+			if regress > maxRegress {
+				verdict = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%, limit %.1f%%)", cur.Name, metric, bv, cv, regress, maxRegress))
+			}
+			fmt.Fprintf(out, "%-50s %s %12.4g -> %-12.4g %+6.1f%% %s\n", cur.Name, metric, bv, cv, regress, verdict)
 		}
-		compared++
-		// Rate metrics (lookups/s, updates/s) regress downward; cost
-		// metrics (ns/op, B/op) regress upward.
-		regress := (cv - bv) / bv * 100
-		if strings.HasSuffix(metric, "/s") {
-			regress = -regress
-		}
-		verdict := "ok"
-		if regress > maxRegress {
-			verdict = "REGRESSION"
-			regressions = append(regressions,
-				fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%, limit %.1f%%)", cur.Name, metric, bv, cv, regress, maxRegress))
-		}
-		fmt.Fprintf(out, "%-50s %s %12.4g -> %-12.4g %+6.1f%% %s\n", cur.Name, metric, bv, cv, regress, verdict)
 	}
 	for _, b := range base {
 		if re.MatchString(b.Name) {

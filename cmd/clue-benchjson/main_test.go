@@ -218,16 +218,71 @@ func TestCompareCommittedBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	re := "SnapshotLookup|DispatchBatch"
-	matched := 0
+	matched, p99s := 0, 0
 	for _, r := range base {
 		if strings.Contains(r.Name, "SnapshotLookup") || strings.Contains(r.Name, "DispatchBatch") {
 			matched++
 			if r.Metrics["ns/op"] <= 0 {
 				t.Errorf("%s has no ns/op in committed baseline", r.Name)
 			}
+			if r.Metrics["p99-ns"] > 0 {
+				p99s++
+			}
 		}
 	}
 	if matched == 0 {
 		t.Fatalf("no committed benchmarks match CI regexp %q", re)
+	}
+	// The serve benchmarks report the runtime histogram tail; the CI p99
+	// gate is vacuous if the committed baseline drops those fields.
+	if p99s == 0 {
+		t.Fatal("no matched benchmark carries p99-ns in the committed baseline")
+	}
+}
+
+// TestCompareMultiMetric covers the comma-separated -metric form the CI
+// p99 gate uses: every listed metric present on both sides is compared,
+// metrics absent from either side are skipped without failing, and a
+// list matching nothing anywhere is an error.
+func TestCompareMultiMetric(t *testing.T) {
+	const p99sample = `BenchmarkSnapshotLookup/indexed-4 1000 25 ns/op 300 p99-ns
+BenchmarkServeDispatchBatchParallel-4 1000 900 ns/op
+`
+	baseline := writeBaseline(t, []result{
+		{Name: "BenchmarkSnapshotLookup/indexed", Iterations: 1, Metrics: map[string]float64{"ns/op": 24, "p99-ns": 200}},
+		{Name: "BenchmarkServeDispatchBatchParallel", Iterations: 1, Metrics: map[string]float64{"ns/op": 880}},
+	})
+
+	// Both metrics within a 60% budget; the batch benchmark has no p99-ns
+	// on either side and must not fail the run.
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", baseline, "-metric", "ns/op,p99-ns", "-max-regress", "60"},
+		strings.NewReader(p99sample), &buf); err != nil {
+		t.Fatalf("multi-metric within budget failed: %v\n%s", err, buf.String())
+	}
+
+	// The p99 regression (200 -> 300, +50%) trips a 40% budget even though
+	// ns/op is fine, and the error names the metric.
+	buf.Reset()
+	err := run([]string{"-baseline", baseline, "-metric", "ns/op,p99-ns", "-max-regress", "40"},
+		strings.NewReader(p99sample), &buf)
+	if err == nil || !strings.Contains(err.Error(), "p99-ns") {
+		t.Fatalf("p99 regression not detected: err=%v\n%s", err, buf.String())
+	}
+
+	// A metric present in the baseline but absent from the current run is
+	// skipped: comparing only p99-ns against the batch benchmark (which
+	// never reports it) leaves nothing compared, which is an error.
+	buf.Reset()
+	if err := run([]string{"-baseline", baseline, "-match", "DispatchBatch", "-metric", "p99-ns"},
+		strings.NewReader(p99sample), &buf); err == nil {
+		t.Errorf("zero compared metrics accepted:\n%s", buf.String())
+	}
+
+	// Spaces after commas are tolerated.
+	buf.Reset()
+	if err := run([]string{"-baseline", baseline, "-metric", "ns/op, p99-ns", "-max-regress", "60"},
+		strings.NewReader(p99sample), &buf); err != nil {
+		t.Fatalf("spaced metric list failed: %v\n%s", err, buf.String())
 	}
 }

@@ -7,12 +7,13 @@
 // Usage:
 //
 //	clue-chaos [-seed 7] [-ops 10000] [-routes 12000] [-workers 4]
-//	           [-cycles 3] [-sequential] [-v]
+//	           [-cycles 3] [-max-dispatch-p99 1s] [-sequential] [-v]
 //
 // The report is printed as JSON on stdout; the exit status is non-zero
 // when any invariant broke (wrong answer vs the oracle, a dispatch that
-// exhausted its retry/timeout budget, a TTF replay mismatch in
-// -sequential mode, or a goroutine leak).
+// exhausted its retry/timeout budget, a degraded-mode dispatch p99 above
+// -max-dispatch-p99 — negative disables the bound — a TTF replay
+// mismatch in -sequential mode, or a goroutine leak).
 package main
 
 import (
@@ -43,6 +44,7 @@ func run(args []string, out, errw io.Writer) error {
 	checkpoints := fs.Int("checkpoints", 10, "oracle checkpoints over the storm")
 	probes := fs.Int("probes", 2000, "random probes per checkpoint")
 	lookers := fs.Int("lookers", 4, "concurrent lookup goroutines")
+	maxP99 := fs.Duration("max-dispatch-p99", 0, "fail when the soak's dispatch p99 exceeds this (0 = 1s default, negative disables)")
 	sequential := fs.Bool("sequential", false, "apply ops one at a time and verify TTF replay equivalence")
 	verbose := fs.Bool("v", false, "log faults and checkpoints to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -58,6 +60,7 @@ func run(args []string, out, errw io.Writer) error {
 		Checkpoints:         *checkpoints,
 		ProbesPerCheckpoint: *probes,
 		Lookers:             *lookers,
+		MaxDispatchP99:      *maxP99,
 		Sequential:          *sequential,
 	}
 	if *verbose {

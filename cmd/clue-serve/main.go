@@ -22,6 +22,11 @@
 //	GET  /metrics  — Prometheus text exposition
 //	GET  /healthz  — liveness + degraded-mode status (503 when no
 //	     worker is healthy; the snapshot path still answers then)
+//	GET  /debug/latency — latency/queue-depth histogram summaries
+//	     (p50/p90/p99/max plus sparse power-of-two buckets) as JSON
+//	GET  /debug/pprof/* — the standard net/http/pprof profiling surface
+//	GET  /debug/trace?sec=N — capture a runtime/trace for N seconds
+//	     (max 60) and stream it; enabled with -debug-trace
 //	POST /admin/worker/fail {"worker":N} — take worker N out of service
 //	     and re-home its range across the survivors
 //	POST /admin/worker/recover {"worker":N} — return worker N to service
@@ -39,8 +44,11 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/trace"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -76,6 +84,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 	cache := fs.Int("cache", 1024, "per-worker DRed-analog cache size")
 	tcams := fs.Int("tcams", 4, "TCAM chip count in the underlying system")
 	buckets := fs.Int("buckets", 32, "range partition count in the underlying system")
+	debugTrace := fs.Bool("debug-trace", false, "enable the /debug/trace runtime-trace capture endpoint")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,7 +116,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		ready(ln.Addr())
 	}
 
-	srv := &http.Server{Handler: newHandler(rt)}
+	srv := &http.Server{Handler: newHandler(rt, *debugTrace)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
@@ -177,8 +186,10 @@ func loadRoutes(fibPath, router string, routerScale, nRoutes int, seed int64) ([
 // maxBatchAddrs bounds one /lookup/batch request.
 const maxBatchAddrs = 8192
 
-// newHandler wires the HTTP surface around the runtime.
-func newHandler(rt *serve.Runtime) http.Handler {
+// newHandler wires the HTTP surface around the runtime. traceCapture
+// enables the /debug/trace capture endpoint (the -debug-trace flag);
+// the rest of the debug surface is always on.
+func newHandler(rt *serve.Runtime, traceCapture bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /lookup", func(w http.ResponseWriter, r *http.Request) {
 		a, err := ip.ParseAddr(r.URL.Query().Get("addr"))
@@ -414,6 +425,45 @@ func newHandler(rt *serve.Runtime) http.Handler {
 			writeJSON(w, map[string]any{"action": action, "worker": *req.Worker, "workers": workerStates()})
 		}
 	}
+	mux.HandleFunc("GET /debug/latency", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, rt.Stats().Latency)
+	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if !traceCapture {
+			httpError(w, http.StatusNotFound, errors.New("trace capture disabled (start with -debug-trace)"))
+			return
+		}
+		sec := 5
+		if q := r.URL.Query().Get("sec"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 1 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("sec must be a positive integer, got %q", q))
+				return
+			}
+			sec = n
+		}
+		if sec > 60 {
+			sec = 60
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.out"`)
+		if err := trace.Start(w); err != nil {
+			// A concurrent capture (here or via /debug/pprof/trace) holds
+			// the tracer; headers are already sent, so just stop.
+			return
+		}
+		select {
+		case <-r.Context().Done():
+		case <-time.After(time.Duration(sec) * time.Second):
+		}
+		trace.Stop()
+	})
+
 	mux.HandleFunc("POST /admin/worker/fail", adminWorker("fail", rt.FailWorker))
 	mux.HandleFunc("POST /admin/worker/recover", adminWorker("recover", rt.RecoverWorker))
 	mux.HandleFunc("GET /admin/worker", func(w http.ResponseWriter, _ *http.Request) {

@@ -413,7 +413,7 @@ func adminStates(res map[string]any) []string {
 func TestAdminWorkerEndpoints(t *testing.T) {
 	rt := newTestRuntime(t, 3)
 	defer rt.Close()
-	srv := httptest.NewServer(newHandler(rt))
+	srv := httptest.NewServer(newHandler(rt, true))
 	defer srv.Close()
 
 	status, res := doReq(t, "GET", srv.URL+"/admin/worker", "")
@@ -495,7 +495,7 @@ func TestAdminWorkerEndpoints(t *testing.T) {
 func TestHealthzNoHealthyWorkers(t *testing.T) {
 	rt := newTestRuntime(t, 2)
 	defer rt.Close()
-	srv := httptest.NewServer(newHandler(rt))
+	srv := httptest.NewServer(newHandler(rt, true))
 	defer srv.Close()
 
 	for id := 0; id < 2; id++ {
@@ -547,7 +547,7 @@ func TestHealthzNoHealthyWorkers(t *testing.T) {
 // the runtime is closed, while the snapshot read side still answers.
 func TestEndpointsAfterClose(t *testing.T) {
 	rt := newTestRuntime(t, 2)
-	srv := httptest.NewServer(newHandler(rt))
+	srv := httptest.NewServer(newHandler(rt, true))
 	defer srv.Close()
 	rt.Close()
 
@@ -604,5 +604,88 @@ func TestSIGTERMShutdown(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "shutting down") {
 		t.Errorf("missing shutdown notice:\n%s", out.String())
+	}
+}
+
+// TestDebugEndpoints covers the observability surface: the latency JSON
+// view, the pprof index, and the runtime/trace capture with its
+// -debug-trace gate and sec-parameter validation.
+func TestDebugEndpoints(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	defer rt.Close()
+	srv := httptest.NewServer(newHandler(rt, true))
+	defer srv.Close()
+
+	status, res := doReq(t, "GET", srv.URL+"/debug/latency", "")
+	if status != http.StatusOK {
+		t.Fatalf("GET /debug/latency: %d", status)
+	}
+	for _, key := range []string{"snapshot_lookup", "dispatch_home", "dispatch_diverted",
+		"dispatch_cache_hit", "dispatch_batch", "ttf_trie", "ttf_tcam", "ttf_dred",
+		"snapshot_swap", "queue_depth"} {
+		sub, ok := res[key].(map[string]any)
+		if !ok {
+			t.Fatalf("/debug/latency missing %q: %v", key, res)
+		}
+		if _, ok := sub["count"]; !ok {
+			t.Fatalf("/debug/latency %q has no count: %v", key, sub)
+		}
+	}
+
+	presp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbody := new(bytes.Buffer)
+	pbody.ReadFrom(presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK || !strings.Contains(pbody.String(), "goroutine") {
+		t.Fatalf("pprof index: %s %q", presp.Status, pbody.String())
+	}
+
+	tresp, err := http.Get(srv.URL + "/debug/trace?sec=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbody := new(bytes.Buffer)
+	tbody.ReadFrom(tresp.Body)
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK || tbody.Len() == 0 {
+		t.Fatalf("trace capture: %s, %d bytes", tresp.Status, tbody.Len())
+	}
+
+	for _, sec := range []string{"bogus", "0", "-3"} {
+		status, res = doReq(t, "GET", srv.URL+"/debug/trace?sec="+sec, "")
+		if status != http.StatusBadRequest {
+			t.Errorf("trace sec=%s: got %d want 400 (%v)", sec, status, res)
+		}
+	}
+}
+
+// TestDebugTraceGated checks the capture endpoint 404s unless the server
+// was started with -debug-trace, while pprof and latency stay available.
+func TestDebugTraceGated(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	defer rt.Close()
+	srv := httptest.NewServer(newHandler(rt, false))
+	defer srv.Close()
+
+	status, res := doReq(t, "GET", srv.URL+"/debug/trace", "")
+	if status != http.StatusNotFound {
+		t.Fatalf("trace without -debug-trace: got %d want 404 (%v)", status, res)
+	}
+	if msg, _ := res["error"].(string); !strings.Contains(msg, "trace capture disabled") {
+		t.Fatalf("gating error message: %v", res)
+	}
+	if status, _ := doReq(t, "GET", srv.URL+"/debug/latency", ""); status != http.StatusOK {
+		t.Fatalf("latency view gated by -debug-trace: %d", status)
+	}
+	presp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof gated by -debug-trace: %s", presp.Status)
 	}
 }

@@ -65,6 +65,15 @@ type Config struct {
 	// over a fresh core.System — the deterministic cost model makes the
 	// totals exactly reproducible.
 	Sequential bool
+	// MaxDispatchP99 bounds the runtime's end-to-end dispatch p99
+	// (worst of the home/diverted/cache-hit paths) across the whole
+	// soak, kill/recover storms included: degraded mode may divert and
+	// retry, but a dispatch latency cliff is an invariant violation,
+	// not an operating mode. Default 1s — the runtime's own
+	// EnqueueTimeout budget; a successful dispatch that took longer
+	// than the budget for *failing* means the backoff path wedged.
+	// Negative disables the assertion.
+	MaxDispatchP99 time.Duration
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -91,6 +100,9 @@ func (c Config) withDefaults() Config {
 	if c.Lookers == 0 {
 		c.Lookers = 4
 	}
+	if c.MaxDispatchP99 == 0 {
+		c.MaxDispatchP99 = time.Second
+	}
 	return c
 }
 
@@ -111,6 +123,12 @@ type Report struct {
 	// CheckedLookups the oracle-verified probes across checkpoints.
 	Lookups        int64 `json:"lookups"`
 	CheckedLookups int   `json:"checked_lookups"`
+	// DispatchP99Ns is the runtime's end-to-end dispatch p99 (worst
+	// outcome path) over the whole soak, degraded windows included;
+	// DispatchP99Bounded reports the Config.MaxDispatchP99 assertion ran
+	// (and held, if Run returned nil).
+	DispatchP99Ns      float64 `json:"dispatch_p99_ns"`
+	DispatchP99Bounded bool    `json:"dispatch_p99_bounded"`
 	// WrongAnswers and DispatchErrors must both be zero: forwarding
 	// never stops and never lies while any worker is alive.
 	WrongAnswers   int   `json:"wrong_answers"`
@@ -377,6 +395,8 @@ func Run(cfg Config) (Report, error) {
 	rep.Panics = st.WorkerPanics
 	rep.FinalRoutes = rt.Snapshot().Len()
 	rep.FinalStats = st
+	rep.DispatchP99Ns = st.Latency.DispatchP99Ns()
+	rep.DispatchP99Bounded = cfg.MaxDispatchP99 > 0
 
 	if cfg.Sequential {
 		if err := checkTTFReplay(routes, ups, ttfSum, st.TTFTotals); err != nil {
@@ -394,6 +414,10 @@ func Run(cfg Config) (Report, error) {
 		return rep, fmt.Errorf("chaos: %d wrong answers vs oracle (first: %w)", rep.WrongAnswers, firstWrong)
 	case rep.DispatchErrors > 0:
 		return rep, fmt.Errorf("chaos: %d dispatches failed their retry/timeout budget", rep.DispatchErrors)
+	case rep.DispatchP99Bounded && rep.DispatchP99Ns > float64(cfg.MaxDispatchP99.Nanoseconds()):
+		return rep, fmt.Errorf("chaos: dispatch p99 %.0fns exceeds the degraded-mode bound %v (home %.0fns, diverted %.0fns, cache-hit %.0fns)",
+			rep.DispatchP99Ns, cfg.MaxDispatchP99,
+			st.Latency.DispatchHome.P99, st.Latency.DispatchDiverted.P99, st.Latency.DispatchCacheHit.P99)
 	case rep.GoroutinesAfter > rep.GoroutinesBefore:
 		return rep, fmt.Errorf("chaos: goroutine leak: %d before, %d after close", rep.GoroutinesBefore, rep.GoroutinesAfter)
 	}

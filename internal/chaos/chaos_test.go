@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"clue/internal/tracegen"
 	"clue/internal/update"
@@ -49,6 +50,42 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if rep.GoroutinesAfter > rep.GoroutinesBefore {
 		t.Fatalf("goroutine leak: %d -> %d", rep.GoroutinesBefore, rep.GoroutinesAfter)
+	}
+	// The degraded-mode latency assertion ran (default 1s bound) and
+	// recorded a real tail: dispatches were sampled through the whole
+	// kill/poison/stall schedule.
+	if !rep.DispatchP99Bounded {
+		t.Fatal("dispatch p99 bound did not run under the default config")
+	}
+	if rep.DispatchP99Ns <= 0 {
+		t.Fatalf("dispatch p99 = %g, want positive after a soak with traffic", rep.DispatchP99Ns)
+	}
+}
+
+// TestChaosDispatchP99Bound pins the bound's gating behavior on a small
+// storm: an absurdly tight bound must fail the run with the p99 error,
+// and a negative bound must disable the assertion entirely.
+func TestChaosDispatchP99Bound(t *testing.T) {
+	cfg := Config{Seed: 31, Routes: 3000, Ops: 600, Cycles: 1, Checkpoints: 2, ProbesPerCheckpoint: 200, Lookers: 2}
+
+	tight := cfg
+	tight.MaxDispatchP99 = 1 // 1ns: no real dispatch can pass
+	rep, err := Run(tight)
+	if err == nil || !strings.Contains(err.Error(), "dispatch p99") {
+		t.Fatalf("1ns bound: err = %v, want dispatch p99 violation", err)
+	}
+	if !rep.DispatchP99Bounded || rep.DispatchP99Ns <= 1 {
+		t.Fatalf("1ns bound report: %+v", rep)
+	}
+
+	off := cfg
+	off.MaxDispatchP99 = -1
+	rep, err = Run(off)
+	if err != nil {
+		t.Fatalf("disabled bound still failed: %v", err)
+	}
+	if rep.DispatchP99Bounded {
+		t.Fatal("negative MaxDispatchP99 did not disable the bound")
 	}
 }
 
@@ -97,6 +134,12 @@ func TestConfigDefaultsAndHelpers(t *testing.T) {
 	if c.Routes != 12000 || c.Ops != 10000 || c.Workers != 4 || c.Cycles != 3 ||
 		c.Checkpoints != 10 || c.ProbesPerCheckpoint != 2000 || c.Lookers != 4 {
 		t.Fatalf("zero config defaults: %+v", c)
+	}
+	if c.MaxDispatchP99 != time.Second {
+		t.Fatalf("default MaxDispatchP99 = %v, want 1s", c.MaxDispatchP99)
+	}
+	if d := (Config{MaxDispatchP99: -1}).withDefaults(); d.MaxDispatchP99 != -1 {
+		t.Fatalf("negative MaxDispatchP99 overwritten: %v", d.MaxDispatchP99)
 	}
 	c = Config{Routes: 1, Ops: 2, Workers: 3, Cycles: 4, Checkpoints: 5, ProbesPerCheckpoint: 6, Lookers: 7}.withDefaults()
 	if c.Routes != 1 || c.Ops != 2 || c.Workers != 3 || c.Cycles != 4 ||

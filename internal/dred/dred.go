@@ -127,6 +127,20 @@ func (c *Cache) evictLRU() {
 	c.stats.Evictions++
 }
 
+// Reset removes every cached entry while preserving the activity
+// counters and reusing the backing structures: the match trie is pruned
+// entry by entry, the LRU list is re-initialised and the element map is
+// cleared in place. A serve-layer cache flush (snapshot version jump,
+// partition rehome) is therefore an O(entries) drop, not a wholesale
+// reallocation that also discards the Stats history.
+func (c *Cache) Reset() {
+	for p := range c.elems {
+		c.match.Delete(p, nil)
+	}
+	clear(c.elems)
+	c.order.Init()
+}
+
 // Contains reports whether prefix p is cached (exact match, no LPM).
 func (c *Cache) Contains(p ip.Prefix) bool {
 	_, ok := c.elems[p]

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// The serve runtime's latency accounting is distributional, not just
+// cumulative: the paper's evaluation (per-packet lookup delay under
+// bursty traffic, the TTF1/TTF2/TTF3 update breakdown) lives in
+// percentiles, and a p99 cliff on the divert path is invisible to
+// monotonic counters. histogram is the building block: a lock-free,
+// power-of-two-bucketed value recorder that is allocation-free on the
+// hot path and cheap enough to leave on in production.
+//
+// Bucket b counts values v (nanoseconds, or queue entries for the depth
+// histogram) with 2^(b-1) <= v < 2^b; bucket 0 counts v == 0. With
+// histBuckets = 40 the top bucket's lower bound is 2^38 ns (~4.5 min),
+// far beyond any latency the runtime can produce, so the catch-all
+// bucket never distorts a real distribution.
+const histBuckets = 40
+
+// histogram is one shard: a fixed array of atomic counters plus sum and
+// max registers. record is wait-free (the max update is a bounded CAS
+// loop that only retries while another recorder is raising the max) and
+// performs no allocation. Readers snapshot the counters with plain
+// atomic loads; a snapshot racing recorders may be off by the in-flight
+// records, which is fine for monitoring.
+type histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// bucketOf maps a value to its power-of-two bucket index.
+func bucketOf(v int64) int {
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// record adds one observation. Negative values (a clock step mid-sample)
+// clamp to zero rather than corrupting the bucket index.
+func (h *histogram) record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// latencyHist is a sharded histogram: one shard per partition worker (or
+// a single shard for writer-owned series), so hot-path recorders on
+// different workers never contend on the same cache lines. Shards merge
+// at read time.
+type latencyHist struct {
+	shards []histogram
+}
+
+func newLatencyHist(shards int) *latencyHist {
+	if shards < 1 {
+		shards = 1
+	}
+	return &latencyHist{shards: make([]histogram, shards)}
+}
+
+// record adds v to the given shard; out-of-range shards (a request
+// answered by a worker added after the histogram was sized — impossible
+// today, cheap to guard) fold into shard 0.
+func (l *latencyHist) record(shard int, v int64) {
+	if shard < 0 || shard >= len(l.shards) {
+		shard = 0
+	}
+	l.shards[shard].record(v)
+}
+
+// HistogramBucket is one populated bucket of a merged histogram: Le is
+// the bucket's inclusive upper bound and Count the observations in
+// (previous bound, Le]. Only non-empty buckets are exported, so bounds
+// are sparse but strictly ascending.
+type HistogramBucket struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// LatencySummary is the exported view of one merged histogram:
+// percentiles estimated by linear interpolation inside the crossing
+// power-of-two bucket (clamped to the exact observed Max), plus the
+// sparse bucket list for Prometheus exposition and offline analysis.
+type LatencySummary struct {
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum_ns"`
+	Mean    float64           `json:"mean_ns"`
+	P50     float64           `json:"p50_ns"`
+	P90     float64           `json:"p90_ns"`
+	P99     float64           `json:"p99_ns"`
+	Max     float64           `json:"max_ns"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// summary merges the shards and computes the exported percentiles.
+func (l *latencyHist) summary() LatencySummary {
+	var (
+		counts [histBuckets]uint64
+		total  uint64
+		sum    int64
+		max    int64
+	)
+	for i := range l.shards {
+		sh := &l.shards[i]
+		for b := 0; b < histBuckets; b++ {
+			c := sh.counts[b].Load()
+			counts[b] += c
+			total += c
+		}
+		sum += sh.sum.Load()
+		if m := sh.max.Load(); m > max {
+			max = m
+		}
+	}
+	s := LatencySummary{Count: int64(total), Sum: float64(sum), Max: float64(max)}
+	if total == 0 {
+		return s
+	}
+	s.Mean = s.Sum / float64(total)
+	s.P50 = percentile(&counts, total, max, 0.50)
+	s.P90 = percentile(&counts, total, max, 0.90)
+	s.P99 = percentile(&counts, total, max, 0.99)
+	for b := 0; b < histBuckets; b++ {
+		if counts[b] > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{Le: bucketUpper(b), Count: counts[b]})
+		}
+	}
+	return s
+}
+
+// bucketUpper returns bucket b's inclusive upper bound (2^b - 1; 0 for
+// bucket 0).
+func bucketUpper(b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(uint64(1)<<uint(b) - 1)
+}
+
+// percentile estimates the q-quantile from merged power-of-two buckets:
+// find the bucket where the cumulative count crosses rank q*total, then
+// interpolate linearly between the bucket's bounds. The estimate is
+// clamped to the exact observed max so a lone outlier in a wide bucket
+// cannot report a percentile beyond any real observation.
+func percentile(counts *[histBuckets]uint64, total uint64, max int64, q float64) float64 {
+	rank := q * float64(total)
+	cum := float64(0)
+	for b := 0; b < histBuckets; b++ {
+		c := float64(counts[b])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := float64(0)
+			if b > 0 {
+				lo = float64(uint64(1) << uint(b-1))
+			}
+			hi := bucketUpper(b) + 1
+			v := lo + (hi-lo)*(rank-cum)/c
+			if m := float64(max); v > m {
+				v = m
+			}
+			return v
+		}
+		cum += c
+	}
+	return float64(max)
+}

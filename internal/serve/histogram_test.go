@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{1 << 38, histBuckets - 1},
+		{math.MaxInt64, histBuckets - 1}, // clamps to the catch-all bucket
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.v); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	// The bucket invariant: 2^(b-1) <= v < 2^b for every in-range value.
+	for b := 1; b < histBuckets-1; b++ {
+		lo, hi := int64(1)<<(b-1), int64(1)<<b
+		if bucketOf(lo) != b || bucketOf(hi-1) != b {
+			t.Errorf("bucket %d bounds broken: bucketOf(%d)=%d bucketOf(%d)=%d",
+				b, lo, bucketOf(lo), hi-1, bucketOf(hi-1))
+		}
+	}
+}
+
+func TestHistogramRecordAndSummary(t *testing.T) {
+	h := newLatencyHist(1)
+	for v := int64(1); v <= 1000; v++ {
+		h.record(0, v)
+	}
+	s := h.summary()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if want := float64(1000*1001) / 2; s.Sum != want {
+		t.Fatalf("sum = %g, want %g", s.Sum, want)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("max = %g, want 1000", s.Max)
+	}
+	if s.Mean != s.Sum/1000 {
+		t.Fatalf("mean = %g, want %g", s.Mean, s.Sum/1000)
+	}
+	// Power-of-two buckets cannot place percentiles exactly, but the
+	// estimate must land within the crossing bucket: the true p50 is 500
+	// (bucket [256,512)), the true p99 990 (bucket [512,1024), clamped to
+	// the observed max 1000).
+	if s.P50 < 256 || s.P50 > 512 {
+		t.Fatalf("p50 = %g, want within [256,512]", s.P50)
+	}
+	if s.P90 < 512 || s.P90 > 1000 {
+		t.Fatalf("p90 = %g, want within [512,1000]", s.P90)
+	}
+	if s.P99 < 512 || s.P99 > 1000 {
+		t.Fatalf("p99 = %g, want within [512,1000]", s.P99)
+	}
+	if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("percentiles not monotone: p50=%g p90=%g p99=%g max=%g", s.P50, s.P90, s.P99, s.Max)
+	}
+	// Sparse buckets: strictly ascending bounds, counts summing to Count.
+	var total uint64
+	prev := -1.0
+	for _, b := range s.Buckets {
+		if b.Le <= prev {
+			t.Fatalf("bucket bounds not ascending: %v", s.Buckets)
+		}
+		if b.Count == 0 {
+			t.Fatalf("empty bucket exported: %v", s.Buckets)
+		}
+		prev = b.Le
+		total += b.Count
+	}
+	if total != uint64(s.Count) {
+		t.Fatalf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+}
+
+func TestHistogramOutlierClampsToMax(t *testing.T) {
+	h := newLatencyHist(1)
+	for i := 0; i < 50; i++ {
+		h.record(0, 10)
+	}
+	// Half the observations sit near the bottom of the wide [2^20, 2^21)
+	// bucket, so the p99 rank crosses inside it: raw interpolation toward
+	// the bucket's upper bound would report ~2x the largest real
+	// observation, and the clamp must cap it at the observed max.
+	for i := 0; i < 50; i++ {
+		h.record(0, 1<<20+5)
+	}
+	s := h.summary()
+	if s.P99 > s.Max {
+		t.Fatalf("p99 %g exceeds observed max %g", s.P99, s.Max)
+	}
+	if s.Max != float64(1<<20+5) {
+		t.Fatalf("max = %g, want %d", s.Max, 1<<20+5)
+	}
+	if s.P99 != s.Max {
+		t.Fatalf("p99 = %g, want clamped to max %g", s.P99, s.Max)
+	}
+}
+
+func TestHistogramNegativeAndZero(t *testing.T) {
+	h := newLatencyHist(1)
+	h.record(0, -50) // clock step mid-sample: clamps to 0
+	h.record(0, 0)
+	s := h.summary()
+	if s.Count != 2 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("summary after negative/zero records: %+v", s)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].Le != 0 || s.Buckets[0].Count != 2 {
+		t.Fatalf("zero bucket: %+v", s.Buckets)
+	}
+}
+
+func TestHistogramEmptySummary(t *testing.T) {
+	s := newLatencyHist(4).summary()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 || s.Max != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestHistogramShardsMergeAndFold(t *testing.T) {
+	h := newLatencyHist(4)
+	h.record(0, 1)
+	h.record(1, 100)
+	h.record(2, 100)
+	h.record(3, 10000)
+	h.record(-1, 7) // out-of-range shards fold into shard 0
+	h.record(99, 7)
+	s := h.summary()
+	if s.Count != 6 {
+		t.Fatalf("merged count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1+100+100+10000+7+7 {
+		t.Fatalf("merged sum = %g", s.Sum)
+	}
+	if s.Max != 10000 {
+		t.Fatalf("merged max = %g, want 10000", s.Max)
+	}
+	if h.shards[0].counts[bucketOf(7)].Load() != 2 {
+		t.Fatal("out-of-range shards did not fold into shard 0")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := newLatencyHist(4)
+	const perG, gs = 10000, 8
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.record(g%4, int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.summary()
+	if s.Count != perG*gs {
+		t.Fatalf("count = %d, want %d", s.Count, perG*gs)
+	}
+	if s.Max != perG-1 {
+		t.Fatalf("max = %g, want %d", s.Max, perG-1)
+	}
+	if want := float64(gs) * float64(perG*(perG-1)) / 2; s.Sum != want {
+		t.Fatalf("sum = %g, want %g", s.Sum, want)
+	}
+}
+
+// TestHistogramRecordZeroAllocs is the hot-path budget gate: recording
+// must not allocate, or the sampled paths would leak garbage into every
+// lookup and dispatch.
+func TestHistogramRecordZeroAllocs(t *testing.T) {
+	h := newLatencyHist(4)
+	if n := testing.AllocsPerRun(1000, func() { h.record(2, 1234) }); n != 0 {
+		t.Fatalf("record allocates %v per op, want 0", n)
+	}
+}

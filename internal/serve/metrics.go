@@ -40,12 +40,94 @@ type metrics struct {
 	withdraws    atomic.Int64
 	updateErrors atomic.Int64
 	batches      atomic.Int64
+	noopBatches  atomic.Int64
 	batchOps     atomic.Int64
 
 	ttfTrie atomicFloat
 	ttfTCAM atomicFloat
 	ttfDRed atomicFloat
 	swapNs  atomicFloat
+
+	// dispatchTick drives the single-dispatch latency sampling decision;
+	// queueTick the enqueue-time queue-depth sampling decision.
+	dispatchTick atomic.Int64
+	queueTick    atomic.Int64
+
+	// Latency histograms. Dispatch end-to-end latency is sharded by home
+	// worker and split by outcome path; queue depth is sharded by the
+	// worker whose queue accepted the request. The snapshot-lookup
+	// histogram is a single shard — its recorders are already thinned by
+	// sampling — and the TTF/swap histograms are writer-owned.
+	lookupLat        *latencyHist
+	dispatchHome     *latencyHist
+	dispatchDivert   *latencyHist
+	dispatchCacheHit *latencyHist
+	dispatchBatchLat *latencyHist
+	ttf1Lat          *latencyHist
+	ttf2Lat          *latencyHist
+	ttf3Lat          *latencyHist
+	swapLat          *latencyHist
+	queueDepth       *latencyHist
+}
+
+// initHistograms sizes the latency histograms for a runtime with the
+// given worker count. Called once from New, before any recorder runs.
+func (m *metrics) initHistograms(workers int) {
+	m.lookupLat = newLatencyHist(1)
+	m.dispatchHome = newLatencyHist(workers)
+	m.dispatchDivert = newLatencyHist(workers)
+	m.dispatchCacheHit = newLatencyHist(workers)
+	m.dispatchBatchLat = newLatencyHist(1)
+	m.ttf1Lat = newLatencyHist(1)
+	m.ttf2Lat = newLatencyHist(1)
+	m.ttf3Lat = newLatencyHist(1)
+	m.swapLat = newLatencyHist(1)
+	m.queueDepth = newLatencyHist(workers)
+}
+
+// LatencyStats bundles the runtime's latency (and queue-depth)
+// distributions: the paper's evaluation quantities — per-packet lookup
+// delay, the TTF1/TTF2/TTF3 update breakdown — as live percentiles
+// instead of totals. All values are nanoseconds except QueueDepth,
+// whose "ns" fields are queue entries.
+type LatencyStats struct {
+	// SnapshotLookup is the sampled RCU read-side lookup latency
+	// (Runtime.Lookup; one in lookupSampleMask+1 calls is timed).
+	SnapshotLookup LatencySummary `json:"snapshot_lookup"`
+	// DispatchHome/DispatchDiverted/DispatchCacheHit split sampled
+	// single-dispatch end-to-end latency (enqueue to answer) by outcome:
+	// served at the home worker, diverted and answered from the
+	// snapshot, diverted and answered from the serving worker's
+	// DRed-analog cache.
+	DispatchHome     LatencySummary `json:"dispatch_home"`
+	DispatchDiverted LatencySummary `json:"dispatch_diverted"`
+	DispatchCacheHit LatencySummary `json:"dispatch_cache_hit"`
+	// DispatchBatch is whole-call DispatchBatch latency (every call).
+	DispatchBatch LatencySummary `json:"dispatch_batch"`
+	// TTFTrie/TTFTCAM/TTFDRed are the per-op TTF1/TTF2/TTF3
+	// distributions; SnapshotSwap the per-publication batch apply+swap
+	// wall time.
+	TTFTrie      LatencySummary `json:"ttf_trie"`
+	TTFTCAM      LatencySummary `json:"ttf_tcam"`
+	TTFDRed      LatencySummary `json:"ttf_dred"`
+	SnapshotSwap LatencySummary `json:"snapshot_swap"`
+	// QueueDepth is the sampled depth of the accepting worker's queue at
+	// enqueue time (entries, not nanoseconds).
+	QueueDepth LatencySummary `json:"queue_depth"`
+}
+
+// DispatchP99Ns returns the worst p99 across the three dispatch outcome
+// paths — the single number the chaos harness bounds during
+// kill/recover storms.
+func (l LatencyStats) DispatchP99Ns() float64 {
+	p := l.DispatchHome.P99
+	if l.DispatchDiverted.P99 > p {
+		p = l.DispatchDiverted.P99
+	}
+	if l.DispatchCacheHit.P99 > p {
+		p = l.DispatchCacheHit.P99
+	}
+	return p
 }
 
 // Stats is a point-in-time export of the runtime's metrics, safe to
@@ -70,7 +152,10 @@ type Stats struct {
 	DispatchBatches int64 `json:"dispatch_batches"`
 	// Diverted counts dispatches whose home queue was full and that were
 	// redirected to the least-loaded worker; OverflowBlocked counts
-	// dispatches that found the divert target full too and had to block.
+	// dispatches that found every eligible queue full and entered the
+	// bounded retry loop (each dispatch is counted once, on its first
+	// retry — since the bounded-retry change no dispatch ever blocks
+	// indefinitely).
 	Diverted        int64 `json:"diverted"`
 	OverflowBlocked int64 `json:"overflow_blocked"`
 	// CacheHits/CacheMisses count diverted lookups served from / missing
@@ -100,12 +185,15 @@ type Stats struct {
 
 	// Announces/Withdraws count applied update ops; UpdateErrors the ops
 	// that failed in the pipeline. Batches/BatchOps describe writer
-	// batching (BatchOps/Batches = mean batch size). PendingUpdates is
-	// the update-queue backlog at export time.
+	// batching (BatchOps/Batches = mean batch size). NoopBatches counts
+	// batches that changed nothing (all-error ops, withdraw-of-absent)
+	// and therefore published no new snapshot. PendingUpdates is the
+	// update-queue backlog at export time.
 	Announces      int64 `json:"announces"`
 	Withdraws      int64 `json:"withdraws"`
 	UpdateErrors   int64 `json:"update_errors"`
 	Batches        int64 `json:"batches"`
+	NoopBatches    int64 `json:"noop_batches"`
 	BatchOps       int64 `json:"batch_ops"`
 	PendingUpdates int   `json:"pending_updates"`
 
@@ -114,6 +202,12 @@ type Stats struct {
 	// building and publishing snapshots.
 	TTFTotals update.TTF `json:"ttf_totals_ns"`
 	SwapNs    float64    `json:"swap_ns"`
+
+	// Latency carries the distributional view of the same pipeline:
+	// p50/p90/p99/max summaries (with sparse power-of-two buckets) for
+	// snapshot lookups, dispatch outcomes, TTF1/2/3 and snapshot swaps,
+	// plus sampled queue depths.
+	Latency LatencyStats `json:"latency"`
 }
 
 // DivertRate returns diverted/dispatched.
@@ -167,7 +261,7 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 	emit("clue_serve_dispatched_total", "counter", "Lookups dispatched to partition workers.", float64(s.Dispatched))
 	emit("clue_serve_dispatch_batches_total", "counter", "DispatchBatch calls served.", float64(s.DispatchBatches))
 	emit("clue_serve_diverted_total", "counter", "Dispatches diverted off a full home queue.", float64(s.Diverted))
-	emit("clue_serve_overflow_blocked_total", "counter", "Dispatches that blocked with all queues full.", float64(s.OverflowBlocked))
+	emit("clue_serve_overflow_blocked_total", "counter", "Dispatches that found every eligible queue full and entered the bounded retry loop (counted once, on the first retry).", float64(s.OverflowBlocked))
 	emit("clue_serve_cache_hits_total", "counter", "Diverted lookups served from a worker cache.", float64(s.CacheHits))
 	emit("clue_serve_cache_misses_total", "counter", "Diverted lookups missing the worker cache.", float64(s.CacheMisses))
 	emit("clue_serve_cache_flushes_total", "counter", "Worker cache flushes after snapshot jumps.", float64(s.CacheFlushes))
@@ -181,6 +275,7 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 	emit("clue_serve_withdraws_total", "counter", "Withdraw ops applied.", float64(s.Withdraws))
 	emit("clue_serve_update_errors_total", "counter", "Update ops that failed in the pipeline.", float64(s.UpdateErrors))
 	emit("clue_serve_update_batches_total", "counter", "Writer batches applied.", float64(s.Batches))
+	emit("clue_serve_update_noop_batches_total", "counter", "Writer batches that changed nothing and published no snapshot.", float64(s.NoopBatches))
 	emit("clue_serve_update_batch_ops_total", "counter", "Update ops across all batches.", float64(s.BatchOps))
 	emit("clue_serve_update_pending", "gauge", "Update ops queued and not yet applied.", float64(s.PendingUpdates))
 	emit("clue_serve_ttf_trie_ns_total", "counter", "TTF1 (control-plane trie) nanoseconds.", s.TTFTotals.Trie)
@@ -204,5 +299,43 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	for _, hs := range []struct {
+		name, help string
+		sum        LatencySummary
+	}{
+		{"clue_serve_snapshot_lookup_latency_ns", "Sampled RCU snapshot lookup latency.", s.Latency.SnapshotLookup},
+		{"clue_serve_dispatch_home_latency_ns", "Sampled end-to-end latency of dispatches served at their home worker.", s.Latency.DispatchHome},
+		{"clue_serve_dispatch_diverted_latency_ns", "Sampled end-to-end latency of diverted dispatches answered from the snapshot.", s.Latency.DispatchDiverted},
+		{"clue_serve_dispatch_cache_hit_latency_ns", "Sampled end-to-end latency of diverted dispatches answered from a worker cache.", s.Latency.DispatchCacheHit},
+		{"clue_serve_dispatch_batch_latency_ns", "Whole-call DispatchBatch latency.", s.Latency.DispatchBatch},
+		{"clue_serve_ttf_trie_latency_ns", "Per-op TTF1 (control-plane trie) distribution.", s.Latency.TTFTrie},
+		{"clue_serve_ttf_tcam_latency_ns", "Per-op TTF2 (TCAM maintenance) distribution.", s.Latency.TTFTCAM},
+		{"clue_serve_ttf_dred_latency_ns", "Per-op TTF3 (redundancy maintenance) distribution.", s.Latency.TTFDRed},
+		{"clue_serve_snapshot_swap_latency_ns", "Per-publication batch apply and snapshot swap wall time.", s.Latency.SnapshotSwap},
+		{"clue_serve_queue_depth", "Sampled worker queue depth at enqueue time (entries).", s.Latency.QueueDepth},
+	} {
+		if err = writePrometheusHistogram(w, hs.name, hs.help, hs.sum); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writePrometheusHistogram renders one merged latency histogram in the
+// text exposition format: cumulative le buckets over the populated
+// power-of-two bounds, then the conventional _sum and _count series.
+func writePrometheusHistogram(w io.Writer, name, help string, s LatencySummary) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	cum := uint64(0)
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b.Le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+		name, s.Count, name, s.Sum, name, s.Count)
+	return err
 }

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"testing"
+
+	"clue/internal/ip"
+)
+
+// TestNoopBatchSkipsPublication is the regression for the no-op batch
+// path: a batch whose every op changed nothing (withdraw-of-absent) must
+// not copy the table, bump the version or wake the workers' cache sync —
+// the previously published snapshot stays in place, pointer-identical.
+func TestNoopBatchSkipsPublication(t *testing.T) {
+	_, routes := testRoutes(t, 2000, 64)
+	rt, err := New(routes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	before := rt.Snapshot()
+	absent := ip.MustParsePrefix("198.51.100.0/28")
+	if _, _, ok := rt.Lookup(absent.First()); ok {
+		t.Fatalf("probe prefix %s unexpectedly present", absent)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := rt.Withdraw(absent); err != nil {
+			t.Fatalf("withdraw of absent prefix: %v", err)
+		}
+	}
+
+	if after := rt.Snapshot(); after != before {
+		t.Fatalf("no-op batch published a new snapshot: version %d -> %d", before.Version, after.Version)
+	}
+	st := rt.Stats()
+	if st.Withdraws != 3 || st.UpdateErrors != 0 {
+		t.Fatalf("op accounting: %+v", st)
+	}
+	if st.NoopBatches == 0 || st.NoopBatches != st.Batches {
+		t.Fatalf("noop batches = %d of %d batches, want all", st.NoopBatches, st.Batches)
+	}
+	if st.SnapshotVersion != 1 {
+		t.Fatalf("snapshot version = %d, want 1", st.SnapshotVersion)
+	}
+
+	// A real change still publishes normally afterwards.
+	p := ip.MustParsePrefix("203.0.113.0/24")
+	if _, err := rt.Announce(p, 7); err != nil {
+		t.Fatal(err)
+	}
+	if hop, _, ok := rt.Lookup(ip.MustParseAddr("203.0.113.9")); !ok || hop != 7 {
+		t.Fatalf("lookup after announce = %d,%v want 7", hop, ok)
+	}
+	st = rt.Stats()
+	if after := rt.Snapshot(); after == before || after.Version != 2 {
+		t.Fatalf("real batch after no-ops did not publish: version %d", after.Version)
+	}
+	if st.Batches-st.NoopBatches != 1 {
+		t.Fatalf("publishing batches = %d, want 1 (%+v)", st.Batches-st.NoopBatches, st)
+	}
+}
+
+// TestLatencyStatsPopulated exercises every histogram feed — sampled
+// snapshot lookups, sampled dispatches, whole-call batch dispatches,
+// per-op TTF, snapshot swaps and queue-depth samples — and checks the
+// distributions surface through Stats with coherent summaries.
+func TestLatencyStatsPopulated(t *testing.T) {
+	_, routes := testRoutes(t, 3000, 65)
+	rt, err := New(routes, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// 512 lookups cross the 1-in-128 sampling mask several times.
+	for i := 0; i < 512; i++ {
+		rt.Lookup(routes[i%len(routes)].Prefix.First())
+	}
+	// 256 dispatches cross the 1-in-8 mask; queue-depth samples ride the
+	// same traffic through the 1-in-32 mask.
+	for i := 0; i < 256; i++ {
+		if _, err := rt.Dispatch(routes[i%len(routes)].Prefix.First()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addrs := make([]ip.Addr, 128)
+	for i := range addrs {
+		addrs[i] = routes[(i*17)%len(routes)].Prefix.First()
+	}
+	if _, err := rt.DispatchBatch(addrs, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		p := ip.MustParsePrefix("203.0.113.0/24")
+		if _, err := rt.Announce(p, ip.NextHop(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lat := rt.Stats().Latency
+	checks := []struct {
+		name string
+		s    LatencySummary
+	}{
+		{"snapshot_lookup", lat.SnapshotLookup},
+		{"dispatch_home", lat.DispatchHome},
+		{"dispatch_batch", lat.DispatchBatch},
+		{"ttf_trie", lat.TTFTrie},
+		{"ttf_tcam", lat.TTFTCAM},
+		{"ttf_dred", lat.TTFDRed},
+		{"snapshot_swap", lat.SnapshotSwap},
+		{"queue_depth", lat.QueueDepth},
+	}
+	for _, c := range checks {
+		if c.s.Count == 0 {
+			t.Errorf("%s histogram empty after traffic", c.name)
+			continue
+		}
+		if c.s.P50 > c.s.P90 || c.s.P90 > c.s.P99 || c.s.P99 > c.s.Max {
+			t.Errorf("%s percentiles not monotone: %+v", c.name, c.s)
+		}
+		if len(c.s.Buckets) == 0 {
+			t.Errorf("%s summary has no buckets: %+v", c.name, c.s)
+		}
+	}
+	// Sampling rates: lookups record 1 in 128, dispatches 1 in 8.
+	if want := int64(512 / 128); lat.SnapshotLookup.Count != want {
+		t.Errorf("snapshot lookup samples = %d, want %d", lat.SnapshotLookup.Count, want)
+	}
+	dispatchSamples := lat.DispatchHome.Count + lat.DispatchDiverted.Count + lat.DispatchCacheHit.Count
+	if want := int64(256 / 8); dispatchSamples != want {
+		t.Errorf("dispatch samples = %d, want %d", dispatchSamples, want)
+	}
+	if lat.DispatchBatch.Count != 1 {
+		t.Errorf("dispatch batch count = %d, want 1", lat.DispatchBatch.Count)
+	}
+	if lat.TTFTrie.Count != 4 || lat.SnapshotSwap.Count == 0 {
+		t.Errorf("update histograms: ttf count %d (want 4), swap count %d", lat.TTFTrie.Count, lat.SnapshotSwap.Count)
+	}
+	if p99 := lat.DispatchP99Ns(); p99 <= 0 {
+		t.Errorf("DispatchP99Ns = %g, want positive", p99)
+	}
+}
+
+// TestDispatchP99NsPicksWorstPath pins the chaos-harness bound to the
+// worst of the three dispatch outcome paths.
+func TestDispatchP99NsPicksWorstPath(t *testing.T) {
+	l := LatencyStats{
+		DispatchHome:     LatencySummary{P99: 100},
+		DispatchDiverted: LatencySummary{P99: 900},
+		DispatchCacheHit: LatencySummary{P99: 300},
+	}
+	if got := l.DispatchP99Ns(); got != 900 {
+		t.Fatalf("DispatchP99Ns = %g, want 900", got)
+	}
+}

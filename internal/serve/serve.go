@@ -119,6 +119,19 @@ const (
 	enqueueBackoffMax = 5 * time.Millisecond
 )
 
+// Latency sampling masks (sample when counter & mask == 0). Snapshot
+// lookups are ~20ns, so timing every one would more than double the hot
+// path; 1/128 sampling keeps the added cost well under the 5% overhead
+// budget while still collecting thousands of samples per second at
+// realistic rates. Dispatches are ~3 orders of magnitude slower, so a
+// denser 1/8 sample is safe; queue depths are read on the enqueue fast
+// path and sampled 1/32.
+const (
+	lookupSampleMask   = 127
+	dispatchSampleMask = 7
+	queueSampleMask    = 31
+)
+
 // updateOp is one queued announce/withdraw with its completion channel.
 // ctl ops carry no route change: they force the writer to publish a
 // re-homed snapshot from the current worker health states.
@@ -213,6 +226,7 @@ func New(routes []ip.Route, cfg Config) (*Runtime, error) {
 		updates:    make(chan updateOp, cfg.UpdateQueue),
 		writerDone: make(chan struct{}),
 	}
+	r.m.initHistograms(cfg.Workers)
 	r.snap.Store(newSnapshot(1, sys.CompressedRoutes(), cfg.Workers, nil))
 	r.workers = make([]*worker, cfg.Workers)
 	for i := range r.workers {
@@ -232,8 +246,16 @@ func (r *Runtime) Snapshot() *Snapshot { return r.snap.Load() }
 
 // Lookup resolves addr on the snapshot path: one atomic load plus one
 // stride-indexed probe, no locks, regardless of concurrent updates.
+// One in lookupSampleMask+1 calls is timed into the snapshot-lookup
+// latency histogram; the sampling decision rides the counter bump the
+// untimed path pays anyway.
 func (r *Runtime) Lookup(addr ip.Addr) (ip.NextHop, ip.Prefix, bool) {
-	r.m.snapshotLookups.Add(1)
+	if r.m.snapshotLookups.Add(1)&lookupSampleMask == 0 {
+		start := time.Now()
+		hop, pfx, ok := r.snap.Load().Lookup(addr)
+		r.m.lookupLat.record(0, time.Since(start).Nanoseconds())
+		return hop, pfx, ok
+	}
 	return r.snap.Load().Lookup(addr)
 }
 
@@ -262,6 +284,13 @@ func (r *Runtime) Dispatch(addr ip.Addr) (Result, error) {
 	if r.closed.Load() {
 		return Result{}, ErrClosed
 	}
+	// Sampled end-to-end timing (enqueue to answer), classified by
+	// outcome path once the result is back.
+	var start time.Time
+	sampled := r.m.dispatchTick.Add(1)&dispatchSampleMask == 0
+	if sampled {
+		start = time.Now()
+	}
 	home := r.snap.Load().Home(addr)
 	done := getDone()
 	if err := r.enqueue(lookupReq{addr: addr, home: home, done: done}); err != nil {
@@ -271,6 +300,17 @@ func (r *Runtime) Dispatch(addr ip.Addr) (Result, error) {
 	r.m.dispatched.Add(1)
 	res := <-done
 	putDone(done)
+	if sampled {
+		ns := time.Since(start).Nanoseconds()
+		switch {
+		case res.CacheHit:
+			r.m.dispatchCacheHit.record(res.Worker, ns)
+		case res.Diverted:
+			r.m.dispatchDivert.record(res.Worker, ns)
+		default:
+			r.m.dispatchHome.record(res.Worker, ns)
+		}
+	}
 	return res, nil
 }
 
@@ -335,6 +375,7 @@ func (r *Runtime) DispatchBatch(addrs []ip.Addr, out []Result) ([]Result, error)
 	if n == 0 {
 		return out, nil
 	}
+	start := time.Now() // whole-call latency, µs-scale: timed unsampled
 	snap := r.snap.Load()
 	nw := len(r.workers)
 	sc := batchPool.Get().(*batchScratch)
@@ -399,16 +440,20 @@ func (r *Runtime) DispatchBatch(addrs []ip.Addr, out []Result) ([]Result, error)
 		out[sc.perm[j]] = sc.res[j]
 	}
 	batchPool.Put(sc)
+	r.m.dispatchBatchLat.record(0, time.Since(start).Nanoseconds())
 	return out, nil
 }
 
 // enqueue places req on its home worker's queue, diverting to the
 // least-loaded healthy worker when the home queue is full or the home
 // worker is out of service (the Adaptive Load Balancing Logic, extended
-// with health awareness). Instead of blocking forever on a wedged
-// queue, full queues are retried with exponential backoff bounded by
-// Config.EnqueueRetries and Config.EnqueueTimeout; worker health is
-// re-read every round so failures and recoveries take effect mid-wait.
+// with health awareness). When the home worker is down and the
+// preferred divert target cannot accept either, any healthy worker with
+// queue space serves as a last-resort target. Instead of blocking
+// forever on a wedged queue, full queues are retried with exponential
+// backoff bounded by Config.EnqueueRetries and Config.EnqueueTimeout;
+// worker health is re-read every round so failures and recoveries take
+// effect mid-wait.
 func (r *Runtime) enqueue(req lookupReq) error {
 	weight := int64(1)
 	if req.batch != nil {
@@ -418,45 +463,36 @@ func (r *Runtime) enqueue(req lookupReq) error {
 	backoff := enqueueBackoffMin
 	for attempt := 0; ; attempt++ {
 		home := req.home
-		if r.workers[home].healthy() {
-			select {
-			case r.workers[home].queue <- req:
-				return nil
-			default:
-			}
+		homeHealthy := r.workers[home].healthy()
+		if homeHealthy && r.trySend(home, req, false, weight) {
+			return nil
 		}
 		// Home full or out of service: divert to the least-loaded
 		// healthy worker.
-		if target := r.leastLoaded(home); target != home {
-			div := req
-			div.diverted = true
-			select {
-			case r.workers[target].queue <- div:
-				r.m.diverted.Add(weight)
-				return nil
-			default:
-			}
-		} else if !r.workers[home].healthy() {
-			// Home is down and no locality-eligible divert target exists.
-			// leastLoaded skips empty-range cold-cache workers, so before
-			// declaring the runtime dead, fall back to any healthy worker.
-			fallback := -1
+		if target := r.leastLoaded(home); target != home && r.trySend(target, req, true, weight) {
+			return nil
+		}
+		if !homeHealthy {
+			// Home is down and the locality-preferred divert target (if
+			// any) could not accept. leastLoaded skips empty-range
+			// cold-cache workers, so before backing off — and before
+			// declaring the runtime dead — fall back to ANY healthy worker
+			// with queue space. (This arm used to be reachable only when
+			// leastLoaded found no target at all, so a full divert queue
+			// sent dispatches into the retry loop while a healthy worker
+			// sat idle.)
+			anyHealthy := false
 			for i, w := range r.workers {
-				if i != home && w.healthy() {
-					fallback = i
-					break
+				if i == home || !w.healthy() {
+					continue
+				}
+				anyHealthy = true
+				if r.trySend(i, req, true, weight) {
+					return nil
 				}
 			}
-			if fallback < 0 {
+			if !anyHealthy {
 				return ErrNoHealthyWorkers
-			}
-			div := req
-			div.diverted = true
-			select {
-			case r.workers[fallback].queue <- div:
-				r.m.diverted.Add(weight)
-				return nil
-			default:
 			}
 		}
 		// Every eligible queue is full: bounded backoff, not a block.
@@ -475,6 +511,27 @@ func (r *Runtime) enqueue(req lookupReq) error {
 		if backoff < enqueueBackoffMax {
 			backoff *= 2
 		}
+	}
+}
+
+// trySend attempts a non-blocking send of req to target's queue,
+// marking it diverted when it is leaving its home partition. Accepted
+// sends sample the target's queue depth (1 in queueSampleMask+1) into
+// the queue-depth histogram — the enqueue-time congestion signal the
+// divert decision itself acts on.
+func (r *Runtime) trySend(target int, req lookupReq, diverted bool, weight int64) bool {
+	req.diverted = diverted
+	select {
+	case r.workers[target].queue <- req:
+		if diverted {
+			r.m.diverted.Add(weight)
+		}
+		if r.m.queueTick.Add(1)&queueSampleMask == 0 {
+			r.m.queueDepth.record(target, int64(len(r.workers[target].queue)))
+		}
+		return true
+	default:
+		return false
 	}
 }
 
@@ -562,7 +619,8 @@ func (r *Runtime) writer() {
 // resulting snapshot. Control (rehome) ops contribute no route change
 // but force the publication to flush worker caches; every publication —
 // ctl or not — recuts the partition bounds from the live worker health
-// states, so a batch racing a failure re-homes on its own.
+// states, so a batch racing a failure re-homes on its own. A batch that
+// changed nothing (and carried no ctl op) publishes no snapshot at all.
 func (r *Runtime) applyBatch(batch []updateOp) {
 	start := time.Now()
 	results := r.ws.results[:0]
@@ -570,6 +628,7 @@ func (r *Runtime) applyBatch(batch []updateOp) {
 	r.ws.insLast = r.ws.insLast[:0]
 	r.ws.delLast = r.ws.delLast[:0]
 	rehome := false
+	changed := false
 	for _, op := range batch {
 		if op.ctl {
 			rehome = true
@@ -598,6 +657,16 @@ func (r *Runtime) applyBatch(batch []updateOp) {
 		r.m.ttfTrie.add(ttf.Trie)
 		r.m.ttfTCAM.add(ttf.TCAM)
 		r.m.ttfDRed.add(ttf.DRed)
+		if err == nil {
+			// Per-op TTF distributions (successful ops only — an errored
+			// op's zero TTF would just pile mass into the low buckets).
+			r.m.ttf1Lat.record(0, int64(ttf.Trie))
+			r.m.ttf2Lat.record(0, int64(ttf.TCAM))
+			r.m.ttf3Lat.record(0, int64(ttf.DRed))
+		}
+		if len(diff.Ops) > 0 {
+			changed = true
+		}
 		// Deleted or modified compressed prefixes are what worker caches
 		// may hold stale; inserts are brand new and cannot be cached.
 		for _, dop := range diff.Ops {
@@ -609,6 +678,22 @@ func (r *Runtime) applyBatch(batch []updateOp) {
 	}
 	r.ws.results = results
 	r.ws.stale = stale
+	r.m.batches.Add(1)
+	r.m.batchOps.Add(int64(len(batch)))
+	if !changed && !rehome {
+		// The batch made no structural or hop change to the compressed
+		// table (all-error ops, withdraw-of-absent, re-announce of an
+		// identical route) and requested no recut: publishing would memcpy
+		// the whole table and bump the version for a byte-identical
+		// snapshot, pushing every worker through a pointless cache sync.
+		// Complete the ops against the already-current snapshot instead.
+		r.m.noopBatches.Add(1)
+		r.m.swapNs.add(float64(time.Since(start).Nanoseconds()))
+		for i := range batch {
+			batch[i].done <- results[i]
+		}
+		return
+	}
 	// The snapshot owns its stale list; hand it an exact-size copy so the
 	// scratch slice stays reusable across batches.
 	var staleOut []ip.Prefix
@@ -624,9 +709,9 @@ func (r *Runtime) applyBatch(batch []updateOp) {
 	if rehome {
 		r.m.rehomes.Add(1)
 	}
-	r.m.batches.Add(1)
-	r.m.batchOps.Add(int64(len(batch)))
-	r.m.swapNs.add(float64(time.Since(start).Nanoseconds()))
+	swapNs := time.Since(start).Nanoseconds()
+	r.m.swapNs.add(float64(swapNs))
+	r.m.swapLat.record(0, swapNs)
 	for i := range batch {
 		batch[i].done <- results[i]
 	}
@@ -733,6 +818,7 @@ func (r *Runtime) Stats() Stats {
 		Withdraws:          r.m.withdraws.Load(),
 		UpdateErrors:       r.m.updateErrors.Load(),
 		Batches:            r.m.batches.Load(),
+		NoopBatches:        r.m.noopBatches.Load(),
 		BatchOps:           r.m.batchOps.Load(),
 		PendingUpdates:     len(r.updates),
 		TTFTotals: update.TTF{
@@ -746,6 +832,18 @@ func (r *Runtime) Stats() Stats {
 		EnqueueRetries:  r.m.enqueueRetries.Load(),
 		EnqueueTimeouts: r.m.enqueueTimeouts.Load(),
 		WorkerPanics:    r.m.workerPanics.Load(),
+		Latency: LatencyStats{
+			SnapshotLookup:   r.m.lookupLat.summary(),
+			DispatchHome:     r.m.dispatchHome.summary(),
+			DispatchDiverted: r.m.dispatchDivert.summary(),
+			DispatchCacheHit: r.m.dispatchCacheHit.summary(),
+			DispatchBatch:    r.m.dispatchBatchLat.summary(),
+			TTFTrie:          r.m.ttf1Lat.summary(),
+			TTFTCAM:          r.m.ttf2Lat.summary(),
+			TTFDRed:          r.m.ttf3Lat.summary(),
+			SnapshotSwap:     r.m.swapLat.summary(),
+			QueueDepth:       r.m.queueDepth.summary(),
+		},
 	}
 	for i, w := range r.workers {
 		st.WorkerServed[i] = w.served.Load()

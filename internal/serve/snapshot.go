@@ -254,16 +254,31 @@ func (s *Snapshot) LookupBatch(addrs []ip.Addr, out []LookupResult) []LookupResu
 }
 
 // Home returns the partition worker responsible for addr. Workers with
-// empty home ranges are never returned.
+// empty home ranges (down workers, or surplus workers on tiny tables)
+// are never returned as long as the snapshot has any non-empty worker —
+// which snapshotShell guarantees by construction.
 func (s *Snapshot) Home(addr ip.Addr) int {
 	i := sort.Search(len(s.starts), func(i int) bool {
 		return s.starts[i] > addr
 	}) - 1
 	if i < 0 {
-		return 0
+		i = 0
 	}
+	// The search can land on an empty worker (its start is inherited from
+	// its successor, or the max-address sentinel for trailing empties):
+	// walk down to the owning worker. Walking down can bottom out on an
+	// empty worker 0 — a down worker 0 inherits the first survivor's
+	// start — so walk up to the first non-empty worker in that case
+	// instead of handing a down worker its old traffic back.
 	for i > 0 && s.empty[i] {
 		i--
+	}
+	if s.empty[i] {
+		for j := i + 1; j < len(s.empty); j++ {
+			if !s.empty[j] {
+				return j
+			}
+		}
 	}
 	return i
 }

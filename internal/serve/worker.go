@@ -203,7 +203,9 @@ func (w *worker) syncCache(snap *Snapshot) {
 		}
 		w.cached.Store(int64(w.cache.Len()))
 	} else {
-		w.cache = dred.NewCache(w.rt.cfg.CacheSize)
+		// Reset (not reallocate) so the flush keeps the cache's Stats
+		// history and reuses the trie/map/list structures.
+		w.cache.Reset()
 		w.rt.m.cacheFlushes.Add(1)
 		w.cached.Store(0)
 	}
