@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,6 +47,81 @@ func TestRunFileInputAndOutput(t *testing.T) {
 	// 4 routes compress to 2: the redundant /16 vanishes, the /25s merge.
 	if len(routes) != 2 {
 		t.Errorf("compressed output has %d routes, want 2: %v", len(routes), routes)
+	}
+}
+
+// TestRunGolden pins the exact compressed output and the stats lines for
+// a tiny hand-written FIB. The `time:` line carries a wall-clock duration
+// and is excluded from the comparison.
+func TestRunGolden(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "compressed.txt")
+	var out strings.Builder
+	if err := run([]string{"-in", filepath.Join("testdata", "tiny_fib.txt"), "-out", outFile}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_compressed.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("compressed output drifted from golden:\ngot:\n%swant:\n%s", got, want)
+	}
+
+	wantStats := []string{
+		"original:    4 routes",
+		"compressed:  2 routes (50.0% of original)",
+		"leaf-pushed: 11 routes (275.0% — the naive non-overlap baseline)",
+	}
+	for _, line := range wantStats {
+		if !strings.Contains(out.String(), line) {
+			t.Errorf("stats missing %q:\n%s", line, out.String())
+		}
+	}
+}
+
+// TestRunGenerateDeterministic: the same -gen/-seed pair must compress to
+// byte-identical output across runs.
+func TestRunGenerateDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	outs := make([]string, 2)
+	for i := range outs {
+		path := filepath.Join(dir, fmt.Sprintf("out%d.txt", i))
+		var stats strings.Builder
+		if err := run([]string{"-gen", "2000", "-seed", "17", "-out", path}, &stats); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = string(data)
+	}
+	if outs[0] != outs[1] {
+		t.Error("same -gen/-seed produced different compressed tables")
+	}
+	if outs[0] == "" {
+		t.Error("empty compressed output")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunUnwritableOut(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-in", filepath.Join("testdata", "tiny_fib.txt"),
+		"-out", filepath.Join(t.TempDir(), "no", "such", "dir", "out.txt")}, &out)
+	if err == nil {
+		t.Error("unwritable -out accepted")
 	}
 }
 

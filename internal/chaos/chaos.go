@@ -502,13 +502,17 @@ func applyMirror(mirror *trie.Trie, u tracegen.Update) {
 
 // checkpoint quiesces (every submitted op is published — Announce and
 // Withdraw block until their snapshot swap) and compares the runtime
-// against a fresh compression of the mirror: first the whole published
-// table route-for-route, then sampled route boundaries and random
-// probes through both the snapshot path and the worker dispatch path.
+// against a fresh compression of the mirror: first the published
+// table's ONRTC disjointness invariant and the whole table
+// route-for-route, then sampled route boundaries and random probes
+// through both the snapshot path and the worker dispatch path.
 func checkpoint(rt *serve.Runtime, mirror *trie.Trie, rng *rand.Rand, probes int) (wrong []error, checked int) {
 	oracle := onrtc.Compress(mirror)
 	snap := rt.Snapshot()
 	got, want := snap.Routes(), oracle.Routes()
+	if err := onrtc.VerifyDisjoint(got); err != nil {
+		wrong = append(wrong, fmt.Errorf("published table not disjoint: %w", err))
+	}
 	if len(got) != len(want) {
 		wrong = append(wrong, fmt.Errorf("table size %d, oracle %d", len(got), len(want)))
 	} else {

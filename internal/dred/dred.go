@@ -141,6 +141,12 @@ func (c *Cache) Reset() {
 	c.order.Init()
 }
 
+// Routes returns the cached entries in ascending prefix order (no LRU
+// effect). The differential oracle uses it to assert the no-stale-entry
+// invariant: everything a DRed holds must still be live in the table it
+// shadows.
+func (c *Cache) Routes() []ip.Route { return c.match.Routes() }
+
 // Contains reports whether prefix p is cached (exact match, no LPM).
 func (c *Cache) Contains(p ip.Prefix) bool {
 	_, ok := c.elems[p]

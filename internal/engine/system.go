@@ -57,6 +57,18 @@ type System interface {
 	Fill(g *dred.Group, home int, addr ip.Addr, matched ip.Route) FillReport
 }
 
+// Resolve answers addr from its home chip — the zero-queueing data path
+// underneath the clock-driven simulation. Every mechanism guarantees LPM
+// correctness within the home chip (CLUE partitions are disjoint ranges,
+// CLPL replicates covering routes into each carve, SLPL buckets hold
+// every matching route), so this is each mechanism's ground-truth
+// forwarding function; the differential oracle compares it against the
+// brute-force model.
+func Resolve(s System, addr ip.Addr) (ip.NextHop, bool) {
+	hop, _, ok := s.Chip(s.Home(addr)).Lookup(addr)
+	return hop, ok
+}
+
 // CLUESystem is the paper's proposed mechanism over a compressed table.
 type CLUESystem struct {
 	index   *partition.Index

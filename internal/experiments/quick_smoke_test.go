@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// The Quick-scale smoke tests run every figure generator exactly as an
+// interactive `-scale quick` invocation would (FIBSize 8000, all 12
+// router profiles) and assert the shape invariants the paper's claims
+// rest on: tables come out non-empty and compressed, CLUE partitions
+// carry zero redundancy and better balance than the baselines, and the
+// CLUE pipeline stays cheaper than CLPL. They are skipped under -short;
+// the regular testScale tests keep covering the drivers there.
+
+func quickScale(t *testing.T) Scale {
+	if testing.Short() {
+		t.Skip("quick-scale smoke skipped under -short")
+	}
+	return Quick
+}
+
+func TestQuickFig8Smoke(t *testing.T) {
+	res, err := Fig8Compression(quickScale(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != Quick.Routers {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), Quick.Routers)
+	}
+	for _, row := range res.Rows {
+		if row.Original == 0 || row.Compressed == 0 {
+			t.Fatalf("%s: empty table (original %d, compressed %d)", row.Router, row.Original, row.Compressed)
+		}
+		if row.Compressed >= row.Original {
+			t.Errorf("%s: no compression (%d >= %d)", row.Router, row.Compressed, row.Original)
+		}
+	}
+	if res.MeanRatio <= 0 || res.MeanRatio >= 1 {
+		t.Errorf("mean ratio %.3f outside (0,1)", res.MeanRatio)
+	}
+}
+
+func TestQuickFig9Smoke(t *testing.T) {
+	res, err := Fig9Partition(quickScale(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressedSize == 0 || res.CompressedSize >= res.TableSize {
+		t.Fatalf("degenerate table: %d compressed of %d", res.CompressedSize, res.TableSize)
+	}
+	for _, row := range res.Rows {
+		if row.CLUEMax == 0 || row.SubTreeMax == 0 || row.IDBitMax == 0 {
+			t.Fatalf("n=%d: empty partitions %+v", row.Partitions, row)
+		}
+		// The headline invariants behind Figure 9: range partitioning of
+		// a disjoint table needs no replication and balances better than
+		// the CLPL sub-tree carve.
+		if row.CLUERedundant != 0 {
+			t.Errorf("n=%d: CLUE redundancy %d, want 0", row.Partitions, row.CLUERedundant)
+		}
+		if row.CLUEImbalance > row.SubTreeImb {
+			t.Errorf("n=%d: CLUE imbalance %.3f worse than sub-tree %.3f",
+				row.Partitions, row.CLUEImbalance, row.SubTreeImb)
+		}
+	}
+}
+
+func TestQuickTTFSmoke(t *testing.T) {
+	res, err := RunTTF(quickScale(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) == 0 {
+		t.Fatal("no TTF windows")
+	}
+	if res.CLUEMean.Total() <= 0 || res.CLPLMean.Total() <= 0 {
+		t.Fatalf("non-positive means: clue %v, clpl %v", res.CLUEMean, res.CLPLMean)
+	}
+	if res.CLUEMean.Total() >= res.CLPLMean.Total() {
+		t.Errorf("CLUE mean TTF %.1f not below CLPL %.1f",
+			res.CLUEMean.Total(), res.CLPLMean.Total())
+	}
+}
+
+func TestQuickInterruptSmoke(t *testing.T) {
+	rates := []int{0, 10}
+	res, err := UpdateInterruption(quickScale(t), rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*len(rates) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), 2*len(rates))
+	}
+	tput := map[string]map[int]float64{"clue": {}, "clpl": {}}
+	for _, row := range res.Rows {
+		if row.Throughput <= 0 {
+			t.Fatalf("%s rate %d: throughput %.3f", row.Mechanism, row.UpdatesPerKiloClock, row.Throughput)
+		}
+		tput[row.Mechanism][row.UpdatesPerKiloClock] = row.Throughput
+	}
+	for mech, byRate := range tput {
+		if byRate[10] > byRate[0] {
+			t.Errorf("%s: throughput rose under update load (%.3f > %.3f)", mech, byRate[10], byRate[0])
+		}
+	}
+	// The §IV motivation: CLUE's cheap updates interrupt lookups less.
+	if tput["clue"][10] < tput["clpl"][10] {
+		t.Errorf("CLUE throughput %.3f below CLPL %.3f under updates", tput["clue"][10], tput["clpl"][10])
+	}
+}
+
+func TestQuickParallelSmoke(t *testing.T) {
+	scale := quickScale(t)
+	res, table, err := Table2Workload(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() == 0 {
+		t.Fatal("empty compressed table")
+	}
+	if len(res.Rows) == 0 || len(res.Mapping) != len(res.Rows) {
+		t.Fatalf("mapping/rows mismatch: %d rows, %d mapping", len(res.Rows), len(res.Mapping))
+	}
+	sum := 0.0
+	for _, p := range res.PerTCAMPct {
+		sum += p
+	}
+	if math.Abs(sum-100) > 0.5 {
+		t.Errorf("per-TCAM load shares sum to %.2f%%, want 100%%", sum)
+	}
+
+	fig15, err := Fig15LoadBalance(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig15.Throughput <= 0 {
+		t.Fatalf("non-positive throughput %.3f", fig15.Throughput)
+	}
+	spread := func(pct []float64) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range pct {
+			lo, hi = math.Min(lo, p), math.Max(hi, p)
+		}
+		return hi - lo
+	}
+	if spread(fig15.BalancedPct) > spread(fig15.OriginalPct) {
+		t.Errorf("balancing widened the load spread: %.2f -> %.2f",
+			spread(fig15.OriginalPct), spread(fig15.BalancedPct))
+	}
+}

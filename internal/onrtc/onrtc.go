@@ -113,6 +113,32 @@ func (t *Table) Lookup(addr ip.Addr, v *trie.Visits) (ip.NextHop, ip.Prefix) {
 // verification. Callers must treat it as read-only.
 func (t *Table) Trie() *trie.Trie { return t.comp }
 
+// VerifyDisjoint checks the table's core structural invariant: no two
+// compressed prefixes overlap. Because prefixes are aligned blocks, two
+// prefixes overlap exactly when one covers the other, and a prefix
+// starting inside another's block necessarily overlaps it — so in
+// ascending address order, adjacent-pair checks decide pairwise
+// disjointness in O(n).
+func (t *Table) VerifyDisjoint() error {
+	return VerifyDisjoint(t.Routes())
+}
+
+// VerifyDisjoint checks an ascending route list for overlapping
+// prefixes (the standalone form, for callers holding a table dump such
+// as a serve snapshot rather than a *Table).
+func VerifyDisjoint(routes []ip.Route) error {
+	for i := 1; i < len(routes); i++ {
+		prev, cur := routes[i-1].Prefix, routes[i].Prefix
+		if cur.First() < prev.First() {
+			return fmt.Errorf("onrtc: routes out of order: %v before %v", routes[i-1], routes[i])
+		}
+		if prev.Last() >= cur.First() {
+			return fmt.Errorf("onrtc: overlapping routes %v and %v", routes[i-1], routes[i])
+		}
+	}
+	return nil
+}
+
 // region is the result of compressing one prefix-aligned block: either the
 // whole block is uniform (one hop, possibly NoRoute), or it is mixed and
 // routes holds its minimal disjoint representation.

@@ -1,0 +1,545 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clue/internal/fibgen"
+	"clue/internal/ip"
+	"clue/internal/onrtc"
+	"clue/internal/trie"
+)
+
+// Config parameterizes one oracle run. The zero value plus a seed is a
+// sensible default run; the CI leg raises Ops.
+type Config struct {
+	// Seed drives both the base FIB and the command stream. Replaying
+	// the same seed and command sequence is fully deterministic.
+	Seed int64
+	// Ops is the number of commands Generate emits (default 5000).
+	Ops int
+	// BaseRoutes sizes the generated base FIB (default 96). Small
+	// tables keep the brute-force model fast while still exercising
+	// every compression case.
+	BaseRoutes int
+	// Workers is the serve runtime's partition worker count and the
+	// range of fail/recover targets (default 3).
+	Workers int
+	// CheckEvery is the full-checkpoint cadence in commands (default
+	// 2000). Quiesce commands checkpoint regardless.
+	CheckEvery int
+	// MaxProbes bounds the accumulated adversarial probe set swept at
+	// checkpoints (default 2048).
+	MaxProbes int
+	// Engines selects implementations by name (default AllEngines()).
+	Engines []string
+	// Mutant plants a deliberate model defect for harness self-tests.
+	Mutant Mutant
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ops == 0 {
+		c.Ops = 5000
+	}
+	if c.BaseRoutes == 0 {
+		c.BaseRoutes = 96
+	}
+	if c.Workers == 0 {
+		c.Workers = 3
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 2000
+	}
+	if c.MaxProbes == 0 {
+		c.MaxProbes = 2048
+	}
+	if len(c.Engines) == 0 {
+		c.Engines = AllEngines()
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+// Failure is one detected divergence: which engine, at which command
+// (Step indexes the replayed sequence; -1 means setup), and what went
+// wrong. It satisfies error.
+type Failure struct {
+	Engine string
+	Step   int
+	Detail string
+	Seed   int64
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("oracle: seed %d step %d engine %s: %s", f.Seed, f.Step, f.Engine, f.Detail)
+}
+
+// Run generates a command sequence from cfg and replays it, returning
+// the sequence (for shrinking) and the first failure, if any.
+func Run(cfg Config) ([]Command, *Failure) {
+	cmds := Generate(cfg)
+	return cmds, Replay(cfg, cmds)
+}
+
+// Generate emits cfg.Ops randomized lifecycle commands. The mix favors
+// mutations and lookups; prefixes are mutated from the live route set
+// (parent, sibling, child, adjacent block, exact) so updates land on and
+// around existing compression structure rather than in empty space.
+func Generate(cfg Config) []Command {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	live := newLiveSet()
+	if fib, err := fibgen.Generate(fibgen.Config{Seed: cfg.Seed, Routes: cfg.BaseRoutes}); err == nil {
+		for _, r := range fib.Routes() {
+			live.add(r.Prefix)
+		}
+	}
+	cmds := make([]Command, 0, cfg.Ops)
+	for len(cmds) < cfg.Ops {
+		r := rng.Float64()
+		switch {
+		case r < 0.48:
+			// Mutation band. The raw mix (30 % announce, 18 % withdraw)
+			// drifts upward, so steer toward withdrawals above a route
+			// ceiling and announcements below a floor: the brute-force
+			// model is O(routes) per lookup and the table must stay
+			// small enough to sweep after every step.
+			announce := r < 0.30
+			if live.len() >= maxLiveRoutes {
+				announce = false
+			} else if live.len() <= minLiveRoutes {
+				announce = true
+			}
+			if announce {
+				p := mutatePrefix(rng, live)
+				live.add(p)
+				cmds = append(cmds, Command{Kind: CmdAnnounce, Prefix: p, Hop: ip.NextHop(1 + rng.Intn(8))})
+				break
+			}
+			var p ip.Prefix
+			if live.len() > 0 && rng.Intn(10) != 0 {
+				p = live.pick(rng)
+				live.remove(p)
+			} else {
+				// Withdrawing an absent prefix must be a no-op
+				// everywhere.
+				p = mutatePrefix(rng, live)
+				live.remove(p)
+			}
+			cmds = append(cmds, Command{Kind: CmdWithdraw, Prefix: p})
+		case r < 0.80:
+			cmds = append(cmds, Command{Kind: CmdLookup, Addrs: []ip.Addr{randAddr(rng, live)}})
+		case r < 0.87:
+			n := 2 + rng.Intn(15)
+			addrs := make([]ip.Addr, n)
+			for i := range addrs {
+				addrs[i] = randAddr(rng, live)
+			}
+			cmds = append(cmds, Command{Kind: CmdBatch, Addrs: addrs})
+		case r < 0.905:
+			cmds = append(cmds, Command{Kind: CmdFail, Worker: rng.Intn(cfg.Workers)})
+		case r < 0.94:
+			cmds = append(cmds, Command{Kind: CmdRecover, Worker: rng.Intn(cfg.Workers)})
+		case r < 0.97:
+			cmds = append(cmds, Command{Kind: CmdFlush})
+		case r < 0.997:
+			cmds = append(cmds, Command{Kind: CmdSwap})
+		default:
+			cmds = append(cmds, Command{Kind: CmdQuiesce})
+		}
+	}
+	return cmds
+}
+
+// minLiveRoutes / maxLiveRoutes band the generated table size (see the
+// mutation-band comment in Generate).
+const (
+	minLiveRoutes = 48
+	maxLiveRoutes = 224
+)
+
+// liveSet tracks announced prefixes with O(1) add/remove/pick, keeping
+// generation linear in Ops.
+type liveSet struct {
+	idx   map[ip.Prefix]int
+	elems []ip.Prefix
+}
+
+func newLiveSet() *liveSet { return &liveSet{idx: make(map[ip.Prefix]int)} }
+
+func (s *liveSet) len() int { return len(s.elems) }
+
+func (s *liveSet) add(p ip.Prefix) {
+	if _, ok := s.idx[p]; ok {
+		return
+	}
+	s.idx[p] = len(s.elems)
+	s.elems = append(s.elems, p)
+}
+
+func (s *liveSet) remove(p ip.Prefix) {
+	i, ok := s.idx[p]
+	if !ok {
+		return
+	}
+	last := len(s.elems) - 1
+	s.elems[i] = s.elems[last]
+	s.idx[s.elems[i]] = i
+	s.elems = s.elems[:last]
+	delete(s.idx, p)
+}
+
+func (s *liveSet) pick(rng *rand.Rand) ip.Prefix {
+	return s.elems[rng.Intn(len(s.elems))]
+}
+
+// mutatePrefix derives an update target from the live set: mostly a
+// structural neighbor of an existing route (the cases that trigger
+// ONRTC splits and merges), occasionally a fresh random prefix.
+func mutatePrefix(rng *rand.Rand, live *liveSet) ip.Prefix {
+	if live.len() == 0 || rng.Intn(8) == 0 {
+		length := 4 + rng.Intn(25) // /4 .. /28
+		addr := ip.Addr(rng.Uint32())
+		p, err := ip.NewPrefix(addr&maskFor(length), length)
+		if err != nil {
+			return ip.MustParsePrefix("10.0.0.0/8")
+		}
+		return p
+	}
+	p := live.pick(rng)
+	switch rng.Intn(5) {
+	case 0:
+		if int(p.Len) > 1 {
+			p = p.Parent()
+		}
+	case 1:
+		if p.Len > 0 {
+			p = p.Sibling()
+		}
+	case 2:
+		if int(p.Len) < 30 {
+			p = p.Child(uint32(rng.Intn(2)))
+		}
+	case 3:
+		// The block immediately after p at the same length; wraps at
+		// the top of the address space, which is harmless for a probe
+		// target.
+		if p.Len > 0 {
+			size := ip.Addr(1) << (32 - int(p.Len))
+			if q, err := ip.NewPrefix(p.Bits+size, int(p.Len)); err == nil {
+				p = q
+			}
+		}
+	case 4:
+		// Exact: re-announce with a new hop, or withdraw it.
+	}
+	return p
+}
+
+// maskFor is the network mask for a prefix length (local copy; ip keeps
+// its version unexported).
+func maskFor(length int) ip.Addr {
+	if length == 0 {
+		return 0
+	}
+	return ^ip.Addr(0) << (32 - length)
+}
+
+// randAddr picks a probe address: usually a boundary of a live prefix's
+// block (or one address outside it), sometimes uniform random.
+func randAddr(rng *rand.Rand, live *liveSet) ip.Addr {
+	if live.len() > 0 && rng.Intn(4) != 0 {
+		p := live.pick(rng)
+		switch rng.Intn(4) {
+		case 0:
+			return p.First()
+		case 1:
+			return p.Last()
+		case 2:
+			return p.First() - 1
+		default:
+			return p.Last() + 1
+		}
+	}
+	return ip.Addr(rng.Uint32())
+}
+
+// boundaryProbes returns the adversarial probe addresses for an updated
+// prefix: its block boundaries and the addresses one off either side
+// (wrapping at the address-space ends).
+func boundaryProbes(p ip.Prefix) [4]ip.Addr {
+	return [4]ip.Addr{p.First(), p.Last(), p.First() - 1, p.Last() + 1}
+}
+
+// prober accumulates the bounded checkpoint probe set.
+type prober struct {
+	max   int
+	seen  map[ip.Addr]bool
+	addrs []ip.Addr
+}
+
+func newProber(max int) *prober {
+	return &prober{max: max, seen: make(map[ip.Addr]bool, max)}
+}
+
+func (pb *prober) add(a ip.Addr) {
+	if len(pb.addrs) >= pb.max || pb.seen[a] {
+		return
+	}
+	pb.seen[a] = true
+	pb.addrs = append(pb.addrs, a)
+}
+
+func (pb *prober) addPrefix(p ip.Prefix) {
+	for _, a := range boundaryProbes(p) {
+		pb.add(a)
+	}
+}
+
+// Replay runs cmds against the model and every configured engine,
+// checking after each step, and returns the first failure (nil on a
+// clean run). Replay is deterministic: same cfg and cmds, same outcome.
+func Replay(cfg Config, cmds []Command) *Failure {
+	cfg = cfg.withDefaults()
+	fail := func(step int, engine, format string, args ...any) *Failure {
+		return &Failure{Engine: engine, Step: step, Detail: fmt.Sprintf(format, args...), Seed: cfg.Seed}
+	}
+
+	fib, err := fibgen.Generate(fibgen.Config{Seed: cfg.Seed, Routes: cfg.BaseRoutes})
+	if err != nil {
+		return fail(-1, "driver", "generating base FIB: %v", err)
+	}
+	base := fib.Routes()
+	model := NewModel(base, cfg.Mutant)
+	engines, err := buildEngines(cfg, base)
+	if err != nil {
+		return fail(-1, "driver", "%v", err)
+	}
+	defer func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}()
+
+	pb := newProber(cfg.MaxProbes)
+	for _, r := range base {
+		pb.addPrefix(r.Prefix)
+	}
+
+	for step, cmd := range cmds {
+		if f := applyStep(cfg, model, engines, pb, step, cmd); f != nil {
+			return f
+		}
+		if (step+1)%cfg.CheckEvery == 0 {
+			if f := checkpoint(cfg, model, engines, pb, step); f != nil {
+				return f
+			}
+			cfg.logf("oracle: step %d/%d ok (%d routes, %d probes)", step+1, len(cmds), model.Len(), len(pb.addrs))
+		}
+	}
+	// The final checkpoint makes shrinking sound: a truncated sequence
+	// whose divergence was pending still fails on replay.
+	return checkpoint(cfg, model, engines, pb, len(cmds)-1)
+}
+
+// applyStep executes one command on the model and every engine, with
+// the per-step assertions.
+func applyStep(cfg Config, model *Model, engines []Engine, pb *prober, step int, cmd Command) *Failure {
+	fail := func(engine, format string, args ...any) *Failure {
+		return &Failure{Engine: engine, Step: step, Detail: fmt.Sprintf(format, args...), Seed: cfg.Seed}
+	}
+	switch cmd.Kind {
+	case CmdAnnounce, CmdWithdraw:
+		if cmd.Kind == CmdAnnounce {
+			model.Announce(cmd.Prefix, cmd.Hop)
+		} else {
+			model.Withdraw(cmd.Prefix)
+		}
+		for _, e := range engines {
+			var err error
+			if cmd.Kind == CmdAnnounce {
+				err = e.Announce(cmd.Prefix, cmd.Hop)
+			} else {
+				err = e.Withdraw(cmd.Prefix)
+			}
+			if err != nil {
+				return fail(e.Name(), "applying %s: %v", cmd, err)
+			}
+		}
+		pb.addPrefix(cmd.Prefix)
+		// The freshest divergence surface is right at the updated
+		// prefix's boundaries: probe them immediately on every cheap
+		// engine.
+		for _, a := range boundaryProbes(cmd.Prefix) {
+			for _, e := range engines {
+				if !e.Stepwise() {
+					continue
+				}
+				if f := compareAt(cfg, model, e, a, step); f != nil {
+					return f
+				}
+			}
+		}
+	case CmdLookup:
+		a := cmd.Addrs[0]
+		pb.add(a)
+		for _, e := range engines {
+			if f := compareAt(cfg, model, e, a, step); f != nil {
+				return f
+			}
+		}
+	case CmdBatch:
+		for _, a := range cmd.Addrs {
+			pb.add(a)
+		}
+		for _, e := range engines {
+			bl, ok := e.(batchLooker)
+			if !ok {
+				for _, a := range cmd.Addrs {
+					if f := compareAt(cfg, model, e, a, step); f != nil {
+						return f
+					}
+				}
+				continue
+			}
+			answers, err := bl.LookupBatch(cmd.Addrs)
+			if err != nil {
+				return fail(e.Name(), "%v", err)
+			}
+			if len(answers) != len(cmd.Addrs) {
+				return fail(e.Name(), "batch returned %d answers for %d addrs", len(answers), len(cmd.Addrs))
+			}
+			for i, a := range cmd.Addrs {
+				if f := compareAnswer(cfg, model, e.Name(), a, answers[i], step); f != nil {
+					return f
+				}
+			}
+		}
+	case CmdFail, CmdRecover:
+		for _, e := range engines {
+			fi, ok := e.(faultInjector)
+			if !ok {
+				continue
+			}
+			var err error
+			if cmd.Kind == CmdFail {
+				err = fi.FailWorker(cmd.Worker)
+			} else {
+				err = fi.RecoverWorker(cmd.Worker)
+			}
+			if err != nil {
+				return fail(e.Name(), "applying %s: %v", cmd, err)
+			}
+		}
+	case CmdFlush:
+		for _, e := range engines {
+			if fl, ok := e.(flusher); ok {
+				if err := fl.Flush(); err != nil {
+					return fail(e.Name(), "flush: %v", err)
+				}
+			}
+		}
+	case CmdSwap:
+		for _, e := range engines {
+			if sw, ok := e.(swapper); ok {
+				if err := sw.Swap(); err != nil {
+					return fail(e.Name(), "swap: %v", err)
+				}
+			}
+		}
+	case CmdQuiesce:
+		return checkpoint(cfg, model, engines, pb, step)
+	default:
+		return fail("driver", "unknown command kind %d", cmd.Kind)
+	}
+	return nil
+}
+
+// checkpoint runs the full assertion suite: per-engine structural
+// invariants (which also rebuilds the static systems), a sweep of the
+// accumulated probe set over every engine, and an entry-for-entry
+// comparison of each compressed-table dump against a fresh compression
+// of the model's FIB.
+func checkpoint(cfg Config, model *Model, engines []Engine, pb *prober, step int) *Failure {
+	fail := func(engine, format string, args ...any) *Failure {
+		return &Failure{Engine: engine, Step: step, Detail: fmt.Sprintf(format, args...), Seed: cfg.Seed}
+	}
+	for _, e := range engines {
+		if err := e.Check(model); err != nil {
+			return fail(e.Name(), "invariant check: %v", err)
+		}
+	}
+	for _, a := range pb.addrs {
+		// One model scan per address, not per engine: the sweep is the
+		// hot loop of a checkpoint.
+		hop, found := model.Lookup(a)
+		for _, e := range engines {
+			ans, err := e.Lookup(a)
+			if err != nil {
+				return fail(e.Name(), "%v", err)
+			}
+			if f := checkAnswer(cfg, e.Name(), a, ans, hop, found, step); f != nil {
+				return f
+			}
+		}
+	}
+	var canonical []ip.Route
+	for _, e := range engines {
+		td, ok := e.(tableDumper)
+		if !ok {
+			continue
+		}
+		if canonical == nil {
+			// ONRTC is deterministic, so every independently maintained
+			// compressed table must equal the batch compression of the
+			// model's route set.
+			canonical = onrtc.Compress(trie.FromRoutes(model.Routes())).Routes()
+		}
+		if err := routesEqual(td.TableRoutes(), canonical); err != nil {
+			return fail(e.Name(), "compressed table diverged from model compression: %v", err)
+		}
+	}
+	return nil
+}
+
+// compareAt probes one engine at one address against the model.
+func compareAt(cfg Config, model *Model, e Engine, a ip.Addr, step int) *Failure {
+	ans, err := e.Lookup(a)
+	if err != nil {
+		return &Failure{Engine: e.Name(), Step: step, Detail: err.Error(), Seed: cfg.Seed}
+	}
+	return compareAnswer(cfg, model, e.Name(), a, ans, step)
+}
+
+// compareAnswer checks an engine answer against the model's.
+func compareAnswer(cfg Config, model *Model, engine string, a ip.Addr, ans Answer, step int) *Failure {
+	if ans.Skip {
+		return nil
+	}
+	hop, found := model.Lookup(a)
+	return checkAnswer(cfg, engine, a, ans, hop, found, step)
+}
+
+// checkAnswer compares an engine answer against a precomputed model
+// answer.
+func checkAnswer(cfg Config, engine string, a ip.Addr, ans Answer, hop ip.NextHop, found bool, step int) *Failure {
+	if ans.Skip {
+		return nil
+	}
+	if ans.Found != found || (found && ans.Hop != hop) {
+		return &Failure{
+			Engine: engine,
+			Step:   step,
+			Detail: fmt.Sprintf("lookup %s: engine hop %d found %v, model hop %d found %v", a, ans.Hop, ans.Found, hop, found),
+			Seed:   cfg.Seed,
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package oracle
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// oracleOps overrides the lifecycle op budget: the default CI leg runs
+// `go test ./internal/oracle -oracle-ops 120000`; 0 picks 12000 (1500
+// under -short).
+var oracleOps = flag.Int("oracle-ops", 0, "ops per oracle lifecycle run (0 = default)")
+
+func lifecycleOps(t *testing.T) int {
+	if *oracleOps > 0 {
+		return *oracleOps
+	}
+	if testing.Short() {
+		return 1500
+	}
+	return 12000
+}
+
+// TestOracleLifecycle is the main differential run: every engine, full
+// command mix, structural checks at every checkpoint. On failure the
+// sequence is shrunk and written under testdata/ so the exact divergence
+// replays with TestReplayTestdata (CI uploads the file as an artifact).
+func TestOracleLifecycle(t *testing.T) {
+	cfg := Config{Seed: 1, Ops: lifecycleOps(t), Log: t.Logf}
+	cmds, f := Run(cfg)
+	if f == nil {
+		return
+	}
+	shrunk, sf := Shrink(cfg, cmds, f, 400)
+	path := writeRepro(t, cfg, shrunk, sf)
+	t.Fatalf("divergence: %v\nshrunk to %d commands: %v\nreproducer written to %s", f, len(shrunk), sf, path)
+}
+
+// writeRepro persists a shrunk failing sequence for replay and CI
+// artifact upload.
+func writeRepro(t *testing.T, cfg Config, cmds []Command, f *Failure) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteRepro(&buf, cfg, cmds, f); err != nil {
+		t.Fatalf("WriteRepro: %v", err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatalf("mkdir testdata: %v", err)
+	}
+	path := filepath.Join("testdata", fmt.Sprintf("repro-seed%d.txt", cfg.Seed))
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("writing reproducer: %v", err)
+	}
+	return path
+}
+
+// TestMutantDetection proves the harness actually detects divergence and
+// shrinks it small: each planted model defect must be caught and the
+// failing sequence must delta-debug to at most 10 commands.
+func TestMutantDetection(t *testing.T) {
+	for _, mutant := range []Mutant{MutantDropWithdraw, MutantShortestMatch} {
+		t.Run(mutant.String(), func(t *testing.T) {
+			cfg := Config{Seed: 2, Ops: 2000, Mutant: mutant}
+			cmds, f := Run(cfg)
+			if f == nil {
+				t.Fatalf("planted mutant %s went undetected over %d ops", mutant, cfg.Ops)
+			}
+			t.Logf("detected at step %d (engine %s): %s", f.Step, f.Engine, f.Detail)
+			shrunk, sf := Shrink(cfg, cmds, f, 400)
+			if sf == nil {
+				t.Fatal("shrunk sequence no longer fails")
+			}
+			if rf := Replay(cfg, shrunk); rf == nil {
+				t.Fatal("shrunk sequence does not replay to a failure")
+			}
+			if len(shrunk) > 10 {
+				var buf bytes.Buffer
+				_ = WriteRepro(&buf, cfg, shrunk, sf)
+				t.Fatalf("shrunk to %d commands, want <= 10:\n%s", len(shrunk), buf.String())
+			}
+			t.Logf("shrunk %d -> %d commands: %v", len(cmds), len(shrunk), sf)
+		})
+	}
+}
+
+// TestReplayDeterministic: the same sequence must produce the same
+// failure — the property shrinking and reproducer scripts rely on.
+func TestReplayDeterministic(t *testing.T) {
+	cfg := Config{Seed: 4, Ops: 600, Mutant: MutantShortestMatch}
+	cmds := Generate(cfg)
+	a := Replay(cfg, cmds)
+	b := Replay(cfg, cmds)
+	if a == nil || b == nil {
+		t.Fatalf("mutant run did not fail: %v / %v", a, b)
+	}
+	if a.Step != b.Step || a.Engine != b.Engine || a.Detail != b.Detail {
+		t.Fatalf("replays diverged:\n  %v\n  %v", a, b)
+	}
+}
+
+// TestEngineSubset: the driver must run with any engine selection (the
+// weekly soak isolates engines to localize failures).
+func TestEngineSubset(t *testing.T) {
+	cfg := Config{Seed: 5, Ops: 400, Engines: []string{"table", "serve"}}
+	if _, f := Run(cfg); f != nil {
+		t.Fatalf("subset run failed: %v", f)
+	}
+	bad := Config{Seed: 5, Ops: 10, Engines: []string{"nope"}}
+	if _, f := Run(bad); f == nil || f.Step != -1 {
+		t.Fatalf("unknown engine not rejected at setup: %v", f)
+	}
+}
+
+// TestReplayTestdata replays every committed script under testdata/.
+// Scripts whose first comment contains "failure:" are unfixed
+// reproducers and are skipped with a note; everything else must replay
+// clean, pinning previously-shrunk sequences as regression tests.
+func TestReplayTestdata(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Skip("no testdata scripts")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Contains(data, []byte("# failure:")) {
+				t.Skipf("%s is an open reproducer, not a regression pin", path)
+			}
+			cfg, cmds, err := ParseScript(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			if f := Replay(cfg, cmds); f != nil {
+				t.Fatalf("replaying %s: %v", path, f)
+			}
+		})
+	}
+}

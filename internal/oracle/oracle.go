@@ -1,0 +1,136 @@
+// Package oracle is the cross-engine differential testing layer: a
+// brute-force, obviously-correct LPM reference model plus a seeded
+// lifecycle driver that generates randomized command sequences —
+// announce, withdraw, single and batch lookup, worker fail/recover,
+// cache flush, snapshot swap, quiesce — and replays each sequence
+// simultaneously against every lookup implementation in the repo:
+//
+//   - the raw onrtc.Table under TTF incremental update,
+//   - the update.CLUEPipeline (trie → TCAM → DRed) and the CLPL
+//     baseline pipeline,
+//   - the engine package's SLPL and CLPL parallel systems (rebuilt from
+//     the live FIB, validating the partition constructions themselves),
+//   - the full serve.Runtime, including the dispatch/divert/DRed-analog
+//     paths and worker failover.
+//
+// After every step the driver asserts lookup equivalence with the model
+// over a deterministic adversarial probe set (the updated prefix's
+// boundaries ± 1 bit); at checkpoints it sweeps the accumulated probe
+// set over every engine and checks the structural invariants: ONRTC
+// pairwise disjointness, TCAM layout/table coherence, DRed
+// no-stale-entry-after-withdraw, and exact table agreement between the
+// independent CLUE implementations.
+//
+// On failure the driver delta-debugs the command sequence to a minimal
+// reproducer, writes it as a replayable script (see ParseScript) and
+// prints the go test invocation that replays it. A planted-mutant
+// self-test (Config.Mutant) proves the harness detects and shrinks.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"clue/internal/ip"
+)
+
+// Mutant selects a deliberate defect planted into the reference model,
+// used by the self-tests to prove the harness detects real divergence
+// and shrinks it to a small reproducer. Production runs use MutantNone.
+type Mutant int
+
+const (
+	// MutantNone is the correct model.
+	MutantNone Mutant = iota
+	// MutantDropWithdraw makes the model ignore every withdrawal — the
+	// classic stale-route bug class the TTF3 invariant exists for.
+	MutantDropWithdraw
+	// MutantShortestMatch makes the model prefer the shortest matching
+	// prefix, inverting LPM wherever routes nest.
+	MutantShortestMatch
+)
+
+// String names the mutant for logs.
+func (m Mutant) String() string {
+	switch m {
+	case MutantNone:
+		return "none"
+	case MutantDropWithdraw:
+		return "drop-withdraw"
+	case MutantShortestMatch:
+		return "shortest-match"
+	}
+	return fmt.Sprintf("Mutant(%d)", int(m))
+}
+
+// Model is the brute-force LPM reference: a flat prefix→hop map with
+// linear longest-match lookup. It is deliberately free of every
+// optimization the engines under test use — no trie, no compression, no
+// partitioning, no caching — so its answers are correct by inspection.
+type Model struct {
+	routes map[ip.Prefix]ip.NextHop
+	mutant Mutant
+}
+
+// NewModel builds the model over the base FIB.
+func NewModel(base []ip.Route, mutant Mutant) *Model {
+	m := &Model{routes: make(map[ip.Prefix]ip.NextHop, len(base)), mutant: mutant}
+	for _, r := range base {
+		m.routes[r.Prefix] = r.NextHop
+	}
+	return m
+}
+
+// Announce inserts or overwrites a route.
+func (m *Model) Announce(p ip.Prefix, hop ip.NextHop) { m.routes[p] = hop }
+
+// Withdraw removes a route; withdrawing an absent prefix is a no-op.
+func (m *Model) Withdraw(p ip.Prefix) {
+	if m.mutant == MutantDropWithdraw {
+		return
+	}
+	delete(m.routes, p)
+}
+
+// Lookup returns the longest-prefix-match next hop for addr by scanning
+// every route — O(n), obviously correct.
+func (m *Model) Lookup(addr ip.Addr) (ip.NextHop, bool) {
+	var (
+		best  ip.Prefix
+		hop   ip.NextHop
+		found bool
+	)
+	for p, h := range m.routes {
+		if !p.Contains(addr) {
+			continue
+		}
+		better := p.Len >= best.Len
+		if m.mutant == MutantShortestMatch {
+			better = p.Len <= best.Len
+		}
+		if !found || better {
+			best, hop, found = p, h, true
+		}
+	}
+	return hop, found
+}
+
+// Routes returns the announced routes sorted by prefix — the canonical
+// form for rebuilding a FIB trie from the model at checkpoints.
+func (m *Model) Routes() []ip.Route {
+	out := make([]ip.Route, 0, len(m.routes))
+	for p, h := range m.routes {
+		out = append(out, ip.Route{Prefix: p, NextHop: h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
+	return out
+}
+
+// Len returns the live route count.
+func (m *Model) Len() int { return len(m.routes) }
+
+// Has reports whether the exact prefix is announced.
+func (m *Model) Has(p ip.Prefix) bool {
+	_, ok := m.routes[p]
+	return ok
+}

@@ -1,0 +1,164 @@
+package oracle
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clue/internal/ip"
+)
+
+func TestModelLPM(t *testing.T) {
+	base := []ip.Route{
+		{Prefix: ip.MustParsePrefix("10.0.0.0/8"), NextHop: 1},
+		{Prefix: ip.MustParsePrefix("10.1.0.0/16"), NextHop: 2},
+		{Prefix: ip.MustParsePrefix("10.1.2.0/24"), NextHop: 3},
+	}
+	m := NewModel(base, MutantNone)
+	cases := []struct {
+		addr  string
+		hop   ip.NextHop
+		found bool
+	}{
+		{"10.1.2.3", 3, true},
+		{"10.1.3.0", 2, true},
+		{"10.2.0.0", 1, true},
+		{"11.0.0.0", 0, false},
+	}
+	for _, c := range cases {
+		hop, found := m.Lookup(ip.MustParseAddr(c.addr))
+		if found != c.found || (found && hop != c.hop) {
+			t.Errorf("Lookup(%s) = %d, %v; want %d, %v", c.addr, hop, found, c.hop, c.found)
+		}
+	}
+	if m.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", m.Len())
+	}
+
+	m.Withdraw(ip.MustParsePrefix("10.1.2.0/24"))
+	if hop, _ := m.Lookup(ip.MustParseAddr("10.1.2.3")); hop != 2 {
+		t.Errorf("after withdraw, Lookup = %d, want 2", hop)
+	}
+	m.Announce(ip.MustParsePrefix("10.1.0.0/16"), 7)
+	if hop, _ := m.Lookup(ip.MustParseAddr("10.1.2.3")); hop != 7 {
+		t.Errorf("after re-announce, Lookup = %d, want 7", hop)
+	}
+	if m.Has(ip.MustParsePrefix("10.1.2.0/24")) {
+		t.Error("Has reports a withdrawn prefix")
+	}
+}
+
+func TestModelRoutesSorted(t *testing.T) {
+	base := []ip.Route{
+		{Prefix: ip.MustParsePrefix("192.168.0.0/16"), NextHop: 1},
+		{Prefix: ip.MustParsePrefix("10.0.0.0/8"), NextHop: 2},
+		{Prefix: ip.MustParsePrefix("10.0.0.0/16"), NextHop: 3},
+	}
+	routes := NewModel(base, MutantNone).Routes()
+	for i := 1; i < len(routes); i++ {
+		if routes[i-1].Prefix.Compare(routes[i].Prefix) >= 0 {
+			t.Fatalf("Routes() out of order: %v before %v", routes[i-1], routes[i])
+		}
+	}
+}
+
+func TestModelMutants(t *testing.T) {
+	base := []ip.Route{
+		{Prefix: ip.MustParsePrefix("10.0.0.0/8"), NextHop: 1},
+		{Prefix: ip.MustParsePrefix("10.1.0.0/16"), NextHop: 2},
+	}
+
+	drop := NewModel(base, MutantDropWithdraw)
+	drop.Withdraw(ip.MustParsePrefix("10.1.0.0/16"))
+	if hop, _ := drop.Lookup(ip.MustParseAddr("10.1.0.1")); hop != 2 {
+		t.Errorf("drop-withdraw mutant forgot the route: hop %d", hop)
+	}
+
+	short := NewModel(base, MutantShortestMatch)
+	if hop, _ := short.Lookup(ip.MustParseAddr("10.1.0.1")); hop != 1 {
+		t.Errorf("shortest-match mutant answered %d, want 1", hop)
+	}
+
+	for _, m := range []Mutant{MutantNone, MutantDropWithdraw, MutantShortestMatch, Mutant(99)} {
+		if m.String() == "" {
+			t.Errorf("empty name for mutant %d", int(m))
+		}
+	}
+}
+
+func TestScriptRoundTrip(t *testing.T) {
+	cfg := Config{Seed: 7, Ops: 200}
+	cmds := Generate(cfg)
+	var buf bytes.Buffer
+	if err := FormatScript(&buf, cfg.withDefaults(), cmds); err != nil {
+		t.Fatalf("FormatScript: %v", err)
+	}
+	gotCfg, gotCmds, err := ParseScript(&buf)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	want := cfg.withDefaults()
+	if gotCfg.Seed != want.Seed || gotCfg.BaseRoutes != want.BaseRoutes || gotCfg.Workers != want.Workers {
+		t.Fatalf("directive round-trip: got %+v", gotCfg)
+	}
+	if len(gotCmds) != len(cmds) {
+		t.Fatalf("round-trip produced %d commands, want %d", len(gotCmds), len(cmds))
+	}
+	for i := range cmds {
+		if gotCmds[i].String() != cmds[i].String() {
+			t.Fatalf("command %d round-trip: got %q, want %q", i, gotCmds[i], cmds[i])
+		}
+	}
+}
+
+func TestScriptCoversEveryKind(t *testing.T) {
+	cmds := Generate(Config{Seed: 3, Ops: 3000})
+	seen := map[Kind]bool{}
+	for _, c := range cmds {
+		seen[c.Kind] = true
+	}
+	for k, name := range kindNames {
+		if !seen[k] {
+			t.Errorf("generator never emitted %s in 3000 ops", name)
+		}
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	bad := []string{
+		"bogus 1.2.3.4",
+		"announce 10.0.0.0/8",
+		"announce 10.0.0.0/8 0",
+		"announce 10.0.0.0/33 1",
+		"withdraw",
+		"lookup 1.2.3.4 5.6.7.8",
+		"fail x",
+		"recover -1",
+		"#! seed",
+		"#! bogus 4",
+	}
+	for _, line := range bad {
+		if _, _, err := ParseScript(strings.NewReader(line)); err == nil {
+			t.Errorf("ParseScript accepted %q", line)
+		}
+	}
+
+	// Comments and blank lines are skipped.
+	_, cmds, err := ParseScript(strings.NewReader("# comment\n\nflush\n"))
+	if err != nil || len(cmds) != 1 || cmds[0].Kind != CmdFlush {
+		t.Fatalf("comment handling: cmds %v, err %v", cmds, err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 11, Ops: 500})
+	b := Generate(Config{Seed: 11, Ops: 500})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("command %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package oracle
+
+import (
+	"fmt"
+	"io"
+)
+
+// Shrink delta-debugs a failing command sequence to a small reproducer:
+// first truncating everything after the failing step, then running ddmin
+// (remove chunks at progressively finer granularity, keeping any removal
+// that still fails). The predicate is "Replay reports any failure", not
+// the identical failure — a shrunk sequence exposing a different symptom
+// of the same run is still a reproducer. budget caps the number of
+// replays (<=0 means a default of 400); the returned failure describes
+// the shrunk sequence.
+func Shrink(cfg Config, cmds []Command, f *Failure, budget int) ([]Command, *Failure) {
+	if f == nil {
+		return cmds, nil
+	}
+	if budget <= 0 {
+		budget = 400
+	}
+	replay := func(cand []Command) *Failure {
+		if budget <= 0 {
+			return nil
+		}
+		budget--
+		return Replay(cfg, cand)
+	}
+	best, bestF := cmds, f
+
+	if f.Step >= 0 && f.Step+1 < len(best) {
+		cand := best[:f.Step+1]
+		if nf := replay(cand); nf != nil {
+			best, bestF = cand, nf
+		}
+	}
+
+	n := 2
+	for len(best) >= 2 && budget > 0 {
+		chunk := (len(best) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(best) && budget > 0; start += chunk {
+			end := min(start+chunk, len(best))
+			cand := make([]Command, 0, len(best)-(end-start))
+			cand = append(cand, best[:start]...)
+			cand = append(cand, best[end:]...)
+			if nf := replay(cand); nf != nil {
+				best, bestF = cand, nf
+				n = max(2, n-1)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(best) {
+				break
+			}
+			n = min(len(best), n*2)
+		}
+	}
+	return best, bestF
+}
+
+// WriteRepro writes a shrunk failure as a replayable script with a
+// header explaining what failed and how to replay it. Scripts dropped
+// into internal/oracle/testdata are picked up by TestReplayTestdata.
+func WriteRepro(w io.Writer, cfg Config, cmds []Command, f *Failure) error {
+	cfg = cfg.withDefaults()
+	if _, err := fmt.Fprintf(w, "# oracle reproducer: %d commands\n", len(cmds)); err != nil {
+		return err
+	}
+	if f != nil {
+		if _, err := fmt.Fprintf(w, "# failure: engine %s at step %d: %s\n", f.Engine, f.Step, f.Detail); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# replay: go test ./internal/oracle -run TestReplayTestdata\n"); err != nil {
+		return err
+	}
+	return FormatScript(w, cfg, cmds)
+}

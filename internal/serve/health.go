@@ -140,6 +140,15 @@ func (r *Runtime) submitCtl() error {
 	return nil
 }
 
+// FlushCaches publishes a fresh snapshot recut from the current worker
+// health states with every worker's DRed-analog cache flushed, and
+// returns once the publication is live. It is the operator / test hook
+// for forcing a snapshot swap without a route change — the same
+// control publication FailWorker and RecoverWorker ride — so stale
+// cache suspicion can be cleared (and the oracle's flush/swap lifecycle
+// commands exercised) without taking a worker out of service.
+func (r *Runtime) FlushCaches() error { return r.submitCtl() }
+
 // failAfterPanic is the panic-recovery path out of worker.run: the
 // worker is forced straight to failed and a rehome publication is
 // requested without blocking the (recovering) worker goroutine. If the

@@ -133,6 +133,42 @@ func (p *CLUEPipeline) Warm(addrs []ip.Addr) {
 	p.chip.ResetStats()
 }
 
+// VerifyCoherence checks the cross-store invariants the incremental
+// pipeline must preserve through arbitrary churn: the TCAM holds exactly
+// the updater's compressed table (TTF2 applied every diff op, none
+// dropped or duplicated), the table is pairwise disjoint, and no DRed
+// holds an entry the table no longer carries with the same hop (TTF3's
+// no-stale-entry-after-withdraw guarantee). The differential oracle
+// calls it at every checkpoint.
+func (p *CLUEPipeline) VerifyCoherence() error {
+	table := p.updater.Table()
+	if err := table.VerifyDisjoint(); err != nil {
+		return err
+	}
+	want := table.Routes()
+	got := p.chip.Routes()
+	if len(got) != len(want) {
+		return fmt.Errorf("update: TCAM holds %d routes, compressed table %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("update: TCAM[%d] = %v, compressed table %v", i, got[i], want[i])
+		}
+	}
+	for i := 0; i < p.dreds.N(); i++ {
+		for _, r := range p.dreds.Cache(i).Routes() {
+			hop := table.Trie().Get(r.Prefix, nil)
+			if hop == ip.NoRoute {
+				return fmt.Errorf("update: DRed %d holds %v, absent from compressed table", i, r)
+			}
+			if hop != r.NextHop {
+				return fmt.Errorf("update: DRed %d holds %v, table hop is %d", i, r, hop)
+			}
+		}
+	}
+	return nil
+}
+
 // Apply implements Pipeline.
 func (p *CLUEPipeline) Apply(u tracegen.Update) (TTF, error) {
 	var diff onrtc.Diff
