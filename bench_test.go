@@ -9,6 +9,7 @@ package clue_test
 
 import (
 	"fmt"
+	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,7 @@ import (
 
 	"clue"
 	"clue/internal/experiments"
+	"clue/internal/feed"
 	"clue/internal/fibgen"
 	"clue/internal/ip"
 	"clue/internal/onrtc"
@@ -461,6 +463,87 @@ func BenchmarkServeLookupUnderUpdateStorm(b *testing.B) {
 		sort.Float64s(samples)
 		b.ReportMetric(samples[len(samples)/2], "p50-ns")
 		b.ReportMetric(samples[len(samples)*99/100], "p99-ns")
+	}
+}
+
+// BenchmarkFeedThroughput measures end-to-end replication: b.N update
+// records stream from a collector through the length-prefixed wire
+// protocol into a follower applying them to its own serve runtime over
+// localhost TCP. Applies are pipelined up to half the replay window
+// (past it the collector would trim the log and force a re-snapshot),
+// and every 16th batch is applied synchronously to sample the ack
+// round-trip tail.
+func BenchmarkFeedThroughput(b *testing.B) {
+	fib := benchFIB(b, 20000, 13)
+	stream := tracegen.Records(benchUpdates(b, fib, 200000))
+	const (
+		batch  = 8
+		window = 1024
+	)
+	coll, err := feed.NewCollector(feed.CollectorConfig{
+		BaseRoutes: fib.Routes(), Window: window, HashEvery: 128,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { coll.Close() })
+	addr, err := coll.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := feed.NewRuntimeApplier(serve.Config{})
+	fl, err := feed.NewFollower(feed.FollowerConfig{
+		Dial: func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr.String(), time.Second)
+		},
+		Applier: app,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { fl.Close(); app.Close() })
+	for app.Runtime() == nil {
+		time.Sleep(time.Millisecond)
+	}
+
+	var (
+		ackNs []float64
+		last  uint64
+	)
+	b.ResetTimer()
+	for sent, nb := 0, 0; sent < b.N; nb++ {
+		i := sent % len(stream)
+		end := min(min(i+batch, len(stream)), i+b.N-sent)
+		seq, err := coll.Apply(stream[i:end])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sent += end - i
+		last = seq
+		if nb%16 == 0 {
+			start := time.Now()
+			if err := fl.WaitSeq(seq, time.Minute); err != nil {
+				b.Fatal(err)
+			}
+			ackNs = append(ackNs, float64(time.Since(start).Nanoseconds()))
+		} else if lag := fl.Stats().Lag; lag > window/2 {
+			if err := fl.WaitSeq(seq-window/4, time.Minute); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := fl.WaitSeq(last, time.Minute); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+	if len(ackNs) > 0 {
+		sort.Float64s(ackNs)
+		b.ReportMetric(ackNs[len(ackNs)*99/100], "p99-ack-ns")
+	}
+	if st := fl.Stats(); st.HashMismatches != 0 || st.SnapshotLoads != 1 {
+		b.Fatalf("replication not clean: %+v", st)
 	}
 }
 

@@ -8,12 +8,22 @@
 //
 //	clue-chaos [-seed 7] [-ops 10000] [-routes 12000] [-workers 4]
 //	           [-cycles 3] [-max-dispatch-p99 1s] [-sequential] [-v]
+//	clue-chaos -feed [-seed 7] [-ops 1200] [-routes 3000] [-workers 2]
+//	           [-feed-batch 4] [-feed-window 16] [-v]
 //
 // The report is printed as JSON on stdout; the exit status is non-zero
 // when any invariant broke (wrong answer vs the oracle, a dispatch that
 // exhausted its retry/timeout budget, a degraded-mode dispatch p99 above
 // -max-dispatch-p99 — negative disables the bound — a TTF replay
 // mismatch in -sequential mode, or a goroutine leak).
+//
+// -feed switches to the replication chaos scenario instead: a collector
+// streams a seeded update trace to two runtime-backed follower replicas
+// while links are cut (briefly and beyond the replay window), a
+// replica's apply pipeline is stalled and the collector is restarted
+// mid-stream with a state handoff. The run fails unless both replicas
+// reconverge to the collector's canonical compressed table with the
+// resume and re-snapshot paths both exercised and no goroutine leaks.
 package main
 
 import (
@@ -46,8 +56,43 @@ func run(args []string, out, errw io.Writer) error {
 	lookers := fs.Int("lookers", 4, "concurrent lookup goroutines")
 	maxP99 := fs.Duration("max-dispatch-p99", 0, "fail when the soak's dispatch p99 exceeds this (0 = 1s default, negative disables)")
 	sequential := fs.Bool("sequential", false, "apply ops one at a time and verify TTF replay equivalence")
+	feedMode := fs.Bool("feed", false, "run the replication chaos scenario (collector + two follower replicas)")
+	feedBatch := fs.Int("feed-batch", 0, "updates per replicated batch (feed mode; 0 = default)")
+	feedWindow := fs.Int("feed-window", 0, "collector replay window in batches (feed mode; 0 = default)")
 	verbose := fs.Bool("v", false, "log faults and checkpoints to stderr")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *feedMode {
+		fcfg := chaos.FeedConfig{
+			Seed:      *seed,
+			Routes:    *routes,
+			Updates:   *ops,
+			BatchSize: *feedBatch,
+			Window:    *feedWindow,
+			Workers:   *workers,
+		}
+		// The shared -ops/-routes defaults are sized for the soak; scale
+		// them down unless the caller overrode them.
+		if *ops == 10000 {
+			fcfg.Updates = 0
+		}
+		if *routes == 12000 {
+			fcfg.Routes = 0
+		}
+		if *workers == 4 {
+			fcfg.Workers = 0
+		}
+		if *verbose {
+			fcfg.Log = errw
+		}
+		rep, err := chaos.RunFeed(fcfg)
+		doc, jerr := json.MarshalIndent(rep, "", "  ")
+		if jerr != nil {
+			return jerr
+		}
+		fmt.Fprintln(out, string(doc))
 		return err
 	}
 

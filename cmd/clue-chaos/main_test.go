@@ -37,6 +37,37 @@ func TestRunSmallSoak(t *testing.T) {
 	}
 }
 
+func TestRunFeedScenario(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{
+		"-feed", "-seed", "3", "-ops", "600", "-routes", "1500",
+		"-workers", "2", "-feed-batch", "4", "-feed-window", "12", "-v",
+	}, &out, &errw)
+	if err != nil {
+		t.Fatalf("run -feed: %v\nstderr: %s", err, errw.String())
+	}
+	var rep struct {
+		Batches         uint64 `json:"batches"`
+		LinkCuts        int    `json:"link_cuts"`
+		Resumes         uint64 `json:"resumes"`
+		SnapshotLoads   uint64 `json:"snapshot_loads"`
+		HashMismatches  uint64 `json:"hash_mismatches"`
+		ConvergedRoutes int    `json:"converged_routes"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Batches == 0 || rep.LinkCuts == 0 || rep.ConvergedRoutes == 0 {
+		t.Fatalf("faults not exercised: %+v", rep)
+	}
+	if rep.Resumes == 0 || rep.SnapshotLoads < 3 {
+		t.Fatalf("resume/re-snapshot paths not both taken: %+v", rep)
+	}
+	if rep.HashMismatches != 0 {
+		t.Fatalf("hash mismatches: %+v", rep)
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	var out, errw bytes.Buffer
 	if err := run([]string{"-ops", "not-a-number"}, &out, &errw); err == nil {

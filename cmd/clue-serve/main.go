@@ -8,6 +8,17 @@
 //	clue-serve [-addr 127.0.0.1:8080] [-fib table.rib | -router rrc01 | -routes 20000]
 //	           [-workers 4] [-queue 256] [-batch 64] [-cache 1024]
 //	           [-tcams 4] [-buckets 32] [-router-scale 10] [-seed 42]
+//	clue-serve -follow 127.0.0.1:9090 [-addr ...] [-workers ...] ...
+//
+// With -follow the server runs as a read-only replica: instead of
+// loading a local FIB it connects to a clue-collector feed, bootstraps
+// from its snapshot and applies the replicated update stream through
+// the normal writer pipeline. The lookup, stats, metrics, health and
+// debug surfaces are unchanged; /announce and /withdraw return 403
+// (the collector owns the table); /stats gains a "feed" section and
+// /metrics gains clue_feed_* gauges (state, lag, reconnects, hash
+// checks/mismatches); /healthz reports the feed state and lag and goes
+// degraded while the replica is disconnected or resyncing.
 //
 // Endpoints:
 //
@@ -52,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"clue/internal/feed"
 	"clue/internal/fibgen"
 	"clue/internal/ip"
 	"clue/internal/ribio"
@@ -85,38 +97,71 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 	tcams := fs.Int("tcams", 4, "TCAM chip count in the underlying system")
 	buckets := fs.Int("buckets", 32, "range partition count in the underlying system")
 	debugTrace := fs.Bool("debug-trace", false, "enable the /debug/trace runtime-trace capture endpoint")
+	follow := fs.String("follow", "", "run as a read-only replica of the clue-collector feed at this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	routes, origin, err := loadRoutes(*fibPath, *router, *routerScale, *nRoutes, *seed)
-	if err != nil {
-		return err
-	}
-	rt, err := serve.New(routes, serve.Config{
+	scfg := serve.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		BatchMax:   *batch,
 		CacheSize:  *cache,
 		System:     serve.SystemConfig{TCAMs: *tcams, Buckets: *buckets},
-	})
-	if err != nil {
-		return err
+	}
+	var (
+		rt      *serve.Runtime
+		fl      *feed.Follower
+		source  string
+		nLoaded int
+	)
+	if *follow != "" {
+		if *fibPath != "" || *router != "" {
+			return errors.New("-follow replaces the local FIB source; drop -fib/-router")
+		}
+		var err error
+		rt, fl, err = followFeed(ctx, *follow, scfg)
+		if err != nil {
+			return err
+		}
+	} else {
+		var origin string
+		routes, origin, err := loadRoutes(*fibPath, *router, *routerScale, *nRoutes, *seed)
+		if err != nil {
+			return err
+		}
+		rt, err = serve.New(routes, scfg)
+		if err != nil {
+			return err
+		}
+		nLoaded = len(routes)
+		source = origin
+	}
+	closeAll := func() {
+		if fl != nil {
+			fl.Close()
+		}
+		rt.Close()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		rt.Close()
+		closeAll()
 		return err
 	}
 	st := rt.Stats()
-	fmt.Fprintf(out, "clue-serve: %s — %d routes compressed to %d, %d workers, listening on %s\n",
-		origin, len(routes), st.Routes, st.Workers, ln.Addr())
+	if fl != nil {
+		fmt.Fprintf(out, "clue-serve: replica of %s — %d compressed routes at feed seq %d, %d workers, listening on %s\n",
+			*follow, st.Routes, fl.Stats().LastApplied, st.Workers, ln.Addr())
+	} else {
+		fmt.Fprintf(out, "clue-serve: %s — %d routes compressed to %d, %d workers, listening on %s\n",
+			source, nLoaded, st.Routes, st.Workers, ln.Addr())
+	}
 	if ready != nil {
 		ready(ln.Addr())
 	}
 
-	srv := &http.Server{Handler: newHandler(rt, *debugTrace)}
+	srv := &http.Server{Handler: newHandler(rt, *debugTrace, fl)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
@@ -126,17 +171,17 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
-			rt.Close()
+			closeAll()
 			return err
 		}
-		rt.Close()
+		closeAll()
 		final := rt.Stats()
 		fmt.Fprintf(out, "clue-serve: drained — %d lookups (%d dispatched, %.2f%% diverted), %d updates in %d batches\n",
 			final.SnapshotLookups+final.Dispatched, final.Dispatched,
 			100*final.DivertRate(), final.Announces+final.Withdraws, final.Batches)
 		return nil
 	case err := <-errCh:
-		rt.Close()
+		closeAll()
 		if errors.Is(err, http.ErrServerClosed) {
 			return nil
 		}
@@ -183,13 +228,45 @@ func loadRoutes(fibPath, router string, routerScale, nRoutes int, seed int64) ([
 	}
 }
 
+// followFeed connects a follower to a clue-collector and blocks until
+// the bootstrap snapshot has built the runtime (or ctx is cancelled).
+// The runtime pointer is stable after bootstrap: later re-snapshots
+// are reconciled through it, never by replacing it.
+func followFeed(ctx context.Context, addr string, scfg serve.Config) (*serve.Runtime, *feed.Follower, error) {
+	app := feed.NewRuntimeApplier(scfg)
+	fl, err := feed.NewFollower(feed.FollowerConfig{
+		Dial: func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 2*time.Second)
+		},
+		Applier: app,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	bootDeadline := time.Now().Add(30 * time.Second)
+	for app.Runtime() == nil {
+		if err := ctx.Err(); err != nil {
+			fl.Close()
+			return nil, nil, err
+		}
+		if time.Now().After(bootDeadline) {
+			fl.Close()
+			return nil, nil, fmt.Errorf("no bootstrap snapshot from %s within 30s", addr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return app.Runtime(), fl, nil
+}
+
 // maxBatchAddrs bounds one /lookup/batch request.
 const maxBatchAddrs = 8192
 
 // newHandler wires the HTTP surface around the runtime. traceCapture
 // enables the /debug/trace capture endpoint (the -debug-trace flag);
-// the rest of the debug surface is always on.
-func newHandler(rt *serve.Runtime, traceCapture bool) http.Handler {
+// the rest of the debug surface is always on. fl is non-nil in replica
+// mode (-follow): local mutations are rejected and the stats, metrics
+// and health surfaces grow the replication feed's state.
+func newHandler(rt *serve.Runtime, traceCapture bool, fl *feed.Follower) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /lookup", func(w http.ResponseWriter, r *http.Request) {
 		a, err := ip.ParseAddr(r.URL.Query().Get("addr"))
@@ -348,20 +425,43 @@ func newHandler(rt *serve.Runtime, traceCapture bool) http.Handler {
 			TTFDRed: ttf.DRed, TTFTotal: ttf.Total(),
 		})
 	}
+	rejectReplicaWrite := func(w http.ResponseWriter) bool {
+		if fl == nil {
+			return false
+		}
+		httpError(w, http.StatusForbidden, errors.New("replica is read-only: updates come from the collector feed"))
+		return true
+	}
 	mux.HandleFunc("POST /announce", func(w http.ResponseWriter, r *http.Request) {
+		if rejectReplicaWrite(w) {
+			return
+		}
 		applyUpdate(w, r, rt.Announce, true)
 	})
 	mux.HandleFunc("POST /withdraw", func(w http.ResponseWriter, r *http.Request) {
+		if rejectReplicaWrite(w) {
+			return
+		}
 		applyUpdate(w, r, func(p ip.Prefix, _ ip.NextHop) (update.TTF, error) {
 			return rt.Withdraw(p)
 		}, false)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+		if fl != nil {
+			writeJSON(w, struct {
+				serve.Stats
+				Feed feed.FollowerStats `json:"feed"`
+			}{rt.Stats(), fl.Stats()})
+			return
+		}
 		writeJSON(w, rt.Stats())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		rt.Stats().WritePrometheus(w)
+		if fl != nil {
+			writeFeedPrometheus(w, fl.Stats())
+		}
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		states := rt.WorkerStates()
@@ -371,16 +471,31 @@ func newHandler(rt *serve.Runtime, traceCapture bool) http.Handler {
 				healthy++
 			}
 		}
+		var fst feed.FollowerStats
+		feedBehind := false
+		if fl != nil {
+			fst = fl.Stats()
+			feedBehind = fst.State != "streaming"
+		}
 		switch {
-		case healthy == len(states):
-			fmt.Fprintln(w, "ok")
-		case healthy > 0:
-			// Degraded but forwarding: the survivors own the whole table.
-			fmt.Fprintf(w, "degraded: %d/%d workers healthy\n", healthy, len(states))
-		default:
+		case healthy == 0:
 			// Worker-path forwarding is down; only the snapshot path answers.
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintf(w, "no healthy workers (snapshot path only)\n")
+		case healthy == len(states) && !feedBehind:
+			fmt.Fprintln(w, "ok")
+		default:
+			// Degraded but forwarding: the survivors own the whole table,
+			// and a disconnected replica still answers from its last state.
+			if healthy < len(states) {
+				fmt.Fprintf(w, "degraded: %d/%d workers healthy\n", healthy, len(states))
+			}
+			if feedBehind {
+				fmt.Fprintf(w, "degraded: feed %s (lag %d)\n", fst.State, fst.Lag)
+			}
+		}
+		if fl != nil && !feedBehind {
+			fmt.Fprintf(w, "feed: streaming at seq %d (lag %d)\n", fst.LastApplied, fst.Lag)
 		}
 	})
 
@@ -470,6 +585,29 @@ func newHandler(rt *serve.Runtime, traceCapture bool) http.Handler {
 		writeJSON(w, map[string]any{"workers": workerStates()})
 	})
 	return mux
+}
+
+// writeFeedPrometheus appends the replication feed's state to the
+// /metrics exposition, mirroring serve.Stats.WritePrometheus's style.
+func writeFeedPrometheus(w io.Writer, s feed.FollowerStats) {
+	emit := func(name, typ, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	streaming := 0.0
+	if s.State == "streaming" {
+		streaming = 1
+	}
+	emit("clue_feed_streaming", "gauge", "1 while the replica is connected and applying the live stream.", streaming)
+	emit("clue_feed_last_applied_seq", "gauge", "Last feed batch fully applied by this replica.", float64(s.LastApplied))
+	emit("clue_feed_head_seq", "gauge", "Collector head sequence as of the last frame seen.", float64(s.Head))
+	emit("clue_feed_lag_batches", "gauge", "Batches between the collector head and this replica.", float64(s.Lag))
+	emit("clue_feed_reconnects_total", "counter", "Feed sessions opened after the first.", float64(s.Reconnects))
+	emit("clue_feed_snapshot_loads_total", "counter", "Full snapshot bootstraps (first connect and re-syncs).", float64(s.SnapshotLoads))
+	emit("clue_feed_resumes_total", "counter", "Reconnects resumed from the replay window without a snapshot.", float64(s.Resumes))
+	emit("clue_feed_batches_total", "counter", "Update batches applied from the feed.", float64(s.Batches))
+	emit("clue_feed_records_total", "counter", "Update records applied from the feed.", float64(s.Records))
+	emit("clue_feed_hash_checks_total", "counter", "Canonical-table hash frames verified.", float64(s.HashChecks))
+	emit("clue_feed_hash_mismatches_total", "counter", "Hash frames that did not match (each forces a re-sync).", float64(s.HashMismatches))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -17,7 +17,10 @@ import (
 	"testing"
 	"time"
 
+	"clue/internal/feed"
 	"clue/internal/fibgen"
+	"clue/internal/ip"
+	"clue/internal/ribio"
 	"clue/internal/serve"
 )
 
@@ -413,7 +416,7 @@ func adminStates(res map[string]any) []string {
 func TestAdminWorkerEndpoints(t *testing.T) {
 	rt := newTestRuntime(t, 3)
 	defer rt.Close()
-	srv := httptest.NewServer(newHandler(rt, true))
+	srv := httptest.NewServer(newHandler(rt, true, nil))
 	defer srv.Close()
 
 	status, res := doReq(t, "GET", srv.URL+"/admin/worker", "")
@@ -495,7 +498,7 @@ func TestAdminWorkerEndpoints(t *testing.T) {
 func TestHealthzNoHealthyWorkers(t *testing.T) {
 	rt := newTestRuntime(t, 2)
 	defer rt.Close()
-	srv := httptest.NewServer(newHandler(rt, true))
+	srv := httptest.NewServer(newHandler(rt, true, nil))
 	defer srv.Close()
 
 	for id := 0; id < 2; id++ {
@@ -547,7 +550,7 @@ func TestHealthzNoHealthyWorkers(t *testing.T) {
 // the runtime is closed, while the snapshot read side still answers.
 func TestEndpointsAfterClose(t *testing.T) {
 	rt := newTestRuntime(t, 2)
-	srv := httptest.NewServer(newHandler(rt, true))
+	srv := httptest.NewServer(newHandler(rt, true, nil))
 	defer srv.Close()
 	rt.Close()
 
@@ -613,7 +616,7 @@ func TestSIGTERMShutdown(t *testing.T) {
 func TestDebugEndpoints(t *testing.T) {
 	rt := newTestRuntime(t, 2)
 	defer rt.Close()
-	srv := httptest.NewServer(newHandler(rt, true))
+	srv := httptest.NewServer(newHandler(rt, true, nil))
 	defer srv.Close()
 
 	status, res := doReq(t, "GET", srv.URL+"/debug/latency", "")
@@ -667,7 +670,7 @@ func TestDebugEndpoints(t *testing.T) {
 func TestDebugTraceGated(t *testing.T) {
 	rt := newTestRuntime(t, 2)
 	defer rt.Close()
-	srv := httptest.NewServer(newHandler(rt, false))
+	srv := httptest.NewServer(newHandler(rt, false, nil))
 	defer srv.Close()
 
 	status, res := doReq(t, "GET", srv.URL+"/debug/trace", "")
@@ -687,5 +690,107 @@ func TestDebugTraceGated(t *testing.T) {
 	presp.Body.Close()
 	if presp.StatusCode != http.StatusOK {
 		t.Fatalf("pprof gated by -debug-trace: %s", presp.Status)
+	}
+}
+
+// TestFollowMode runs the server as a replica of an in-process
+// collector: it must bootstrap over the feed, serve lookups, reject
+// local writes, expose the feed in stats/metrics/healthz, and track
+// updates applied at the collector.
+func TestFollowMode(t *testing.T) {
+	fib, err := fibgen.Generate(fibgen.Config{Seed: 9, Routes: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := feed.NewCollector(feed.CollectorConfig{BaseRoutes: fib.Routes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Close()
+	feedAddr, err := coll.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	url, out, shutdown := startServer(t, ctx, cancel, "-follow", feedAddr.String(), "-workers", "2")
+
+	if !strings.Contains(out.String(), "replica of "+feedAddr.String()) {
+		t.Fatalf("startup banner: %q", out.String())
+	}
+
+	// Local writes are the collector's job.
+	for _, ep := range []string{"/announce", "/withdraw"} {
+		status, res := doReq(t, "POST", url+ep, `{"prefix":"10.0.0.0/8","next_hop":3}`)
+		if status != http.StatusForbidden {
+			t.Fatalf("POST %s on replica: got %d want 403 (%v)", ep, status, res)
+		}
+	}
+
+	// Replicate a pinned /32 and wait for the replica to apply it.
+	seq, err := coll.Apply([]ribio.UpdateRecord{{Prefix: ip.MustParsePrefix("203.0.113.5/32"), NextHop: 77}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Feed feed.FollowerStats `json:"feed"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		getJSON(t, url+"/stats", &st)
+		if st.Feed.LastApplied >= seq {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never reached seq %d: %+v", seq, st.Feed)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Feed.State != "streaming" {
+		t.Fatalf("feed state %q, want streaming", st.Feed.State)
+	}
+
+	var lr lookupResp
+	getJSON(t, url+"/lookup?addr=203.0.113.5", &lr)
+	if !lr.Found || lr.NextHop != 77 {
+		t.Fatalf("replicated route not served: %+v", lr)
+	}
+
+	mresp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody := new(bytes.Buffer)
+	mbody.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"clue_feed_streaming 1", "clue_feed_lag_batches", "clue_feed_snapshot_loads_total 1"} {
+		if !strings.Contains(mbody.String(), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, mbody.String())
+		}
+	}
+
+	hresp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody := new(bytes.Buffer)
+	hbody.ReadFrom(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || !strings.Contains(hbody.String(), "feed: streaming at seq") {
+		t.Fatalf("healthz on live replica: %s %q", hresp.Status, hbody.String())
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestFollowModeRejectsLocalSources: -follow and -fib/-router conflict.
+func TestFollowModeRejectsLocalSources(t *testing.T) {
+	out := new(syncBuffer)
+	err := run(context.Background(), []string{"-follow", "127.0.0.1:1", "-fib", "x.rib"}, out, nil)
+	if err == nil || !strings.Contains(err.Error(), "-follow") {
+		t.Fatalf("conflicting sources accepted: %v", err)
 	}
 }

@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func feedTestConfig(seed int64) FeedConfig {
+	return FeedConfig{Seed: seed, Routes: 1500, Updates: 600, BatchSize: 4, Window: 12, HashEvery: 6}
+}
+
+func TestFeedChaosReconverges(t *testing.T) {
+	cfg := feedTestConfig(7)
+	if !testing.Short() {
+		cfg = FeedConfig{Seed: 7}
+	}
+	rep, err := RunFeed(cfg)
+	if err != nil {
+		t.Fatalf("feed chaos failed: %v\nreport: %+v", err, rep)
+	}
+	if rep.LinkCuts != 2 || rep.Stalls != 1 || rep.CollectorRestarts != 1 {
+		t.Fatalf("fault schedule did not run fully: %d cuts, %d stalls, %d restarts",
+			rep.LinkCuts, rep.Stalls, rep.CollectorRestarts)
+	}
+	if rep.Resumes == 0 {
+		t.Fatal("no resume ran")
+	}
+	if rep.SnapshotLoads < 3 {
+		t.Fatalf("SnapshotLoads = %d, want >= 3 (two bootstraps + over-window re-snapshot)", rep.SnapshotLoads)
+	}
+	if rep.HashMismatches != 0 {
+		t.Fatalf("hash mismatches: %d", rep.HashMismatches)
+	}
+	if rep.ConvergedRoutes == 0 {
+		t.Fatal("empty converged table")
+	}
+	if rep.MaxLag == 0 {
+		t.Fatal("stall phase never showed follower lag")
+	}
+	// The report must be JSON-encodable for clue-chaos output.
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report not JSON-encodable: %v", err)
+	}
+}
+
+// TestFeedChaosDeterministic: the fault schedule and trace derive from
+// the seed, so two runs inject identical faults and converge to the
+// same table.
+func TestFeedChaosDeterministic(t *testing.T) {
+	cfg := feedTestConfig(23)
+	a, err := RunFeed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFeed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Batches != b.Batches || a.Records != b.Records || a.ConvergedRoutes != b.ConvergedRoutes {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.LinkCuts != b.LinkCuts || a.Stalls != b.Stalls || a.CollectorRestarts != b.CollectorRestarts {
+		t.Fatalf("fault schedules diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFeedConfigDefaults(t *testing.T) {
+	c := FeedConfig{}.withDefaults()
+	if c.Routes == 0 || c.Updates == 0 || c.BatchSize == 0 || c.Window == 0 || c.HashEvery == 0 || c.Workers == 0 {
+		t.Fatalf("defaults left zero values: %+v", c)
+	}
+	keep := FeedConfig{Routes: 1, Updates: 40, BatchSize: 2, Window: 3, HashEvery: 4, Workers: 5}
+	if got := keep.withDefaults(); got != keep {
+		t.Fatalf("withDefaults clobbered explicit values: %+v", got)
+	}
+	if _, err := RunFeed(FeedConfig{Seed: 1, Updates: 20, BatchSize: 4}); err == nil {
+		t.Fatal("trace too short for the schedule should be rejected")
+	}
+}

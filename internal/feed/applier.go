@@ -1,0 +1,125 @@
+package feed
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"clue/internal/ip"
+	"clue/internal/serve"
+	"clue/internal/trie"
+)
+
+// RuntimeApplier adapts a serve.Runtime as a follower's Applier. The
+// runtime is built lazily from the first snapshot (the serve runtime
+// cannot exist over an empty table), and later re-snapshots are
+// reconciled through the live writer pipeline — withdraw what vanished,
+// announce what changed — so readers keep serving throughout a
+// resynchronisation.
+type RuntimeApplier struct {
+	cfg serve.Config
+
+	mu     sync.Mutex
+	mirror *trie.Trie
+	rt     atomic.Pointer[serve.Runtime]
+}
+
+// NewRuntimeApplier prepares an applier that will build its runtime
+// with cfg on the first snapshot. Runtime() reports nil until then.
+func NewRuntimeApplier(cfg serve.Config) *RuntimeApplier {
+	return &RuntimeApplier{cfg: cfg}
+}
+
+// Runtime returns the live runtime, or nil before the bootstrap
+// snapshot has been applied.
+func (a *RuntimeApplier) Runtime() *serve.Runtime {
+	return a.rt.Load()
+}
+
+// Reset brings the runtime to exactly routes. The first call builds
+// the runtime; later calls diff against the current mirror and feed
+// the difference through Announce/Withdraw, which block until the
+// containing snapshots are published.
+func (a *RuntimeApplier) Reset(routes []ip.Route) error {
+	if len(routes) == 0 {
+		return errors.New("feed: empty snapshot (runtime needs at least one route)")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rt := a.rt.Load()
+	if rt == nil {
+		rt, err := serve.New(routes, a.cfg)
+		if err != nil {
+			return fmt.Errorf("feed: bootstrap runtime: %w", err)
+		}
+		a.mirror = trie.FromRoutes(routes)
+		a.rt.Store(rt)
+		return nil
+	}
+	want := trie.FromRoutes(routes)
+	for _, r := range a.mirror.Routes() {
+		if want.Get(r.Prefix, nil) == ip.NoRoute {
+			if _, err := rt.Withdraw(r.Prefix); err != nil {
+				return fmt.Errorf("feed: reconcile withdraw %v: %w", r.Prefix, err)
+			}
+		}
+	}
+	for _, r := range routes {
+		if a.mirror.Get(r.Prefix, nil) != r.NextHop {
+			if _, err := rt.Announce(r.Prefix, r.NextHop); err != nil {
+				return fmt.Errorf("feed: reconcile announce %v: %w", r.Prefix, err)
+			}
+		}
+	}
+	a.mirror = want
+	return nil
+}
+
+// Announce applies one announced route; it blocks until the snapshot
+// containing it is published.
+func (a *RuntimeApplier) Announce(p ip.Prefix, hop ip.NextHop) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rt := a.rt.Load()
+	if rt == nil {
+		return errors.New("feed: announce before bootstrap snapshot")
+	}
+	if _, err := rt.Announce(p, hop); err != nil {
+		return err
+	}
+	a.mirror.Insert(p, hop, nil)
+	return nil
+}
+
+// Withdraw applies one withdrawal with the same publication guarantee.
+func (a *RuntimeApplier) Withdraw(p ip.Prefix) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rt := a.rt.Load()
+	if rt == nil {
+		return errors.New("feed: withdraw before bootstrap snapshot")
+	}
+	if _, err := rt.Withdraw(p); err != nil {
+		return err
+	}
+	a.mirror.Delete(p, nil)
+	return nil
+}
+
+// CanonicalRoutes returns the published snapshot's canonical
+// compressed table (nil before bootstrap).
+func (a *RuntimeApplier) CanonicalRoutes() []ip.Route {
+	rt := a.rt.Load()
+	if rt == nil {
+		return nil
+	}
+	return rt.Snapshot().Routes()
+}
+
+// Close shuts the runtime down, if one was built.
+func (a *RuntimeApplier) Close() {
+	if rt := a.rt.Load(); rt != nil {
+		rt.Close()
+	}
+}

@@ -1,0 +1,115 @@
+package feed
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"clue/internal/ip"
+	"clue/internal/ribio"
+)
+
+// FuzzReadFrame checks the frame decoder never panics on arbitrary
+// bytes, that an accepted frame re-encodes byte-identically through
+// WriteFrame → ReadFrame, and that the typed payload decoders never
+// panic on whatever payload survived the CRC.
+func FuzzReadFrame(f *testing.F) {
+	frame := func(fr Frame) []byte {
+		var b bytes.Buffer
+		if err := WriteFrame(&b, fr); err != nil {
+			f.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	seeds := [][]byte{
+		frame(Frame{Type: FrameHello, Seq: 3, Payload: encodeHello(Hello{Version: Version, HasState: true})}),
+		frame(Frame{Type: FrameSnapshot, Seq: 1, Payload: encodeSnapshot([]ip.Route{
+			{Prefix: ip.MustParsePrefix("10.0.0.0/8"), NextHop: 1},
+		})}),
+		frame(Frame{Type: FrameUpdates, Seq: 2, Payload: encodeBatch(Batch{Head: 2, Records: []ribio.UpdateRecord{
+			{At: time.Second, Prefix: ip.MustParsePrefix("192.0.2.0/24"), NextHop: 7},
+			{At: time.Second, Withdraw: true, Prefix: ip.MustParsePrefix("10.0.0.0/8")},
+		}})}),
+		frame(Frame{Type: FrameHash, Seq: 2, Payload: encodeHash(HashInfo{Routes: 3, Hash: 12345})}),
+		frame(Frame{Type: FrameAck, Seq: 2}),
+		frame(Frame{Type: FrameBye}),
+		{},
+		{0, 0, 0, 13},
+		{0xff, 0xff, 0xff, 0xff, 1, 2, 3},
+	}
+	// Two frames back to back: decoding must consume exactly one.
+	seeds = append(seeds, append(append([]byte(nil), seeds[4]...), seeds[5]...))
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		fr, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		// Accepted frames round-trip exactly, and the reader consumed
+		// exactly the frame's wire size.
+		var b bytes.Buffer
+		if err := WriteFrame(&b, fr); err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		wire := len(data) - r.Len()
+		if !bytes.Equal(b.Bytes(), data[:wire]) {
+			t.Fatalf("round trip changed frame bytes:\n%x\n%x", data[:wire], b.Bytes())
+		}
+		back, err := ReadFrame(&b)
+		if err != nil {
+			t.Fatalf("re-read of re-encoded frame failed: %v", err)
+		}
+		if back.Type != fr.Type || back.Seq != fr.Seq || !bytes.Equal(back.Payload, fr.Payload) {
+			t.Fatalf("round trip changed frame: %+v -> %+v", fr, back)
+		}
+		// Typed decoders must reject or accept, never panic; accepted
+		// typed payloads re-encode byte-identically.
+		switch fr.Type {
+		case FrameHello:
+			if h, err := decodeHello(fr.Payload); err == nil {
+				if !bytes.Equal(encodeHello(h), fr.Payload) {
+					t.Fatalf("hello payload round trip changed: %x", fr.Payload)
+				}
+			}
+		case FrameSnapshot:
+			if routes, err := decodeSnapshot(fr.Payload); err == nil {
+				if !bytes.Equal(encodeSnapshot(routes), fr.Payload) {
+					t.Fatalf("snapshot payload round trip changed: %x", fr.Payload)
+				}
+			}
+		case FrameUpdates:
+			if batch, err := decodeBatch(fr.Payload); err == nil {
+				if !bytes.Equal(encodeBatch(batch), fr.Payload) {
+					t.Fatalf("batch payload round trip changed: %x", fr.Payload)
+				}
+			}
+		case FrameHash:
+			if h, err := decodeHash(fr.Payload); err == nil {
+				if !bytes.Equal(encodeHash(h), fr.Payload) {
+					t.Fatalf("hash payload round trip changed: %x", fr.Payload)
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadFrame must treat a truncated stream as an error, not a
+// frame: every strict prefix of a valid frame fails to decode.
+func TestReadFramePrefixes(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteFrame(&b, Frame{Type: FrameUpdates, Seq: 9, Payload: encodeBatch(Batch{Head: 9, Records: []ribio.UpdateRecord{
+		{At: time.Second, Prefix: ip.MustParsePrefix("10.0.0.0/8"), NextHop: 2},
+	}})}); err != nil {
+		t.Fatal(err)
+	}
+	full := b.Bytes()
+	for n := 1; n < len(full); n++ {
+		if _, err := ReadFrame(bytes.NewReader(full[:n])); err == nil || err == io.EOF {
+			t.Fatalf("prefix of %d/%d bytes decoded without error (got %v)", n, len(full), err)
+		}
+	}
+}

@@ -64,7 +64,7 @@ type (
 // AllEngines returns the names of every available engine, in driver
 // order.
 func AllEngines() []string {
-	return []string{"table", "clue-pipe", "clpl-pipe", "slpl-sys", "clpl-sys", "serve"}
+	return []string{"table", "clue-pipe", "clpl-pipe", "slpl-sys", "clpl-sys", "serve", "feed"}
 }
 
 // buildEngines constructs the selected engines over the base route set.
@@ -116,6 +116,8 @@ func buildEngine(cfg Config, name string, routes []ip.Route) (Engine, error) {
 			return nil, err
 		}
 		return &serveEngine{rt: rt}, nil
+	case "feed":
+		return newFeedEngine(cfg, routes)
 	}
 	return nil, fmt.Errorf("unknown engine %q", name)
 }

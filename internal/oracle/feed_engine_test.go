@@ -1,0 +1,36 @@
+package oracle
+
+import (
+	"testing"
+)
+
+// TestFeedEngineDifferential: the replicated deployment (collector →
+// wire → follower runtime) must agree with the model and every other
+// engine across churn, worker faults and cache flushes — replication
+// must be invisible to correctness.
+func TestFeedEngineDifferential(t *testing.T) {
+	ops := 800
+	if testing.Short() {
+		ops = 200
+	}
+	cmds, f := Run(Config{Seed: 41, Ops: ops, Engines: []string{"table", "serve", "feed"}})
+	if f != nil {
+		t.Fatalf("feed engine diverged: %v", f)
+	}
+	if len(cmds) == 0 {
+		t.Fatal("no commands generated")
+	}
+}
+
+// TestFeedEngineCatchesMutant: with a defective model, the replicated
+// engine must be reported as divergent — proving the feed replica is a
+// real participant in the comparison, not a rubber stamp.
+func TestFeedEngineCatchesMutant(t *testing.T) {
+	_, f := Run(Config{Seed: 43, Ops: 400, Engines: []string{"feed"}, Mutant: MutantDropWithdraw})
+	if f == nil {
+		t.Fatal("mutant run passed: the feed replica is not actually being compared")
+	}
+	if f.Engine != "feed" {
+		t.Logf("failure attributed to %q — acceptable as long as the run failed: %v", f.Engine, f)
+	}
+}

@@ -1,0 +1,71 @@
+package tracegen
+
+import (
+	"fmt"
+	"io"
+
+	"clue/internal/ribio"
+	"clue/internal/trie"
+)
+
+// Records converts generated updates into ribio update-trace records —
+// the interchange form a feed collector tails. The conversion is exact:
+// sequence order, offsets, kinds and hops are preserved.
+func Records(ups []Update) []ribio.UpdateRecord {
+	out := make([]ribio.UpdateRecord, len(ups))
+	for i, u := range ups {
+		out[i] = ribio.UpdateRecord{At: u.At, Prefix: u.Prefix}
+		if u.Kind == Withdraw {
+			out[i].Withdraw = true
+		} else {
+			out[i].NextHop = u.Hop
+		}
+	}
+	return out
+}
+
+// FromRecords converts ribio update-trace records back into the
+// generator's update form, numbering them sequentially from 0.
+func FromRecords(recs []ribio.UpdateRecord) []Update {
+	out := make([]Update, len(recs))
+	for i, r := range recs {
+		out[i] = Update{Seq: i, At: r.At, Prefix: r.Prefix}
+		if r.Withdraw {
+			out[i].Kind = Withdraw
+		} else {
+			out[i].Kind = Announce
+			out[i].Hop = r.NextHop
+		}
+	}
+	return out
+}
+
+// ExportUpdates writes an update trace in the ribio interchange format:
+// a deterministic header naming the generator parameters, then one line
+// per update. The same seed and config always produce byte-identical
+// output, so exported traces are reproducible collector inputs.
+func ExportUpdates(w io.Writer, ups []Update, cfg UpdateConfig) error {
+	cfg = cfg.withDefaults()
+	if _, err := fmt.Fprintf(w,
+		"# clue update trace: seed=%d messages=%d withdraw=%g new=%g hops=%d duration=%s\n",
+		cfg.Seed, len(ups), cfg.WithdrawFrac, cfg.NewPrefixFrac, cfg.NextHops, cfg.Duration); err != nil {
+		return fmt.Errorf("tracegen: %w", err)
+	}
+	return ribio.WriteUpdates(w, Records(ups))
+}
+
+// GenerateUpdateTrace is the one-call export path: seed a generator over
+// fib's routes, draw cfg.Messages updates and write them as a ribio
+// update trace. It returns the generated updates so callers can replay
+// the exact exported sequence in-process.
+func GenerateUpdateTrace(w io.Writer, fib *trie.Trie, cfg UpdateConfig) ([]Update, error) {
+	g, err := NewUpdateGen(fib, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ups := g.NextN(cfg.Messages)
+	if err := ExportUpdates(w, ups, cfg); err != nil {
+		return nil, err
+	}
+	return ups, nil
+}

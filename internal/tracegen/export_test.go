@@ -1,0 +1,122 @@
+package tracegen
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clue/internal/fibgen"
+	"clue/internal/ribio"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// exportConfig is the pinned shape of the golden trace.
+func exportConfig() UpdateConfig {
+	return UpdateConfig{Seed: 7, Messages: 64}
+}
+
+func exportFIB(t *testing.T) []Update {
+	t.Helper()
+	fib, err := fibgen.Generate(fibgen.Config{Seed: 7, Routes: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ups, err := GenerateUpdateTrace(&buf, fib, exportConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exportBytes = buf.Bytes()
+	return ups
+}
+
+var exportBytes []byte
+
+// TestExportGolden pins the exported byte stream for a fixed seed: the
+// collector inputs must be reproducible, so any change to the generator,
+// the conversion or the ribio format that alters the bytes is a breaking
+// change and must update the golden file deliberately
+// (go test ./internal/tracegen -run TestExportGolden -update).
+func TestExportGolden(t *testing.T) {
+	exportFIB(t)
+	golden := filepath.Join("testdata", "golden_updates.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, exportBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(exportBytes, want) {
+		t.Fatalf("export diverged from golden file (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s",
+			exportBytes, want)
+	}
+}
+
+// TestExportDeterministic: two same-seed exports are byte-identical and
+// differ from a different seed's.
+func TestExportDeterministic(t *testing.T) {
+	run := func(seed int64) []byte {
+		fib, err := fibgen.Generate(fibgen.Config{Seed: 7, Routes: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		cfg := exportConfig()
+		cfg.Seed = seed
+		if _, err := GenerateUpdateTrace(&buf, fib, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b, c := run(7), run(7), run(8)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed exports differ")
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestExportRoundTrip: the exported trace reads back into the exact
+// update sequence (offsets, kinds, prefixes, hops), through both the
+// ribio reader and the record conversions.
+func TestExportRoundTrip(t *testing.T) {
+	ups := exportFIB(t)
+	recs, err := ribio.ReadUpdates(bytes.NewReader(exportBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := FromRecords(recs)
+	if len(back) != len(ups) {
+		t.Fatalf("round trip changed count: %d -> %d", len(ups), len(back))
+	}
+	for i := range ups {
+		if back[i] != ups[i] {
+			t.Fatalf("update %d changed: %+v -> %+v", i, ups[i], back[i])
+		}
+	}
+	// The generator's stream mixes announces and withdraws; make sure the
+	// golden shape actually exercises both kinds.
+	var w int
+	for _, r := range recs {
+		if r.Withdraw {
+			w++
+		}
+	}
+	if w == 0 || w == len(recs) {
+		t.Fatalf("degenerate trace: %d withdraws of %d", w, len(recs))
+	}
+	if !strings.HasPrefix(string(exportBytes), "# clue update trace: seed=7 ") {
+		t.Fatalf("missing or wrong header:\n%s", exportBytes[:80])
+	}
+}
