@@ -9,6 +9,7 @@ package clue_test
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -351,6 +352,34 @@ func BenchmarkSnapshotLookup(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
 	})
+}
+
+// BenchmarkSnapshotLookupCold drives the stride index with uniform
+// random addresses instead of the skewed traffic model: most probes
+// miss, and successive lookups share no index cache lines, so this is
+// the memory-bandwidth-bound worst case the DIR-24-8 layout is sized
+// for (SnapshotLookup/indexed is the cache-friendly best case). The
+// heap-B metric records the snapshot's total slab footprint, so the
+// committed baseline also gates the memory cost of index layout
+// changes, not just their speed.
+func BenchmarkSnapshotLookupCold(b *testing.B) {
+	rt, _ := benchServe(b, 120000, 13, serve.Config{})
+	snap := rt.Snapshot()
+	if !snap.Indexed() {
+		b.Fatal("large snapshot is not stride-indexed")
+	}
+	addrs := make([]ip.Addr, 1<<16)
+	rnd := rand.New(rand.NewSource(13))
+	for i := range addrs {
+		addrs[i] = ip.Addr(rnd.Uint32())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.Lookup(addrs[i&(1<<16-1)])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+	b.ReportMetric(float64(snap.HeapBytes()), "heap-B")
 }
 
 // BenchmarkServeLookupBatch measures the amortized snapshot read side:

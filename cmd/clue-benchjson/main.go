@@ -143,7 +143,22 @@ func compare(results []result, baselinePath, match, metrics string, maxRegress f
 				continue
 			}
 			if bv == 0 {
-				fmt.Fprintf(out, "%-50s %12s (baseline %s is zero)\n", cur.Name, "-", metric)
+				if strings.HasSuffix(metric, "/s") {
+					// A zero rate baseline is degenerate; nothing to gate.
+					fmt.Fprintf(out, "%-50s %12s (baseline %s is zero)\n", cur.Name, "-", metric)
+					continue
+				}
+				// A zero cost baseline (allocs/op=0, B/op=0) is an exact
+				// contract, not a ratio: "20% worse than zero allocations"
+				// is meaningless, so any nonzero current value fails.
+				compared++
+				verdict := "ok"
+				if cv != 0 {
+					verdict = "REGRESSION"
+					regressions = append(regressions,
+						fmt.Sprintf("%s: %s 0 -> %.4g (zero-cost baseline admits no regression)", cur.Name, metric, cv))
+				}
+				fmt.Fprintf(out, "%-50s %s %12.4g -> %-12.4g %6s  %s\n", cur.Name, metric, bv, cv, "", verdict)
 				continue
 			}
 			compared++

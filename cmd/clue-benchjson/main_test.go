@@ -205,6 +205,38 @@ func TestCompareAgainstBaseline(t *testing.T) {
 	}
 }
 
+// TestCompareZeroCostBaseline covers the exact-contract rule: a cost
+// metric committed at zero (allocs/op for the batch read path) fails on
+// any nonzero current value — there is no meaningful percentage budget
+// over zero — while zero rate baselines stay informational skips.
+func TestCompareZeroCostBaseline(t *testing.T) {
+	baseline := writeBaseline(t, []result{
+		{Name: "BenchmarkBatch", Iterations: 1, Metrics: map[string]float64{"ns/op": 100, "allocs/op": 0, "lookups/s": 0}},
+	})
+	const clean = "BenchmarkBatch-4 1000 101 ns/op 0 allocs/op 50000000 lookups/s\n"
+	const dirty = "BenchmarkBatch-4 1000 101 ns/op 2 allocs/op 50000000 lookups/s\n"
+
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", baseline, "-metric", "ns/op,allocs/op", "-max-regress", "20"},
+		strings.NewReader(clean), &buf); err != nil {
+		t.Fatalf("zero allocs on both sides failed: %v\n%s", err, buf.String())
+	}
+	buf.Reset()
+	err := run([]string{"-baseline", baseline, "-metric", "ns/op,allocs/op", "-max-regress", "20"},
+		strings.NewReader(dirty), &buf)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("nonzero allocs vs zero baseline not detected: err=%v\n%s", err, buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-baseline", baseline, "-metric", "ns/op,lookups/s", "-max-regress", "20"},
+		strings.NewReader(clean), &buf); err != nil {
+		t.Fatalf("zero-rate baseline failed the run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "baseline lookups/s is zero") {
+		t.Errorf("zero-rate skip not reported:\n%s", buf.String())
+	}
+}
+
 // TestCompareCommittedBaseline guards the committed BENCH_serve.json: the
 // CI regression step matches these names, so they must stay present and
 // carry ns/op.

@@ -290,7 +290,7 @@ func newHandler(rt *serve.Runtime, traceCapture bool, fl *feed.Follower) http.Ha
 		if r.URL.Query().Get("path") == "snapshot" {
 			resp.Path = "snapshot"
 			hop, pfx, ok := rt.Lookup(a)
-			resp.NextHop, resp.Found, resp.Version = uint32(hop), ok, rt.Snapshot().Version
+			resp.NextHop, resp.Found, resp.Version = uint32(hop), ok, rt.Version()
 			if ok {
 				resp.Prefix = pfx.String()
 			}

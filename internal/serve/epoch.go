@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Epoch-based snapshot reclamation (DESIGN.md §12).
+//
+// Snapshots used to be garbage for the GC to find: every writer batch
+// copied the full route table into fresh allocations and dropped the old
+// ones. Arena-backed snapshots invert that — the writer wants to recycle
+// a retired snapshot's arena the moment no reader can still be looking
+// at it, without making readers take locks or reference-count on the
+// (sub-10ns) lookup path.
+//
+// The protocol is the classic two-phase epoch scheme:
+//
+//   - Readers *pin* before loading the snapshot pointer and *unpin*
+//     when done: claim a striped slot (cache-line padded, CAS from a
+//     hashed start so unrelated goroutines rarely share a line) and
+//     store the current global epoch in it, tagged active.
+//   - The writer, having replaced snapshot v, advances the global epoch
+//     and remembers v with the epoch during which it was current. All
+//     atomics are sequentially consistent, so any reader that pins a
+//     later epoch is guaranteed to load v's successor: once every
+//     active slot carries a strictly newer epoch, no reader can still
+//     hold v and its arena is safe to reuse.
+//
+// Pins are short (one lookup or one batch), so reclamation lag is
+// bounded by the longest in-flight read, not by reader count.
+
+const cacheLine = 64
+
+// epochSlot is one reader registration cell. state is 0 when free,
+// otherwise (epoch<<1)|1. The padding keeps each slot on its own cache
+// line so two concurrent readers never false-share.
+type epochSlot struct {
+	state atomic.Uint64
+	_     [cacheLine - 8]byte
+}
+
+// epochs is the reclamation clock: a global epoch counter advanced by
+// the single writer, plus the striped reader slots.
+type epochs struct {
+	global atomic.Uint64
+	_      [cacheLine - 8]byte
+	slots  []epochSlot
+	mask   uint64
+}
+
+// newEpochs sizes the slot array to comfortably exceed the number of
+// goroutines that can simultaneously hold a pin while running (a pinned
+// goroutine that gets preempted keeps its slot, so leave headroom).
+func newEpochs() *epochs {
+	n := 1
+	for n < 8*runtime.GOMAXPROCS(0) || n < 64 {
+		n <<= 1
+	}
+	e := &epochs{slots: make([]epochSlot, n), mask: uint64(n - 1)}
+	e.global.Store(1)
+	return e
+}
+
+// enter claims a slot and pins the current epoch in it. h seeds the
+// slot choice (any cheap per-caller value — a worker id, a counter);
+// collisions fall through to linear probing. If every slot is pinned
+// (only possible when pinned goroutines were preempted), yield so they
+// can run and unpin instead of livelocking a busy CPU.
+func (e *epochs) enter(h uint64) *epochSlot {
+	tag := e.global.Load()<<1 | 1
+	h *= 0x9e3779b97f4a7c15 // Fibonacci spread of dense seeds
+	for i := uint64(0); ; i++ {
+		s := &e.slots[(h+i)&e.mask]
+		if s.state.Load() == 0 && s.state.CompareAndSwap(0, tag) {
+			return s
+		}
+		if i != 0 && i&e.mask == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// exit releases the pin.
+func (s *epochSlot) exit() { s.state.Store(0) }
+
+// advance moves the global clock forward one epoch (writer only) and
+// returns the new value. A snapshot replaced immediately before an
+// advance call was current during epoch advance()-1.
+func (e *epochs) advance() uint64 { return e.global.Add(1) }
+
+// safeBefore reports whether every active reader has pinned an epoch
+// strictly newer than epoch — i.e. no reader can still hold a snapshot
+// that was retired at the end of that epoch. Conservative by design: a
+// reader that pinned a stale epoch value merely delays reclamation.
+func (e *epochs) safeBefore(epoch uint64) bool {
+	for i := range e.slots {
+		st := e.slots[i].state.Load()
+		if st != 0 && st>>1 <= epoch {
+			return false
+		}
+	}
+	return true
+}

@@ -503,14 +503,14 @@ func TestSnapshotShellDownMask(t *testing.T) {
 
 	t.Run("rehome shares index", func(t *testing.T) {
 		prev := newSnapshot(1, routes, 4, nil)
-		if prev.index == nil {
+		if prev.index.empty() {
 			t.Fatal("test table below index threshold")
 		}
 		next := newSnapshotFrom(prev, 2, routes, 4, nil, nil, nil, []bool{false, true, false, false}, true)
 		if !next.flushCaches {
 			t.Fatal("flush flag lost")
 		}
-		if &next.index[0] != &prev.index[0] {
+		if &next.index.l1[0] != &prev.index.l1[0] {
 			t.Fatal("control publication copied the stride index instead of sharing it")
 		}
 	})

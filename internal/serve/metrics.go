@@ -43,6 +43,12 @@ type metrics struct {
 	noopBatches  atomic.Int64
 	batchOps     atomic.Int64
 
+	// Arena/epoch bookkeeping (writer-owned adds).
+	inPlacePatches atomic.Int64
+	indexPatches   atomic.Int64
+	indexRebuilds  atomic.Int64
+	arenasRecycled atomic.Int64
+
 	ttfTrie atomicFloat
 	ttfTCAM atomicFloat
 	ttfDRed atomicFloat
@@ -141,6 +147,19 @@ type Stats struct {
 	// index (false only for tables below the index threshold).
 	Indexed bool `json:"indexed"`
 	Workers int  `json:"workers"`
+	// IndexBytes is the published snapshot's two-level index footprint;
+	// IndexSubArrays the number of hot buckets promoted to second-level
+	// sub-arrays; SnapshotHeapBytes the snapshot's arena slab footprint
+	// (route ranges, next hops and both index levels).
+	IndexBytes        int `json:"index_bytes"`
+	IndexSubArrays    int `json:"index_sub_arrays"`
+	SnapshotHeapBytes int `json:"snapshot_heap_bytes"`
+	// Epoch is the reclamation clock; EpochLag how many epochs the oldest
+	// retired-but-unreclaimed snapshot trails it (0 = fully reclaimed);
+	// RetiredSnapshots the retired list length at export time.
+	Epoch            uint64 `json:"epoch"`
+	EpochLag         uint64 `json:"epoch_lag"`
+	RetiredSnapshots int    `json:"retired_snapshots"`
 
 	// SnapshotLookups counts direct (RCU read-side) lookups, including
 	// addresses resolved through LookupBatch; Dispatched counts lookups
@@ -196,6 +215,16 @@ type Stats struct {
 	NoopBatches    int64 `json:"noop_batches"`
 	BatchOps       int64 `json:"batch_ops"`
 	PendingUpdates int   `json:"pending_updates"`
+	// InPlacePatches counts publications that patched next hops into the
+	// live arena instead of copying the table; IndexPatches/IndexRebuilds
+	// split structural publications by whether the two-level index was
+	// patched from its predecessor or rebuilt from the table;
+	// ArenasRecycled counts retired arenas returned to the writer's pool
+	// by epoch reclamation.
+	InPlacePatches int64 `json:"in_place_patches"`
+	IndexPatches   int64 `json:"index_patches"`
+	IndexRebuilds  int64 `json:"index_rebuilds"`
+	ArenasRecycled int64 `json:"arenas_recycled"`
 
 	// TTFTotals accumulates the paper's per-update Time-To-Fresh
 	// breakdown (ns) across all applied ops; SwapNs the wall time spent
@@ -257,6 +286,12 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 	emit("clue_serve_snapshot_version", "gauge", "Version of the published lookup snapshot.", float64(s.SnapshotVersion))
 	emit("clue_serve_snapshot_routes", "gauge", "Compressed routes in the published snapshot.", float64(s.Routes))
 	emit("clue_serve_workers", "gauge", "Partition worker goroutines.", float64(s.Workers))
+	emit("clue_serve_index_bytes", "gauge", "Two-level stride index footprint of the published snapshot.", float64(s.IndexBytes))
+	emit("clue_serve_index_sub_arrays", "gauge", "Hot buckets promoted to second-level sub-arrays.", float64(s.IndexSubArrays))
+	emit("clue_serve_snapshot_heap_bytes", "gauge", "Arena slab footprint of the published snapshot.", float64(s.SnapshotHeapBytes))
+	emit("clue_serve_epoch", "gauge", "Reclamation epoch clock.", float64(s.Epoch))
+	emit("clue_serve_epoch_lag", "gauge", "Epochs the oldest unreclaimed snapshot trails the clock.", float64(s.EpochLag))
+	emit("clue_serve_retired_snapshots", "gauge", "Snapshots retired and awaiting epoch reclamation.", float64(s.RetiredSnapshots))
 	emit("clue_serve_snapshot_lookups_total", "counter", "Direct RCU snapshot lookups.", float64(s.SnapshotLookups))
 	emit("clue_serve_dispatched_total", "counter", "Lookups dispatched to partition workers.", float64(s.Dispatched))
 	emit("clue_serve_dispatch_batches_total", "counter", "DispatchBatch calls served.", float64(s.DispatchBatches))
@@ -278,6 +313,10 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 	emit("clue_serve_update_noop_batches_total", "counter", "Writer batches that changed nothing and published no snapshot.", float64(s.NoopBatches))
 	emit("clue_serve_update_batch_ops_total", "counter", "Update ops across all batches.", float64(s.BatchOps))
 	emit("clue_serve_update_pending", "gauge", "Update ops queued and not yet applied.", float64(s.PendingUpdates))
+	emit("clue_serve_in_place_patches_total", "counter", "Publications that patched next hops into the live arena without copying the table.", float64(s.InPlacePatches))
+	emit("clue_serve_index_patches_total", "counter", "Structural publications whose index was patched from its predecessor.", float64(s.IndexPatches))
+	emit("clue_serve_index_rebuilds_total", "counter", "Structural publications whose index was rebuilt from the table.", float64(s.IndexRebuilds))
+	emit("clue_serve_arenas_recycled_total", "counter", "Retired arenas returned to the writer pool by epoch reclamation.", float64(s.ArenasRecycled))
 	emit("clue_serve_ttf_trie_ns_total", "counter", "TTF1 (control-plane trie) nanoseconds.", s.TTFTotals.Trie)
 	emit("clue_serve_ttf_tcam_ns_total", "counter", "TTF2 (TCAM maintenance) nanoseconds.", s.TTFTotals.TCAM)
 	emit("clue_serve_ttf_dred_ns_total", "counter", "TTF3 (redundancy maintenance) nanoseconds.", s.TTFTotals.DRed)

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"clue/internal/ip"
+)
+
+// TestEpochReclamationUnderChurn hammers the lock-free read side from
+// several goroutines — single lookups, batches, and escaped Snapshot()
+// handles — while the writer replays structural withdraw/announce churn
+// fast enough that retired arenas are recycled underneath them. Run
+// under -race (as CI does) this is the proof of the epoch protocol's
+// memory ordering: the reader's slot CAS on enter and release on exit
+// must establish happens-before edges with the writer's recycle-time
+// slab writes, or the detector flags the replay.
+func TestEpochReclamationUnderChurn(t *testing.T) {
+	fib, routes := testRoutes(t, 3000, 77)
+	rt, err := New(routes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			batch := make([]ip.Addr, 64)
+			var out []LookupResult
+			for !stop.Load() {
+				switch rnd.Intn(8) {
+				case 0:
+					for i := range batch {
+						batch[i] = ip.Addr(rnd.Uint32())
+					}
+					out, _ = rt.LookupBatch(batch, out)
+				case 1:
+					// Escaped handle: it pins an epoch only while being
+					// taken, then must stay readable indefinitely even
+					// after the writer has moved many versions ahead.
+					s := rt.Snapshot()
+					s.Lookup(ip.Addr(rnd.Uint32()))
+				default:
+					rt.Lookup(ip.Addr(rnd.Uint32()))
+				}
+			}
+		}(int64(g))
+	}
+
+	iters := 300
+	if testing.Short() {
+		iters = 50
+	}
+	for i := 0; i < iters; i++ {
+		r := routes[(i*37)%len(routes)]
+		if _, err := rt.Withdraw(r.Prefix); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Announce(r.Prefix, r.NextHop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	st := rt.Stats()
+	if st.ArenasRecycled == 0 {
+		t.Error("structural churn recycled no arenas — epoch reclamation never fired")
+	}
+	// Every withdrawn route was re-announced, so the served table must
+	// match the untouched FIB again.
+	rnd := rand.New(rand.NewSource(78))
+	for i := 0; i < 2000; i++ {
+		a := ip.Addr(rnd.Uint32())
+		want, _ := fib.Lookup(a, nil)
+		hop, _, ok := rt.Lookup(a)
+		if ok != (want != ip.NoRoute) || (ok && hop != want) {
+			t.Fatalf("after churn: Lookup(%s) = %d,%v want %d", a, hop, ok, want)
+		}
+	}
+}
+
+// TestWriterSteadyStateAllocs guards the writer path's allocation
+// behavior. Before the arena rework every structural publish allocated
+// a fresh 2^16+1-entry stride index (512 KiB) plus a copy of the route
+// table; with the recycling pool warm, a steady stream of single-route
+// batches must reuse those slabs and stay orders of magnitude below
+// that. The bound is loose enough for the update pipeline's own small
+// allocations (per-op completion channels, diff scratch) and tight
+// enough that reintroducing a per-batch index or table copy trips it.
+func TestWriterSteadyStateAllocs(t *testing.T) {
+	_, routes := testRoutes(t, 5000, 99)
+	rt, err := New(routes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	churn := func(pairs int) {
+		for i := 0; i < pairs; i++ {
+			r := routes[(i*13)%len(routes)]
+			if _, err := rt.Withdraw(r.Prefix); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rt.Announce(r.Prefix, r.NextHop); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	churn(25) // warm the arena pool and writer scratch
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	const pairs = 200
+	churn(pairs)
+	runtime.ReadMemStats(&after)
+	per := (after.TotalAlloc - before.TotalAlloc) / (2 * pairs)
+	t.Logf("writer steady state: %d B/update", per)
+	if per > 32<<10 {
+		t.Errorf("writer path allocates %d B/update in steady state; want < 32 KiB (index or table slabs not reused?)", per)
+	}
+}

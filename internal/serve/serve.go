@@ -161,10 +161,36 @@ type writerScratch struct {
 	// the stride-index patch on the next snapshot.
 	insLast []ip.Addr
 	delLast []ip.Addr
+	// hopPatches records next-hop changes to existing table positions.
+	// The positions are only meaningful when the batch made no structural
+	// change (no inserts or deletes shifting them) — exactly the case
+	// where the writer patches hops into the live arena in place instead
+	// of copying the table.
+	hopPatches []hopPatch
 	// down is the per-publication worker health mask (true = out of
 	// service), read fresh from the worker states for every snapshot.
 	down []bool
 }
+
+// hopPatch is one in-place next-hop change: table position -> new hop.
+type hopPatch struct {
+	pos int32
+	hop uint32
+}
+
+// retiredSnap is a snapshot replaced by a newer publication, remembered
+// with the epoch during which it was last current. Once every reader has
+// pinned a strictly newer epoch the snapshot is unreachable and its
+// arena reference can be dropped.
+type retiredSnap struct {
+	snap  *Snapshot
+	epoch uint64
+}
+
+// arenaPoolMax bounds the writer's free-arena pool. Two arenas cover the
+// steady-state ping-pong between the current and the just-retired
+// snapshot; a couple more absorb reclamation lag under reader bursts.
+const arenaPoolMax = 3
 
 // Runtime is the concurrent forwarding service around a core.System.
 //
@@ -188,6 +214,19 @@ type Runtime struct {
 	updates chan updateOp
 	workers []*worker
 	m       metrics
+
+	// ep is the epoch clock readers pin around snapshot access; arenas is
+	// the writer's free pool of reclaimed arenas; retired the FIFO of
+	// replaced snapshots awaiting epoch safety. arenas/retired are
+	// writer-owned.
+	ep      *epochs
+	arenas  []*arena
+	retired []retiredSnap
+	// retiredLen/oldestEpoch mirror the retired list for Stats readers.
+	retiredLen  atomic.Int64
+	oldestEpoch atomic.Uint64
+	// pinSeed spreads Snapshot() callers across epoch slots.
+	pinSeed atomic.Uint64
 
 	inflight   atomic.Int64
 	closed     atomic.Bool
@@ -226,8 +265,11 @@ func New(routes []ip.Route, cfg Config) (*Runtime, error) {
 		updates:    make(chan updateOp, cfg.UpdateQueue),
 		writerDone: make(chan struct{}),
 	}
+	r.ep = newEpochs()
 	r.m.initHistograms(cfg.Workers)
-	r.snap.Store(newSnapshot(1, sys.CompressedRoutes(), cfg.Workers, nil))
+	first := newSnapshot(1, sys.CompressedRoutes(), cfg.Workers, nil)
+	first.ar.refs = 1
+	r.snap.Store(first)
 	r.workers = make([]*worker, cfg.Workers)
 	for i := range r.workers {
 		r.workers[i] = newWorker(i, r)
@@ -239,33 +281,61 @@ func New(routes []ip.Route, cfg Config) (*Runtime, error) {
 	return r, nil
 }
 
-// Snapshot returns the current published snapshot — the pure RCU
-// read-side handle. Callers can hold it across many lookups; it never
-// changes under them.
-func (r *Runtime) Snapshot() *Snapshot { return r.snap.Load() }
-
-// Lookup resolves addr on the snapshot path: one atomic load plus one
-// stride-indexed probe, no locks, regardless of concurrent updates.
-// One in lookupSampleMask+1 calls is timed into the snapshot-lookup
-// latency histogram; the sampling decision rides the counter bump the
-// untimed path pays anyway.
-func (r *Runtime) Lookup(addr ip.Addr) (ip.NextHop, ip.Prefix, bool) {
-	if r.m.snapshotLookups.Add(1)&lookupSampleMask == 0 {
-		start := time.Now()
-		hop, pfx, ok := r.snap.Load().Lookup(addr)
-		r.m.lookupLat.record(0, time.Since(start).Nanoseconds())
-		return hop, pfx, ok
-	}
-	return r.snap.Load().Lookup(addr)
+// Snapshot returns the current published snapshot — the RCU read-side
+// handle. Callers can hold it across many lookups; its table positions
+// never change under them (next hops may advance in place, each read
+// returning a value that was published at some instant). Handing out
+// the handle marks its arena escaped: the writer stops patching it in
+// place and never recycles it, leaving reclamation to the GC. The pin
+// around the load closes the race with a concurrent recycle decision —
+// either the writer sees the pin and defers, or this load is ordered
+// after the next publication and returns the newer snapshot.
+func (r *Runtime) Snapshot() *Snapshot {
+	slot := r.ep.enter(r.pinSeed.Add(1))
+	s := r.snap.Load()
+	s.ar.escaped.Store(true)
+	slot.exit()
+	return s
 }
 
-// LookupBatch resolves addrs on the snapshot path with one atomic load
-// for the whole batch. Results are appended into out (reused when its
-// capacity suffices) and returned with the answering snapshot's version.
+// Version returns the currently published snapshot version without
+// escaping the snapshot (unlike Snapshot, this leaves the writer's
+// in-place patch and arena recycling paths available).
+func (r *Runtime) Version() uint64 { return r.snap.Load().Version }
+
+// Lookup resolves addr on the snapshot path: an epoch pin, one atomic
+// load plus one two-level indexed probe, no locks, regardless of
+// concurrent updates. One in lookupSampleMask+1 calls is timed into the
+// snapshot-lookup latency histogram; the sampling decision and the
+// epoch-slot seed both ride the counter bump the untimed path pays
+// anyway.
+func (r *Runtime) Lookup(addr ip.Addr) (ip.NextHop, ip.Prefix, bool) {
+	tick := r.m.snapshotLookups.Add(1)
+	slot := r.ep.enter(uint64(tick))
+	var start time.Time
+	sampled := tick&lookupSampleMask == 0
+	if sampled {
+		start = time.Now()
+	}
+	hop, pfx, ok := r.snap.Load().Lookup(addr)
+	slot.exit()
+	if sampled {
+		r.m.lookupLat.record(0, time.Since(start).Nanoseconds())
+	}
+	return hop, pfx, ok
+}
+
+// LookupBatch resolves addrs on the snapshot path with one epoch pin
+// and one atomic load for the whole batch. Results are appended into
+// out (reused when its capacity suffices) and returned with the
+// answering snapshot's version.
 func (r *Runtime) LookupBatch(addrs []ip.Addr, out []LookupResult) ([]LookupResult, uint64) {
-	r.m.snapshotLookups.Add(int64(len(addrs)))
+	tick := r.m.snapshotLookups.Add(int64(len(addrs)))
+	slot := r.ep.enter(uint64(tick))
 	snap := r.snap.Load()
-	return snap.LookupBatch(addrs, out), snap.Version
+	out = snap.LookupBatch(addrs, out)
+	slot.exit()
+	return out, snap.Version
 }
 
 // Dispatch routes the lookup to its home partition worker over a bounded
@@ -627,6 +697,7 @@ func (r *Runtime) applyBatch(batch []updateOp) {
 	stale := r.ws.stale[:0]
 	r.ws.insLast = r.ws.insLast[:0]
 	r.ws.delLast = r.ws.delLast[:0]
+	r.ws.hopPatches = r.ws.hopPatches[:0]
 	rehome := false
 	changed := false
 	for _, op := range batch {
@@ -703,9 +774,7 @@ func (r *Runtime) applyBatch(batch []updateOp) {
 	slices.Sort(r.ws.insLast)
 	slices.Sort(r.ws.delLast)
 	prev := r.snap.Load()
-	routes := make([]ip.Route, len(r.table))
-	copy(routes, r.table)
-	r.snap.Store(newSnapshotFrom(prev, prev.Version+1, routes, r.cfg.Workers, staleOut, r.ws.insLast, r.ws.delLast, r.downMask(), rehome))
+	r.publish(prev, staleOut, rehome)
 	if rehome {
 		r.m.rehomes.Add(1)
 	}
@@ -714,6 +783,112 @@ func (r *Runtime) applyBatch(batch []updateOp) {
 	r.m.swapLat.record(0, swapNs)
 	for i := range batch {
 		batch[i].done <- results[i]
+	}
+}
+
+// publish builds and swaps in prev's successor. Three shapes, cheapest
+// first:
+//
+//   - Hop-only batches (no inserts or deletes — the common case under a
+//     next-hop churn storm) patch the new hops into prev's arena with
+//     atomic stores and publish a snapshot shell sharing the arena and
+//     index outright: the table is never copied. Skipped once the arena
+//     escaped through Runtime.Snapshot(), whose holders were promised
+//     stable data.
+//   - Structural batches rebuild the struct-of-arrays slabs in a
+//     recycled (or fresh) arena from the writer's sorted mirror, then
+//     patch the previous index through the insert/delete cuts when the
+//     batch is small enough, rebuilding it otherwise.
+//
+// After the swap the writer advances the epoch clock, retires prev and
+// reclaims whatever retirees every reader has provably moved past.
+func (r *Runtime) publish(prev *Snapshot, stale []ip.Prefix, rehome bool) {
+	version := prev.Version + 1
+	structural := len(r.ws.insLast) + len(r.ws.delLast)
+	var next *Snapshot
+	switch {
+	case structural == 0 && !prev.ar.escaped.Load():
+		for _, p := range r.ws.hopPatches {
+			atomic.StoreUint32(&prev.ar.hop[p.pos], p.hop)
+		}
+		next = prev.clonePatched(version, r.cfg.Workers, stale, r.downMask(), rehome)
+		r.m.inPlacePatches.Add(1)
+	default:
+		ar := r.takeArena(len(r.table))
+		rng, hop := ar.routeSlabs(len(r.table))
+		fillSlabs(rng, hop, r.table)
+		next = shellOnArena(ar, version, r.cfg.Workers, stale, r.downMask(), rehome)
+		switch {
+		case len(r.table) < strideMinRoutes:
+			// Small table: binary-search fallback needs no index.
+		case !prev.index.empty() && structural <= stridePatchMax:
+			next.index = patchIndexInto(ar, prev.index, rng, r.ws.insLast, r.ws.delLast, len(r.table))
+			r.m.indexPatches.Add(1)
+		default:
+			next.index = buildIndexInto(ar, rng)
+			r.m.indexRebuilds.Add(1)
+		}
+	}
+	next.ar.refs++
+	r.snap.Store(next)
+	// Advance strictly after the store: a reader pinning the new epoch is
+	// then guaranteed (seq-cst) to load next or later, so prev becomes
+	// reclaimable once every active pin exceeds the epoch it was current
+	// in.
+	epoch := r.ep.advance() - 1
+	r.retired = append(r.retired, retiredSnap{snap: prev, epoch: epoch})
+	r.reclaim()
+}
+
+// takeArena pops a pooled arena able to hold n routes (any pooled arena
+// failing that — routeSlabs regrows its slabs in place), or allocates a
+// fresh one.
+func (r *Runtime) takeArena(n int) *arena {
+	for i, a := range r.arenas {
+		if a.fits(n) {
+			last := len(r.arenas) - 1
+			r.arenas[i] = r.arenas[last]
+			r.arenas[last] = nil
+			r.arenas = r.arenas[:last]
+			return a
+		}
+	}
+	if last := len(r.arenas) - 1; last >= 0 {
+		a := r.arenas[last]
+		r.arenas[last] = nil
+		r.arenas = r.arenas[:last]
+		return a
+	}
+	return newArena(n)
+}
+
+// reclaim drains the retired-snapshot FIFO up to the first entry some
+// reader may still hold. A reclaimed snapshot drops its arena reference;
+// an arena with no snapshots left is recycled into the writer pool —
+// unless a Snapshot() caller escaped it, in which case the GC owns it.
+func (r *Runtime) reclaim() {
+	n := 0
+	for n < len(r.retired) && r.ep.safeBefore(r.retired[n].epoch) {
+		a := r.retired[n].snap.ar
+		a.refs--
+		// The escaped check must follow the epoch check: a racing
+		// Snapshot() caller either pinned an epoch the safeBefore scan saw
+		// (deferring this reclaim) or was ordered after the next
+		// publication and escaped that snapshot's arena instead.
+		if a.refs == 0 && !a.escaped.Load() && len(r.arenas) < arenaPoolMax {
+			r.arenas = append(r.arenas, a)
+			r.m.arenasRecycled.Add(1)
+		}
+		n++
+	}
+	if n > 0 {
+		r.retired = append(r.retired[:0], r.retired[n:]...)
+	}
+	r.retiredLen.Store(int64(len(r.retired)))
+	if len(r.retired) > 0 {
+		r.oldestEpoch.Store(r.retired[0].epoch)
+	} else {
+		r.oldestEpoch.Store(0)
 	}
 }
 
@@ -736,6 +911,10 @@ func (r *Runtime) applyDiffToTable(ops []onrtc.Op) {
 		case onrtc.OpInsert, onrtc.OpModify:
 			if exact {
 				r.table[i].NextHop = op.Route.NextHop
+				// Position i is the patch target if the whole batch turns out
+				// hop-only; any insert or delete invalidates the recorded
+				// positions and forces the structural publish path.
+				r.ws.hopPatches = append(r.ws.hopPatches, hopPatch{pos: int32(i), hop: uint32(op.Route.NextHop)})
 			} else {
 				r.table = append(r.table, ip.Route{})
 				copy(r.table[i+1:], r.table[i:])
@@ -798,11 +977,37 @@ func (r *Runtime) Close() {
 
 // Stats exports a point-in-time snapshot of the runtime's metrics.
 func (r *Runtime) Stats() Stats {
+	// The arena-footprint reads race writer-side slab regrowth once the
+	// snapshot is retired and recycled, so they sit under an epoch pin
+	// like any other arena access.
+	slot := r.ep.enter(r.pinSeed.Add(1))
 	snap := r.snap.Load()
+	version := snap.Version
+	routes := snap.Len()
+	indexed := snap.Indexed()
+	indexBytes := snap.IndexBytes()
+	subArrays := snap.SubArrays()
+	heapBytes := snap.HeapBytes()
+	slot.exit()
+	epoch := r.ep.global.Load()
+	var lag uint64
+	if oldest := r.oldestEpoch.Load(); oldest != 0 && epoch > oldest {
+		lag = epoch - oldest
+	}
 	st := Stats{
-		SnapshotVersion:    snap.Version,
-		Routes:             snap.Len(),
-		Indexed:            snap.Indexed(),
+		SnapshotVersion:    version,
+		Routes:             routes,
+		Indexed:            indexed,
+		IndexBytes:         indexBytes,
+		IndexSubArrays:     subArrays,
+		SnapshotHeapBytes:  heapBytes,
+		Epoch:              epoch,
+		EpochLag:           lag,
+		RetiredSnapshots:   int(r.retiredLen.Load()),
+		InPlacePatches:     r.m.inPlacePatches.Load(),
+		IndexPatches:       r.m.indexPatches.Load(),
+		IndexRebuilds:      r.m.indexRebuilds.Load(),
+		ArenasRecycled:     r.m.arenasRecycled.Load(),
 		Workers:            r.cfg.Workers,
 		SnapshotLookups:    r.m.snapshotLookups.Load(),
 		Dispatched:         r.m.dispatched.Load(),

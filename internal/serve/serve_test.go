@@ -410,10 +410,10 @@ func TestSnapshotIndexPatchedUnderChurn(t *testing.T) {
 	if !snap.Indexed() {
 		t.Fatalf("snapshot lost its stride index at %d routes", snap.Len())
 	}
-	want := buildStrideIndex(snap.routes)
-	for b := range want {
-		if snap.index[b] != want[b] {
-			t.Fatalf("after churn: patched index[%#x] = %d, rebuild %d", b, snap.index[b], want[b])
+	_, want := indexOver(snap.Routes())
+	for b := 0; b <= strideBuckets; b++ {
+		if l1Cut(snap.index.l1[b]) != l1Cut(want.l1[b]) {
+			t.Fatalf("after churn: patched cut[%#x] = %d, rebuild %d", b, l1Cut(snap.index.l1[b]), l1Cut(want.l1[b]))
 		}
 	}
 }

@@ -6,12 +6,15 @@
 //   - The compressed table is published as an immutable Snapshot behind
 //     an atomic.Pointer (RCU style). Readers never lock, never retry and
 //     never observe a half-applied update; the disjoint table means a
-//     snapshot lookup is one stride-index load plus a scan of a handful
-//     of candidate routes, with no priority tie-break.
+//     snapshot lookup is at most two dependent index loads plus a probe
+//     of a handful of candidate routes, with no priority tie-break.
 //   - A single writer goroutine plays the control plane: it drains a
 //     bounded channel of announce/withdraw ops, applies them in batches
 //     through the core pipeline (trie → TCAM diff → DRed) and atomically
 //     swaps in the next snapshot, recording per-batch TTF1/TTF2/TTF3.
+//     Snapshot bulk data lives in per-snapshot arenas recycled through
+//     epoch-based reclamation (epoch.go), so steady-state publication
+//     allocates almost nothing.
 //   - N partition worker goroutines mirror the N TCAM chips. The range
 //     index (Snapshot.Home) dispatches each lookup to its home worker
 //     over a bounded queue; a full queue diverts the lookup to the
@@ -20,26 +23,41 @@
 package serve
 
 import (
+	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"clue/internal/ip"
 )
 
 // Snapshot is an immutable view of the compressed forwarding table plus
 // the range index that assigns addresses to partition workers. All
-// methods are safe for unlimited concurrent use; nothing in a published
-// snapshot is ever mutated.
+// methods are safe for unlimited concurrent use. The one sanctioned
+// mutation is the writer's in-place next-hop patch (atomic stores into
+// hop, matched by atomic loads here): a reader sees either the old or
+// the new hop, both of which were the published answer at some instant
+// during its lookup.
 type Snapshot struct {
 	// Version increases by one per writer batch; version 1 is the
 	// snapshot built at startup.
 	Version uint64
-	// routes is the compressed table in ascending address order. The
-	// table is disjoint, so ranges are non-overlapping and strictly
-	// ascending — lookup matches at most one route.
-	routes []ip.Route
-	// index is the DIR-24-8-style first-level stride index over routes;
-	// nil for tables below strideMinRoutes, where Lookup falls back to
-	// the full binary search.
+	// ar owns the slabs below. Snapshots published by a hop-only patch
+	// share their predecessor's arena; the writer recycles an arena only
+	// once every snapshot on it is retired and epoch-reclaimed.
+	ar *arena
+	// rng is the compressed table as packed ranges last<<32|first, in
+	// ascending address order. The table is disjoint, so ranges are
+	// non-overlapping and both bounds are strictly ascending — lookup
+	// matches at most one route, and the full Route is reconstructible
+	// from the range (a disjoint range of 2^k addresses at a 2^k-aligned
+	// start is exactly one prefix).
+	rng []uint64
+	// hop holds the next hops, parallel to rng. Accessed with atomic
+	// u32 loads/stores to make the writer's in-place patches sound.
+	hop []uint32
+	// index is the two-level DIR-24-8 index over rng; empty for tables
+	// below strideMinRoutes, where Lookup falls back to binary search.
 	index strideIndex
 	// starts[i] is the first address partition worker i is home to
 	// (starts[0] is always 0), the software Indexing Logic.
@@ -68,57 +86,108 @@ type LookupResult struct {
 	Found  bool
 }
 
+// packRange packs a prefix into the snapshot's range representation.
+func packRange(p ip.Prefix) uint64 {
+	return uint64(uint32(p.Last()))<<32 | uint64(uint32(p.First()))
+}
+
+// rngRoutePrefix reconstructs the prefix from a packed range: the span
+// is a power of two, so the length falls out of its trailing zeros (a
+// full-space span wraps to 0, whose 32 trailing zeros give the default
+// route).
+func rngRoutePrefix(e uint64) ip.Prefix {
+	f := rngFirst(e)
+	return ip.Prefix{Bits: ip.Addr(f), Len: uint8(ip.AddrBits - bits.TrailingZeros32(rngLast(e)-f+1))}
+}
+
+// fillSlabs scatters a sorted []ip.Route into the struct-of-arrays
+// slabs.
+func fillSlabs(rng []uint64, hop []uint32, routes []ip.Route) {
+	for i := range routes {
+		rng[i] = packRange(routes[i].Prefix)
+		hop[i] = uint32(routes[i].NextHop)
+	}
+}
+
 // newSnapshot builds a snapshot over routes (which must be sorted
-// ascending and disjoint — the order core.CompressedRoutes guarantees),
-// including a fresh stride index for tables above strideMinRoutes. The
-// snapshot takes ownership of both slices.
+// ascending and disjoint — the order core.CompressedRoutes guarantees)
+// on a fresh arena, including the two-level index for tables above
+// strideMinRoutes.
 func newSnapshot(version uint64, routes []ip.Route, workers int, stale []ip.Prefix) *Snapshot {
 	s := snapshotShell(version, routes, workers, stale, nil)
 	if len(routes) >= strideMinRoutes {
-		s.index = buildStrideIndex(routes)
+		s.index = buildIndexInto(s.ar, s.rng)
 	}
 	return s
 }
 
-// newSnapshotFrom builds the successor of prev after a writer batch.
-// When the batch made few structural changes (the usual case under an
-// update storm) the previous snapshot's stride index is patched in
-// O(buckets) instead of rebuilt from the table; insLast and delLast must
-// be the ascending last addresses of the routes the batch inserted into
-// and deleted from prev's table. down marks workers excluded from the
-// partition recut (nil when all are healthy); flush marks the snapshot
-// as cache-flushing (set for re-homed publications).
+// newSnapshotFrom builds the successor of prev after a batch, for
+// callers outside the writer's arena-recycling loop (tests, ad-hoc
+// construction). When the batch made few structural changes the
+// previous snapshot's index is patched in O(buckets) instead of rebuilt
+// from the table; insLast and delLast must be the ascending last
+// addresses of the routes the batch inserted into and deleted from
+// prev's table. down marks workers excluded from the partition recut
+// (nil when all are healthy); flush marks the snapshot as
+// cache-flushing (set for re-homed publications).
 func newSnapshotFrom(prev *Snapshot, version uint64, routes []ip.Route, workers int, stale []ip.Prefix, insLast, delLast []ip.Addr, down []bool, flush bool) *Snapshot {
 	s := snapshotShell(version, routes, workers, stale, down)
 	s.flushCaches = flush
 	switch {
 	case len(routes) < strideMinRoutes:
 		// Small table: binary-search fallback needs no index.
-	case prev != nil && prev.index != nil && len(insLast)+len(delLast) == 0:
-		// Pure control publication (re-home, health change): the table is
-		// untouched, so the immutable index is shared as-is — a re-home
-		// costs partition cut points only, never an index copy.
+	case prev != nil && !prev.index.empty() && len(insLast)+len(delLast) == 0:
+		// Pure control publication (re-home, hop change): table positions
+		// are untouched, so the index is shared as-is — a re-home costs
+		// partition cut points only, never an index copy.
 		s.index = prev.index
-	case prev != nil && prev.index != nil && len(insLast)+len(delLast) <= stridePatchMax:
-		s.index = patchStrideIndex(prev.index, insLast, delLast, len(routes))
+	case prev != nil && !prev.index.empty() && len(insLast)+len(delLast) <= stridePatchMax:
+		s.index = patchIndexInto(s.ar, prev.index, s.rng, insLast, delLast, len(routes))
 	default:
-		s.index = buildStrideIndex(routes)
+		s.index = buildIndexInto(s.ar, s.rng)
 	}
 	return s
 }
 
-// snapshotShell builds everything but the stride index: the route table
-// and the partition range index with its cut points. down (nil when all
-// workers are healthy) excludes failed/draining workers from the recut:
-// their ranges are re-split exactly evenly across the survivors — the
-// disjoint table makes this a pure boundary move, no reordering.
+// snapshotShell builds everything but the index: a fresh arena holding
+// the struct-of-arrays table, and the partition range index with its
+// cut points.
 func snapshotShell(version uint64, routes []ip.Route, workers int, stale []ip.Prefix, down []bool) *Snapshot {
-	s := &Snapshot{Version: version, routes: routes, stale: stale}
-	// Even count split, exactly like partition.CLUE: cut points double as
-	// the range index. With fewer routes than eligible workers the cuts
-	// would collapse onto each other, so the split runs over min(active,
-	// routes) partitions and the rest are marked empty — they get no home
-	// range and no home traffic.
+	ar := newArena(len(routes))
+	rng, hop := ar.routeSlabs(len(routes))
+	fillSlabs(rng, hop, routes)
+	return shellOnArena(ar, version, workers, stale, down, false)
+}
+
+// shellOnArena builds a snapshot over ar's already-filled route slabs:
+// the writer's entry point, so a recycled arena never takes the
+// []ip.Route detour. down (nil when all workers are healthy) excludes
+// failed/draining workers from the recut: their ranges are re-split
+// exactly evenly across the survivors — the disjoint table makes this a
+// pure boundary move, no reordering.
+func shellOnArena(ar *arena, version uint64, workers int, stale []ip.Prefix, down []bool, flush bool) *Snapshot {
+	s := &Snapshot{Version: version, ar: ar, rng: ar.rng, hop: ar.hop, stale: stale, flushCaches: flush}
+	s.cutPartitions(workers, down)
+	return s
+}
+
+// clonePatched builds the successor of s for a publication that changed
+// no table positions (hop-only batches, re-homes): the arena and index
+// are shared outright and only the snapshot shell — version, stale
+// list, partition cuts — is new.
+func (s *Snapshot) clonePatched(version uint64, workers int, stale []ip.Prefix, down []bool, flush bool) *Snapshot {
+	n := &Snapshot{Version: version, ar: s.ar, rng: s.rng, hop: s.hop, index: s.index, stale: stale, flushCaches: flush}
+	n.cutPartitions(workers, down)
+	return n
+}
+
+// cutPartitions computes the partition range index over the snapshot's
+// route slab. Even count split, exactly like partition.CLUE: cut points
+// double as the range index. With fewer routes than eligible workers
+// the cuts would collapse onto each other, so the split runs over
+// min(active, routes) partitions and the rest are marked empty — they
+// get no home range and no home traffic.
+func (s *Snapshot) cutPartitions(workers int, down []bool) {
 	s.starts = make([]ip.Addr, workers)
 	s.empty = make([]bool, workers)
 	active := make([]int, 0, workers)
@@ -135,16 +204,16 @@ func snapshotShell(version uint64, routes []ip.Route, workers int, stale []ip.Pr
 		active = append(active, 0)
 	}
 	parts := len(active)
-	if len(routes) < parts {
-		parts = len(routes)
+	if len(s.rng) < parts {
+		parts = len(s.rng)
 	}
 	for j := 0; j < parts; j++ {
-		// parts <= len(routes) makes successive cuts strictly increasing,
+		// parts <= len(rng) makes successive cuts strictly increasing,
 		// so every active worker owns a non-empty route range.
 		w := active[j]
 		s.empty[w] = false
 		if j > 0 {
-			s.starts[w] = routes[j*len(routes)/parts].Prefix.First()
+			s.starts[w] = ip.Addr(rngFirst(s.rng[j*len(s.rng)/parts]))
 		}
 	}
 	if parts == 0 {
@@ -162,61 +231,98 @@ func snapshotShell(version uint64, routes []ip.Route, workers int, stale []ip.Pr
 			next = s.starts[i]
 		}
 	}
-	return s
 }
 
 // Len returns the compressed entry count.
-func (s *Snapshot) Len() int { return len(s.routes) }
+func (s *Snapshot) Len() int { return len(s.rng) }
 
 // Workers returns the partition count the range index dispatches over.
 func (s *Snapshot) Workers() int { return len(s.starts) }
 
 // Indexed reports whether the snapshot carries the stride index (large
 // tables) or serves Lookup through the binary-search fallback.
-func (s *Snapshot) Indexed() bool { return s.index != nil }
+func (s *Snapshot) Indexed() bool { return !s.index.empty() }
 
-// Lookup resolves addr against the snapshot. With the stride index the
-// common case is one indexed load plus a scan of the few routes whose
-// ranges intersect addr's /16 bucket; buckets packed with long prefixes
-// degrade to a binary search bounded to the bucket, and small tables
-// fall back to the full binary search. It is lock-free and
-// allocation-free.
+// IndexBytes returns the memory footprint of the two-level index.
+func (s *Snapshot) IndexBytes() int { return s.index.bytes() }
+
+// SubArrays returns the number of hot buckets carrying a second-level
+// sub-array.
+func (s *Snapshot) SubArrays() int { return s.index.subCount() }
+
+// HeapBytes approximates the snapshot's heap footprint: the arena slabs
+// plus the partition and stale side arrays.
+func (s *Snapshot) HeapBytes() int {
+	return s.ar.bytes() + len(s.starts)*4 + len(s.empty) + len(s.stale)*8
+}
+
+// route materializes entry k (whose packed range is e) as a hit.
+func (s *Snapshot) route(k int, e uint64) (ip.NextHop, ip.Prefix, bool) {
+	return ip.NextHop(atomic.LoadUint32(&s.hop[k])), rngRoutePrefix(e), true
+}
+
+// Lookup resolves addr against the snapshot. With the index the common
+// case is one first-level load — or two dependent loads through a hot
+// bucket's sub-array — plus a probe of the one or two routes whose
+// ranges intersect the bucket; degenerate buckets fall back to a binary
+// search bounded to the bucket, and small tables to the full binary
+// search. It is lock-free and allocation-free.
 func (s *Snapshot) Lookup(addr ip.Addr) (ip.NextHop, ip.Prefix, bool) {
-	if s.index == nil {
+	if s.index.empty() {
 		return s.LookupBinary(addr)
 	}
-	b := uint32(addr) >> strideShift
-	lo := int(s.index[b])
-	hi := int(s.index[b+1])
-	if hi < len(s.routes) {
-		// A short prefix spanning past the bucket boundary sits at
-		// index[b+1]; at most one exists, and the scan's First() guard
-		// excludes it when it actually starts beyond addr.
+	a := uint32(addr)
+	b := a >> strideShift
+	e := s.index.l1[b]
+	cut := l1Cut(e)
+	var lo, hi int
+	if ref := e >> 32; ref != 0 {
+		// Hot bucket: the /24 sub-array narrows the candidates to (almost
+		// always) a single route. Entries are offsets from the bucket's
+		// own cut; the sub-bucket's end cut is the next sub-entry, and
+		// the last sub-bucket's is the next bucket's cut.
+		off := (ref - 1) << subBits
+		j := uint64(a >> subShift & (subEntries - 1))
+		lo = int(cut + uint32(s.index.subs[off+j]))
+		if j == subEntries-1 {
+			hi = int(l1Cut(s.index.l1[b+1]))
+		} else {
+			hi = int(cut + uint32(s.index.subs[off+j+1]))
+		}
+	} else {
+		lo = int(cut)
+		hi = int(l1Cut(s.index.l1[b+1]))
+	}
+	if hi < len(s.rng) {
+		// A short prefix spanning past the bucket boundary sits exactly at
+		// the end cut; at most one exists, and the probe's first-address
+		// guard excludes it when it actually starts beyond addr.
 		hi++
 	}
 	// Routes below lo end before the bucket starts, so the answer — the
-	// last route with First() <= addr — lives in [lo, hi) or nowhere.
+	// last route with first <= addr — lives in [lo, hi) or nowhere.
 	if hi-lo > strideScanMax {
 		i, j := lo, hi
 		for i < j {
 			mid := int(uint(i+j) >> 1)
-			if s.routes[mid].Prefix.First() <= addr {
+			if rngFirst(s.rng[mid]) <= a {
 				i = mid + 1
 			} else {
 				j = mid
 			}
 		}
 		if i > lo {
-			if r := &s.routes[i-1]; r.Prefix.Contains(addr) {
-				return r.NextHop, r.Prefix, true
+			if e := s.rng[i-1]; rngLast(e) >= a {
+				return s.route(i-1, e)
 			}
 		}
 		return ip.NoRoute, ip.Prefix{}, false
 	}
 	for k := hi - 1; k >= lo; k-- {
-		if r := &s.routes[k]; r.Prefix.First() <= addr {
-			if r.Prefix.Contains(addr) {
-				return r.NextHop, r.Prefix, true
+		e := s.rng[k]
+		if rngFirst(e) <= a {
+			if rngLast(e) >= a {
+				return s.route(k, e)
 			}
 			return ip.NoRoute, ip.Prefix{}, false
 		}
@@ -228,35 +334,175 @@ func (s *Snapshot) Lookup(addr ip.Addr) (ip.NextHop, ip.Prefix, bool) {
 // the pre-index reference path, kept as the small-table fallback and as
 // the oracle for the differential tests and benchmarks.
 func (s *Snapshot) LookupBinary(addr ip.Addr) (ip.NextHop, ip.Prefix, bool) {
-	i := sort.Search(len(s.routes), func(i int) bool {
-		return s.routes[i].Prefix.First() > addr
+	a := uint32(addr)
+	i := sort.Search(len(s.rng), func(i int) bool {
+		return rngFirst(s.rng[i]) > a
 	}) - 1
-	if i >= 0 && s.routes[i].Prefix.Contains(addr) {
-		return s.routes[i].NextHop, s.routes[i].Prefix, true
+	if i >= 0 {
+		if e := s.rng[i]; rngLast(e) >= a {
+			return s.route(i, e)
+		}
 	}
 	return ip.NoRoute, ip.Prefix{}, false
 }
 
+// batchSortMin is the batch size at which LookupBatch bucket-sorts the
+// keys by top-16 stride and probes in the staged multi-pass layout.
+// Sorting only pays once the batch is big enough that neighboring keys
+// actually share index and slab cache lines: at typical batch sizes a
+// few hundred keys scatter across tens of thousands of /16 buckets, so
+// the two radix passes and the scratch traffic cost more than the
+// misses they avoid, and the plain per-key probe — whose short
+// iterations the out-of-order engine already overlaps — wins.
+const batchSortMin = 1024
+
+// lookupSortScratch holds LookupBatch's radix-sort buffers, pooled
+// across calls so the batch path stays allocation-free.
+type lookupSortScratch struct {
+	a, b []uint64
+}
+
+var lookupSortPool = sync.Pool{New: func() any { return new(lookupSortScratch) }}
+
+// leafSubs backs the branchless pass-2 sub-array read for snapshots with
+// no promoted buckets at all: leaf keys read block 0 and mask the value
+// away, so any 256-entry block serves.
+var leafSubs [subEntries]uint16
+
+// radixPass distributes src into dst by the byte at shift, stable.
+func radixPass(src, dst []uint64, shift uint) {
+	var cnt [256]int32
+	for _, v := range src {
+		cnt[v>>shift&0xff]++
+	}
+	off := int32(0)
+	for i := range cnt {
+		c := cnt[i]
+		cnt[i] = off
+		off += c
+	}
+	for _, v := range src {
+		j := v >> shift & 0xff
+		dst[cnt[j]] = v
+		cnt[j]++
+	}
+}
+
 // LookupBatch resolves addrs against this one snapshot, amortizing the
 // snapshot load across the batch. Results are written into out (reused
-// when its capacity suffices) and returned in input order.
+// when its capacity suffices) and returned in input order. Batches of
+// batchSortMin or more addresses are first bucket-sorted by their
+// top-16 stride (two LSD radix passes over packed addr|position keys),
+// so the probes walk the index and the route slab in address order —
+// neighboring lookups share cache lines instead of striding randomly
+// across the table — and the answers scatter back through the carried
+// positions.
 func (s *Snapshot) LookupBatch(addrs []ip.Addr, out []LookupResult) []LookupResult {
 	if cap(out) < len(addrs) {
 		out = make([]LookupResult, len(addrs))
 	} else {
 		out = out[:len(addrs)]
 	}
-	for i, a := range addrs {
-		hop, pfx, ok := s.Lookup(a)
-		out[i] = LookupResult{Hop: hop, Prefix: pfx, Found: ok}
+	if len(addrs) < batchSortMin || s.index.empty() {
+		for i, a := range addrs {
+			hop, pfx, ok := s.Lookup(a)
+			out[i] = LookupResult{Hop: hop, Prefix: pfx, Found: ok}
+		}
+		return out
 	}
+	sc := lookupSortPool.Get().(*lookupSortScratch)
+	n := len(addrs)
+	if cap(sc.a) < n {
+		sc.a = make([]uint64, n)
+		sc.b = make([]uint64, n)
+	}
+	ka, kb := sc.a[:n], sc.b[:n]
+	for i, a := range addrs {
+		ka[i] = uint64(a)<<32 | uint64(uint32(i))
+	}
+	radixPass(ka, kb, 32+strideShift)         // addr bits 16-23: low stride byte
+	radixPass(kb, ka, 32+strideShift+subBits) // addr bits 24-31: high stride byte
+
+	// The sorted probe runs in three passes rather than one Lookup call
+	// per key, keeping each pass's accesses in sorted order so big
+	// batches sweep the index and slabs monotonically.
+
+	// Pass 1: first-level entries. kb[i] receives l1[stride(i)].
+	l1 := s.index.l1
+	for i, v := range ka {
+		kb[i] = l1[v>>(32+strideShift)]
+	}
+	// Pass 2: resolve each key's candidate window [lo, hi) — through the
+	// /24 sub-array for hot buckets — and pack it back into kb. The
+	// hot/leaf choice is a data-dependent coin flip across keys, so it is
+	// computed with masks instead of a branch: leaf keys read the dummy
+	// block (off = 0) and mask the value away, sparing a mispredict per
+	// key. Only the j == 255 wrap (1/256 of keys) stays a branch.
+	subs := s.index.subs
+	if len(subs) == 0 {
+		subs = leafSubs[:]
+	}
+	for i, v := range ka {
+		e := kb[i]
+		a := uint32(v >> 32)
+		b := a >> strideShift
+		cut := l1Cut(e)
+		nxt := l1Cut(l1[b+1])
+		r := e >> 32
+		hot := (r | (0 - r)) >> 63   // 1 when promoted
+		m := uint32(0) - uint32(hot) // all-ones when promoted
+		off := (r - hot) << subBits  // (ref-1)*256, or 0 for leaf keys
+		j := uint64(a>>subShift) & (subEntries - 1)
+		lo := cut + m&uint32(subs[off+j]) // rel offsets: leaf keys add 0
+		var hi uint32
+		if j == subEntries-1 {
+			hi = nxt
+		} else {
+			hi = m&(cut+uint32(subs[off+j+1])) | ^m&nxt
+		}
+		kb[i] = uint64(hi)<<32 | uint64(lo)
+	}
+	// Pass 3: probe the route slab and scatter answers to input order.
+	// Disjointness makes the probe branch-free: at most one route in the
+	// whole table covers a given address, so scanning a fixed window of
+	// strideScanMax entries around [lo, hi) cannot produce a false match
+	// — entries outside the true window fail the cover test by
+	// construction. The fixed trip count and mask-accumulated match
+	// replace the early-exit scan whose exit position mispredicted on
+	// almost every key.
+	rng := s.rng
+	nr := len(rng)
+	for i, v := range ka {
+		w := kb[i]
+		lo, hi := int(uint32(w)), int(uint32(w>>32))
+		if hi < nr {
+			hi++ // spanning-route guard, as in Lookup
+		}
+		a := uint32(v >> 32)
+		res := LookupResult{}
+		if hi-lo <= strideScanMax {
+			for k := hi - 1; k >= lo; k-- {
+				e := rng[k]
+				if rngFirst(e) <= a {
+					if rngLast(e) >= a {
+						res.Hop, res.Prefix, res.Found = s.route(k, e)
+					}
+					break
+				}
+			}
+		} else {
+			res.Hop, res.Prefix, res.Found = s.Lookup(ip.Addr(a))
+		}
+		out[uint32(v)] = res
+	}
+	lookupSortPool.Put(sc)
 	return out
 }
 
 // Home returns the partition worker responsible for addr. Workers with
 // empty home ranges (down workers, or surplus workers on tiny tables)
 // are never returned as long as the snapshot has any non-empty worker —
-// which snapshotShell guarantees by construction.
+// which cutPartitions guarantees by construction.
 func (s *Snapshot) Home(addr ip.Addr) int {
 	i := sort.Search(len(s.starts), func(i int) bool {
 		return s.starts[i] > addr
@@ -288,10 +534,12 @@ func (s *Snapshot) emptyHome(i int) bool {
 	return i < len(s.empty) && s.empty[i]
 }
 
-// Routes returns a copy of the snapshot's compressed table (diagnostics
-// and tests; the copy keeps the snapshot immutable).
+// Routes materializes the snapshot's compressed table as []ip.Route
+// (diagnostics and tests; the copy keeps the snapshot immutable).
 func (s *Snapshot) Routes() []ip.Route {
-	out := make([]ip.Route, len(s.routes))
-	copy(out, s.routes)
+	out := make([]ip.Route, len(s.rng))
+	for i, e := range s.rng {
+		out[i] = ip.Route{Prefix: rngRoutePrefix(e), NextHop: ip.NextHop(atomic.LoadUint32(&s.hop[i]))}
+	}
 	return out
 }

@@ -161,7 +161,7 @@ func TestSnapshotIndexShortPrefixes(t *testing.T) {
 		{Prefix: ip.MustParsePrefix("128.0.0.0/1"), NextHop: 7}, // half the space
 	}
 	snap := newSnapshot(1, routes, 4, nil)
-	snap.index = buildStrideIndex(routes) // force the index despite the tiny table
+	snap.index = buildIndexInto(snap.ar, snap.rng) // force the index despite the tiny table
 	for _, tc := range []struct {
 		addr string
 		hop  ip.NextHop
@@ -185,13 +185,25 @@ func TestSnapshotIndexShortPrefixes(t *testing.T) {
 	}
 }
 
+// indexOver builds a fresh arena-backed index over routes (test helper).
+func indexOver(routes []ip.Route) (*arena, strideIndex) {
+	ar := newArena(len(routes))
+	rng, hop := ar.routeSlabs(len(routes))
+	fillSlabs(rng, hop, routes)
+	return ar, buildIndexInto(ar, rng)
+}
+
 // TestStrideIndexPatchMatchesRebuild checks the incremental index patch
 // (count deltas from the batch's inserted/deleted route last-addresses)
 // against a from-scratch rebuild, over randomized insert/delete churn.
+// Cut points must agree exactly at both levels; the promotion sets may
+// differ (a patch never demotes and promotes only boundedly), so
+// sub-arrays are compared where both sides carry them and the full
+// lookup behavior is cross-checked route by route.
 func TestStrideIndexPatchMatchesRebuild(t *testing.T) {
 	fib, _ := testRoutes(t, 4000, 42)
 	routes := onrtc.Compress(fib).Routes()
-	idx := buildStrideIndex(routes)
+	_, idx := indexOver(routes)
 	rng := rand.New(rand.NewSource(42))
 	for round := 0; round < 20; round++ {
 		var insLast, delLast []ip.Addr
@@ -224,11 +236,27 @@ func TestStrideIndexPatchMatchesRebuild(t *testing.T) {
 		}
 		slices.Sort(insLast)
 		slices.Sort(delLast)
-		idx = patchStrideIndex(idx, insLast, delLast, len(routes))
-		want := buildStrideIndex(routes)
-		for b := range want {
-			if idx[b] != want[b] {
-				t.Fatalf("round %d: patched index[%#x] = %d, rebuild %d", round, b, idx[b], want[b])
+		next := newArena(len(routes))
+		nrng, nhop := next.routeSlabs(len(routes))
+		fillSlabs(nrng, nhop, routes)
+		idx = patchIndexInto(next, idx, nrng, insLast, delLast, len(routes))
+		_, want := indexOver(routes)
+		for b := 0; b <= strideBuckets; b++ {
+			if l1Cut(idx.l1[b]) != l1Cut(want.l1[b]) {
+				t.Fatalf("round %d: patched cut[%#x] = %d, rebuild %d", round, b, l1Cut(idx.l1[b]), l1Cut(want.l1[b]))
+			}
+		}
+		for b := 0; b < strideBuckets; b++ {
+			pr, wr := idx.l1[b]>>32, want.l1[b]>>32
+			if pr == 0 || wr == 0 {
+				continue
+			}
+			po, wo := (pr-1)<<subBits, (wr-1)<<subBits
+			for j := uint64(0); j < subEntries; j++ {
+				if idx.subs[po+j] != want.subs[wo+j] {
+					t.Fatalf("round %d: bucket %#x sub cut[%d] = %d, rebuild %d",
+						round, b, j, idx.subs[po+j], want.subs[wo+j])
+				}
 			}
 		}
 	}

@@ -129,6 +129,8 @@ func (w *worker) answerAfterPanic(req lookupReq) {
 	if req.done == nil {
 		return
 	}
+	slot := w.rt.ep.enter(uint64(w.id))
+	defer slot.exit()
 	snap := w.rt.snap.Load()
 	if req.batch != nil {
 		for i, a := range req.batch {
@@ -143,8 +145,12 @@ func (w *worker) answerAfterPanic(req lookupReq) {
 }
 
 // serve answers one request against the current snapshot, keeping the
-// cache consistent with it first.
+// cache consistent with it first. The epoch pin spans the whole
+// request: the snapshot's arena cannot be recycled while this worker
+// still probes it.
 func (w *worker) serve(req lookupReq) Result {
+	slot := w.rt.ep.enter(uint64(w.id))
+	defer slot.exit()
 	snap := w.rt.snap.Load()
 	w.syncCache(snap)
 	w.served.Add(1)
@@ -152,10 +158,12 @@ func (w *worker) serve(req lookupReq) Result {
 }
 
 // serveBatch answers a whole home-partition group against one snapshot
-// load — the per-request snapshot and cache-sync overhead is paid once
-// for the group, and the group's addresses share the worker's cache-warm
-// slice of the table.
+// load and one epoch pin — the per-request snapshot and cache-sync
+// overhead is paid once for the group, and the group's addresses share
+// the worker's cache-warm slice of the table.
 func (w *worker) serveBatch(req lookupReq) {
+	slot := w.rt.ep.enter(uint64(w.id))
+	defer slot.exit()
 	snap := w.rt.snap.Load()
 	w.syncCache(snap)
 	w.served.Add(int64(len(req.batch)))
