@@ -10,6 +10,10 @@
 //	           [-cycles 3] [-max-dispatch-p99 1s] [-sequential] [-v]
 //	clue-chaos -feed [-seed 7] [-ops 1200] [-routes 3000] [-workers 2]
 //	           [-feed-batch 4] [-feed-window 16] [-v]
+//	clue-chaos -scenario session-reset|route-leak|update-burst|flash-crowd
+//	           [-seed 7] [-routes 12000] [-workers 4] [-mutant none]
+//	           [-max-dispatch-p99 0] [-max-divert-rate 0] [-max-converge 0]
+//	           [-repro-dir DIR] [-v]
 //
 // The report is printed as JSON on stdout; the exit status is non-zero
 // when any invariant broke (wrong answer vs the oracle, a dispatch that
@@ -24,23 +28,59 @@
 // mid-stream with a state handoff. The run fails unless both replicas
 // reconverge to the collector's canonical compressed table with the
 // resume and re-snapshot paths both exercised and no goroutine leaks.
+//
+// -scenario replays one of the adversarial scenario-lab programs
+// (internal/tracegen) under traffic with mid-storm oracle checkpoints
+// and the scenario's declared contract: bounded degraded-mode dispatch
+// p99, bounded divert rate and bounded time-to-converge (first
+// canonical-table-hash match after the storm). The bound flags override
+// the contract; 0 keeps the scenario default and a negative value
+// disables that bound. -repro-dir writes a shrunk JSON reproducer on
+// failure; -mutant plants a deliberate oracle defect (self-test).
+//
+// Exit status: 0 on a passing run, 1 when the run failed an invariant
+// or its contract, 2 on a usage error (unknown flag or scenario,
+// contradictory bounds, incompatible mode combinations).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"clue/internal/chaos"
+	"clue/internal/oracle"
+	"clue/internal/tracegen"
 )
+
+// usageError marks errors that indicate the invocation itself is wrong
+// (exit 2), as opposed to a run that failed (exit 1).
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "clue-chaos:", err)
+		var ue usageError
+		if errors.As(err, &ue) || errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
+}
+
+// parseMutant maps the -mutant flag to an oracle mutant.
+func parseMutant(s string) (oracle.Mutant, error) {
+	for _, m := range []oracle.Mutant{oracle.MutantNone, oracle.MutantDropWithdraw, oracle.MutantShortestMatch} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, usageError{fmt.Sprintf("unknown -mutant %q (known: none, drop-withdraw, shortest-match)", s)}
 }
 
 func run(args []string, out, errw io.Writer) error {
@@ -59,9 +99,84 @@ func run(args []string, out, errw io.Writer) error {
 	feedMode := fs.Bool("feed", false, "run the replication chaos scenario (collector + two follower replicas)")
 	feedBatch := fs.Int("feed-batch", 0, "updates per replicated batch (feed mode; 0 = default)")
 	feedWindow := fs.Int("feed-window", 0, "collector replay window in batches (feed mode; 0 = default)")
+	scenario := fs.String("scenario", "", "replay a scenario-lab program (session-reset, route-leak, update-burst, flash-crowd)")
+	stormOps := fs.Int("storm-ops", 0, "scenario storm size where generated from churn (0 = scenario default)")
+	maxDivert := fs.Float64("max-divert-rate", 0, "scenario bound on diverted/dispatched (0 = contract default, negative disables)")
+	maxConverge := fs.Duration("max-converge", 0, "scenario bound on time-to-converge after the storm (0 = contract default, negative disables)")
+	mutant := fs.String("mutant", "none", "plant an oracle defect for scenario self-tests (none, drop-withdraw, shortest-match)")
+	reproDir := fs.String("repro-dir", "", "write a shrunk JSON reproducer here when a scenario run fails")
 	verbose := fs.Bool("v", false, "log faults and checkpoints to stderr")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageError{err.Error()}
+	}
+
+	if *scenario != "" {
+		if *feedMode {
+			return usageError{"-scenario and -feed are mutually exclusive"}
+		}
+		if *sequential {
+			return usageError{"-sequential only applies to the soak, not -scenario"}
+		}
+		known := false
+		for _, n := range tracegen.ScenarioNames() {
+			if *scenario == n {
+				known = true
+			}
+		}
+		if !known {
+			return usageError{fmt.Sprintf("unknown scenario %q (known: %v)", *scenario, tracegen.ScenarioNames())}
+		}
+		if *maxDivert > 1 {
+			return usageError{fmt.Sprintf("-max-divert-rate %v is a contradiction: diverted/dispatched can never exceed 1", *maxDivert)}
+		}
+		mut, err := parseMutant(*mutant)
+		if err != nil {
+			return err
+		}
+		scfg := chaos.ScenarioConfig{
+			Name:           *scenario,
+			Seed:           *seed,
+			Routes:         *routes,
+			StormOps:       *stormOps,
+			Workers:        *workers,
+			Lookers:        *lookers,
+			Probes:         *probes,
+			MaxDegradedP99: *maxP99,
+			MaxDivertRate:  *maxDivert,
+			MaxConverge:    *maxConverge,
+			Mutant:         mut,
+			ReproDir:       *reproDir,
+		}
+		// The shared defaults are sized for the soak; fall back to the
+		// scenario/driver defaults unless the caller overrode them.
+		if *routes == 12000 {
+			scfg.Routes = 0
+		}
+		if *workers == 4 {
+			scfg.Workers = 0
+		}
+		if *lookers == 4 {
+			scfg.Lookers = 0
+		}
+		if *probes == 2000 {
+			scfg.Probes = 0
+		}
+		if *verbose {
+			scfg.Log = errw
+		}
+		rep, err := chaos.RunScenario(scfg)
+		doc, jerr := json.MarshalIndent(rep, "", "  ")
+		if jerr != nil {
+			return jerr
+		}
+		fmt.Fprintln(out, string(doc))
 		return err
+	}
+	if *mutant != "none" || *reproDir != "" || *maxDivert != 0 || *maxConverge != 0 || *stormOps != 0 {
+		return usageError{"-mutant/-repro-dir/-max-divert-rate/-max-converge/-storm-ops require -scenario"}
 	}
 
 	if *feedMode {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -70,7 +71,105 @@ func TestRunFeedScenario(t *testing.T) {
 
 func TestRunBadFlag(t *testing.T) {
 	var out, errw bytes.Buffer
-	if err := run([]string{"-ops", "not-a-number"}, &out, &errw); err == nil {
+	err := run([]string{"-ops", "not-a-number"}, &out, &errw)
+	if err == nil {
 		t.Fatal("bad flag accepted")
+	}
+	if !isUsage(err) {
+		t.Fatalf("parse error should be a usage error (exit 2), got %T: %v", err, err)
+	}
+}
+
+func isUsage(err error) bool {
+	var ue usageError
+	return errors.As(err, &ue)
+}
+
+// TestRunScenarioMode replays a small scenario through the CLI and
+// checks the JSON report reaches stdout.
+func TestRunScenarioMode(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{
+		"-scenario", "update-burst", "-seed", "5", "-routes", "900",
+		"-storm-ops", "200", "-workers", "2", "-lookers", "1", "-probes", "150",
+		"-max-dispatch-p99", "-1s", "-max-divert-rate", "-1", "-v",
+	}, &out, &errw)
+	if err != nil {
+		t.Fatalf("scenario run: %v\nstderr: %s", err, errw.String())
+	}
+	var rep struct {
+		Scenario     string `json:"scenario"`
+		Ops          int    `json:"ops"`
+		WrongAnswers int    `json:"wrong_answers"`
+		Converged    bool   `json:"converged"`
+		TableHash    string `json:"table_hash"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Scenario != "update-burst" || rep.Ops == 0 || rep.WrongAnswers != 0 || !rep.Converged {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if len(rep.TableHash) != 16 {
+		t.Fatalf("no table hash in report: %+v", rep)
+	}
+	if !strings.Contains(errw.String(), "checkpoint") {
+		t.Fatalf("-v produced no progress log: %q", errw.String())
+	}
+}
+
+// TestRunScenarioUsageErrors pins every invalid invocation to the
+// usage-error class (exit 2 in main), distinct from run failures.
+func TestRunScenarioUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "no-such-storm"},
+		{"-scenario", "route-leak", "-feed"},
+		{"-scenario", "route-leak", "-sequential"},
+		{"-scenario", "route-leak", "-max-divert-rate", "1.5"},
+		{"-scenario", "route-leak", "-mutant", "bit-rot"},
+		{"-mutant", "drop-withdraw"}, // scenario-only flag without -scenario
+		{"-repro-dir", "/tmp/x"},
+		{"-max-converge", "5s"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		err := run(args, &out, &errw)
+		if err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+		if !isUsage(err) {
+			t.Fatalf("%v should be a usage error, got %T: %v", args, err, err)
+		}
+		if out.Len() != 0 {
+			t.Fatalf("%v wrote a report despite the usage error: %s", args, out.String())
+		}
+	}
+}
+
+// TestRunScenarioMutantExitPath: a planted mutant is a *run* failure
+// (exit 1), not a usage error — and the report still reaches stdout so
+// CI can archive it.
+func TestRunScenarioMutantExitPath(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{
+		"-scenario", "session-reset", "-seed", "5", "-routes", "800",
+		"-workers", "2", "-lookers", "1", "-probes", "100",
+		"-max-dispatch-p99", "-1s", "-max-divert-rate", "-1",
+		"-max-converge", "300ms", "-mutant", "drop-withdraw",
+	}, &out, &errw)
+	if err == nil {
+		t.Fatal("mutant run passed")
+	}
+	if isUsage(err) {
+		t.Fatalf("run failure misclassified as usage error: %v", err)
+	}
+	var rep struct {
+		WrongAnswers int `json:"wrong_answers"`
+	}
+	if jerr := json.Unmarshal(out.Bytes(), &rep); jerr != nil {
+		t.Fatalf("no report on failure: %v\n%s", jerr, out.String())
+	}
+	if rep.WrongAnswers == 0 {
+		t.Fatalf("mutant not caught mid-storm: %+v, err=%v", rep, err)
 	}
 }

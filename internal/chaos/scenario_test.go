@@ -1,0 +1,240 @@
+package chaos
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"clue/internal/feed"
+	"clue/internal/fibgen"
+	"clue/internal/oracle"
+	"clue/internal/serve"
+	"clue/internal/tracegen"
+)
+
+// scenarioTestConfig keeps scenario runs small enough for tier-1 CI
+// while still exercising multi-window storms and mid-storm checkpoints.
+func scenarioTestConfig(name string) ScenarioConfig {
+	return ScenarioConfig{
+		Name:                name,
+		Seed:                7,
+		Routes:              1500,
+		StormOps:            400,
+		Workers:             4,
+		Lookers:             2,
+		CheckpointsPerPhase: 2,
+		Probes:              200,
+		// Latency is load-dependent on shared CI machines; the latency
+		// and divert bounds get their own deterministic coverage below,
+		// so the functional tests only keep the convergence bound.
+		MaxDegradedP99: -1,
+		MaxDivertRate:  -1,
+	}
+}
+
+// TestScenarioRunAll replays every scenario end to end: zero wrong
+// answers against the brute-force model, convergence to the oracle
+// hash after the storm, checkpoints actually firing mid-storm, and a
+// sane machine-readable report.
+func TestScenarioRunAll(t *testing.T) {
+	for _, name := range tracegen.ScenarioNames() {
+		t.Run(name, func(t *testing.T) {
+			rep, err := RunScenario(scenarioTestConfig(name))
+			if err != nil {
+				t.Fatalf("scenario failed: %v\nreport: %+v", err, rep)
+			}
+			if rep.WrongAnswers != 0 || rep.DispatchErrors != 0 || rep.UpdateErrors != 0 {
+				t.Fatalf("errors in passing run: %+v", rep)
+			}
+			if !rep.Converged || rep.ConvergeNs < 0 {
+				t.Fatalf("no convergence measurement: %+v", rep)
+			}
+			if rep.Checkpoints < 3*len(rep.Phases)/2 {
+				t.Fatalf("only %d checkpoints over %d phases", rep.Checkpoints, len(rep.Phases))
+			}
+			if rep.CheckedLookups == 0 || rep.Lookups == 0 {
+				t.Fatalf("no lookup coverage: %+v", rep)
+			}
+			if len(rep.Phases) != 3 || !rep.Phases[1].Storm {
+				t.Fatalf("unexpected phase layout: %+v", rep.Phases)
+			}
+			if rep.Ops != rep.Phases[0].Ops+rep.Phases[1].Ops+rep.Phases[2].Ops {
+				t.Fatalf("phase op counts do not sum: %+v", rep)
+			}
+			if name == tracegen.ScenarioRouteLeak && rep.PeakRoutes <= int64(rep.Routes) {
+				t.Fatalf("route leak never bloated the table: peak %d, base %d", rep.PeakRoutes, rep.Routes)
+			}
+			if len(rep.TableHash) != 16 {
+				t.Fatalf("bad table hash %q", rep.TableHash)
+			}
+			buf, jerr := json.Marshal(rep)
+			if jerr != nil || !strings.Contains(string(buf), `"scenario":"`+name+`"`) {
+				t.Fatalf("report does not serialise: %v %s", jerr, buf)
+			}
+		})
+	}
+}
+
+// TestScenarioMutantCaught is the lab's self-test: with the oracle's
+// drop-withdraw mutant planted, the session-reset storm (all
+// withdraws, then re-announce) must fail its mid-storm checkpoint —
+// the model keeps every route while the runtime empties the table. A
+// lab that cannot catch a planted bug proves nothing about real ones.
+func TestScenarioMutantCaught(t *testing.T) {
+	cfg := scenarioTestConfig(tracegen.ScenarioSessionReset)
+	cfg.Routes = 900
+	cfg.Mutant = oracle.MutantDropWithdraw
+	cfg.MaxConverge = 300 * time.Millisecond // the hash can never match; fail fast
+	rep, err := RunScenario(cfg)
+	if err == nil {
+		t.Fatalf("planted drop-withdraw mutant not caught: %+v", rep)
+	}
+	if rep.WrongAnswers == 0 {
+		t.Fatalf("mutant caught only at the end, not mid-storm: %v", err)
+	}
+	stormCPs := 0
+	for _, ph := range rep.Phases {
+		if ph.Storm {
+			stormCPs = ph.Checkpoints
+		}
+	}
+	if stormCPs == 0 {
+		t.Fatalf("no storm checkpoints ran before the failure: %+v", rep.Phases)
+	}
+}
+
+// TestScenarioContractViolation: an absurdly tight converge bound must
+// turn a healthy run into a contract failure (the report still carries
+// the measurement), proving the bounds are asserted, not decorative.
+func TestScenarioContractViolation(t *testing.T) {
+	cfg := scenarioTestConfig(tracegen.ScenarioUpdateBurst)
+	cfg.Routes = 900
+	cfg.MaxConverge = time.Nanosecond
+	rep, err := RunScenario(cfg)
+	if err == nil || !strings.Contains(err.Error(), "time-to-converge") {
+		t.Fatalf("1ns converge bound did not trip: err=%v rep=%+v", err, rep)
+	}
+	if !rep.Converged {
+		t.Fatalf("run should have converged (just late): %+v", rep)
+	}
+}
+
+// TestScenarioReproducer: a failing run with ReproDir set writes a
+// parseable shrunk reproducer whose config still names the mutant.
+func TestScenarioReproducer(t *testing.T) {
+	dir := t.TempDir()
+	cfg := scenarioTestConfig(tracegen.ScenarioSessionReset)
+	cfg.Routes = 1200
+	cfg.Mutant = oracle.MutantDropWithdraw
+	cfg.MaxConverge = 300 * time.Millisecond
+	cfg.ReproDir = dir
+	if _, err := RunScenario(cfg); err == nil {
+		t.Fatal("mutant run passed")
+	}
+	path := filepath.Join(dir, "scenario-session-reset-seed7.json")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no reproducer: %v", err)
+	}
+	var repro Reproducer
+	if err := json.Unmarshal(buf, &repro); err != nil {
+		t.Fatalf("reproducer does not parse: %v\n%s", err, buf)
+	}
+	if repro.Config.Mutant != oracle.MutantDropWithdraw || repro.Config.Name != tracegen.ScenarioSessionReset {
+		t.Fatalf("reproducer lost the failing config: %+v", repro.Config)
+	}
+	if repro.Error == "" {
+		t.Fatal("reproducer has no error")
+	}
+	if repro.Shrunk && repro.Config.Routes >= cfg.Routes {
+		t.Fatalf("claimed shrunk but routes grew: %+v", repro.Config)
+	}
+	// The reproducer must replay: the same config must still fail.
+	rcfg := repro.Config
+	if _, err := RunScenario(rcfg); err == nil {
+		t.Fatalf("reproducer config passes: %+v", rcfg)
+	}
+}
+
+// TestScenarioUnknownName: generation errors surface, they don't panic.
+func TestScenarioUnknownName(t *testing.T) {
+	if _, err := RunScenario(ScenarioConfig{Name: "no-such-storm", Seed: 1, Routes: 700}); err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+}
+
+// TestCanonicalHashCrossImplementation pins the convergence protocol's
+// core assumption: serve's incremental snapshot digest and the feed
+// wire-format digest are byte-compatible over the same table. The
+// whole time-to-converge measurement compares one against the other.
+func TestCanonicalHashCrossImplementation(t *testing.T) {
+	fib, err := fibgen.Generate(fibgen.Config{Seed: 5, Routes: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := serve.New(fib.Routes(), serve.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if got, want := rt.TableHash(), feed.CanonicalHash(rt.Snapshot().Routes()); got != want {
+		t.Fatalf("serve hash %016x != feed hash %016x over the same table", got, want)
+	}
+	// And again after churn forces republication.
+	gen, err := tracegen.NewUpdateGen(fib, tracegen.UpdateConfig{Seed: 6, Messages: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range gen.NextN(300) {
+		if _, err := applyOne(rt, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := rt.TableHash(), feed.CanonicalHash(rt.Snapshot().Routes()); got != want {
+		t.Fatalf("post-churn serve hash %016x != feed hash %016x", got, want)
+	}
+}
+
+// FuzzScenarioReplay fuzzes the scenario lab end to end on small
+// programs: for any seed/shape, generation either errors cleanly or
+// the replay must pass the oracle checkpoints and converge — no
+// divergence, no panic. Latency/divert bounds are disabled (they are
+// load-dependent, not logic).
+func FuzzScenarioReplay(f *testing.F) {
+	f.Add(int64(7), uint8(0), uint16(700), uint16(60))
+	f.Add(int64(11), uint8(1), uint16(900), uint16(0))
+	f.Add(int64(23), uint8(2), uint16(650), uint16(120))
+	f.Add(int64(42), uint8(3), uint16(800), uint16(40))
+	names := tracegen.ScenarioNames()
+	f.Fuzz(func(t *testing.T, seed int64, which uint8, routes uint16, stormOps uint16) {
+		cfg := ScenarioConfig{
+			Name:                names[int(which)%len(names)],
+			Seed:                seed,
+			Routes:              600 + int(routes)%700,
+			StormOps:            int(stormOps) % 300,
+			Workers:             2,
+			Lookers:             1,
+			CheckpointsPerPhase: 2,
+			Probes:              100,
+			MaxDegradedP99:      -1,
+			MaxDivertRate:       -1,
+		}
+		rep, err := RunScenario(cfg)
+		if err != nil {
+			// Only generation-time errors are acceptable (e.g. a seed
+			// whose FIB has no /8../22 cover for route-leak); any
+			// replay-time failure is oracle divergence or a broken
+			// invariant.
+			if rep.Ops != 0 {
+				t.Fatalf("scenario %s seed %d diverged: %v", cfg.Name, seed, err)
+			}
+			return
+		}
+		if rep.WrongAnswers != 0 || !rep.Converged {
+			t.Fatalf("scenario %s seed %d: wrong=%d converged=%v", cfg.Name, seed, rep.WrongAnswers, rep.Converged)
+		}
+	})
+}

@@ -43,6 +43,15 @@ type metrics struct {
 	noopBatches  atomic.Int64
 	batchOps     atomic.Int64
 
+	// Storm high-water marks: the largest compressed table published
+	// (route-leak bloat), the deepest update-queue backlog observed at
+	// submit time, and the largest writer batch coalesced. peakRoutes
+	// and peakBatchOps are writer-owned; peakPending is raced by every
+	// submitter, hence the CAS max.
+	peakRoutes   atomic.Int64
+	peakPending  atomic.Int64
+	peakBatchOps atomic.Int64
+
 	// Arena/epoch bookkeeping (writer-owned adds).
 	inPlacePatches atomic.Int64
 	indexPatches   atomic.Int64
@@ -215,6 +224,18 @@ type Stats struct {
 	NoopBatches    int64 `json:"noop_batches"`
 	BatchOps       int64 `json:"batch_ops"`
 	PendingUpdates int   `json:"pending_updates"`
+	// TableHash is the published snapshot's canonical-table digest
+	// (Snapshot.CanonicalHash): two runtimes serving the same routes
+	// report the same hash, which is how the scenario lab and feed
+	// replicas prove convergence after a storm.
+	TableHash uint64 `json:"table_hash"`
+	// PeakRoutes/PeakPendingUpdates/PeakBatchOps are storm high-water
+	// marks over the runtime's life: the largest table published (a
+	// route-leak bloats this far above the steady state), the deepest
+	// update backlog seen at submit time, and the largest writer batch.
+	PeakRoutes         int64 `json:"peak_routes"`
+	PeakPendingUpdates int64 `json:"peak_pending_updates"`
+	PeakBatchOps       int64 `json:"peak_batch_ops"`
 	// InPlacePatches counts publications that patched next hops into the
 	// live arena instead of copying the table; IndexPatches/IndexRebuilds
 	// split structural publications by whether the two-level index was
@@ -313,6 +334,9 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 	emit("clue_serve_update_noop_batches_total", "counter", "Writer batches that changed nothing and published no snapshot.", float64(s.NoopBatches))
 	emit("clue_serve_update_batch_ops_total", "counter", "Update ops across all batches.", float64(s.BatchOps))
 	emit("clue_serve_update_pending", "gauge", "Update ops queued and not yet applied.", float64(s.PendingUpdates))
+	emit("clue_serve_snapshot_routes_peak", "gauge", "Largest compressed table ever published (route-leak bloat high-water mark).", float64(s.PeakRoutes))
+	emit("clue_serve_update_pending_peak", "gauge", "Deepest update-queue backlog observed at submit time.", float64(s.PeakPendingUpdates))
+	emit("clue_serve_update_batch_ops_peak", "gauge", "Largest writer batch coalesced from the update queue.", float64(s.PeakBatchOps))
 	emit("clue_serve_in_place_patches_total", "counter", "Publications that patched next hops into the live arena without copying the table.", float64(s.InPlacePatches))
 	emit("clue_serve_index_patches_total", "counter", "Structural publications whose index was patched from its predecessor.", float64(s.IndexPatches))
 	emit("clue_serve_index_rebuilds_total", "counter", "Structural publications whose index was rebuilt from the table.", float64(s.IndexRebuilds))
@@ -337,6 +361,12 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 		if _, err = fmt.Fprintf(w, "clue_serve_worker_healthy{worker=\"%d\",state=\"%s\"} %d\n", i, h, healthy); err != nil {
 			return err
 		}
+	}
+	// The 64-bit digest does not survive a float64 gauge, so it rides in
+	// a label (info-style metric): converged replicas expose identical
+	// hash labels.
+	if _, err = fmt.Fprintf(w, "# HELP clue_serve_table_hash Canonical compressed-table digest of the published snapshot (in the hash label).\n# TYPE clue_serve_table_hash gauge\nclue_serve_table_hash{hash=\"%016x\"} 1\n", s.TableHash); err != nil {
+		return err
 	}
 	for _, hs := range []struct {
 		name, help string

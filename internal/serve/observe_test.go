@@ -154,3 +154,91 @@ func TestDispatchP99NsPicksWorstPath(t *testing.T) {
 		t.Fatalf("DispatchP99Ns = %g, want 900", got)
 	}
 }
+
+// TestCanonicalHashTracksTable: the snapshot digest is stable across
+// identical content (including a rebuilt runtime over the same routes),
+// changes when the table changes, and returns to the original value
+// when the change is undone — the property the scenario lab's
+// time-to-converge probe rests on.
+func TestCanonicalHashTracksTable(t *testing.T) {
+	_, routes := testRoutes(t, 3000, 17)
+	rt, err := New(routes, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	h0 := rt.TableHash()
+	if h0 != rt.TableHash() {
+		t.Fatal("hash not stable across calls")
+	}
+	if got := rt.Stats().TableHash; got != h0 {
+		t.Fatalf("Stats().TableHash = %x, want %x", got, h0)
+	}
+
+	rt2, err := New(routes, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	if h := rt2.TableHash(); h != h0 {
+		t.Fatalf("independent runtime over same routes hashes %x, want %x", h, h0)
+	}
+
+	p := ip.MustParsePrefix("203.0.113.0/24")
+	if _, err := rt.Announce(p, 9); err != nil {
+		t.Fatal(err)
+	}
+	h1 := rt.TableHash()
+	if h1 == h0 {
+		t.Fatal("hash unchanged after announce")
+	}
+	if _, err := rt.Withdraw(p); err != nil {
+		t.Fatal(err)
+	}
+	if h2 := rt.TableHash(); h2 != h0 {
+		t.Fatalf("hash after undo = %x, want original %x", h2, h0)
+	}
+}
+
+// TestStormPeakCounters: the high-water marks rise with the table and
+// batch sizes and never fall back when the storm recedes.
+func TestStormPeakCounters(t *testing.T) {
+	_, routes := testRoutes(t, 500, 21)
+	rt, err := New(routes, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	base := rt.Stats()
+	if base.PeakRoutes < int64(base.Routes) {
+		t.Fatalf("initial PeakRoutes %d < routes %d", base.PeakRoutes, base.Routes)
+	}
+	// Grow the table with fresh disjoint /24s, then withdraw them all.
+	var grown []ip.Prefix
+	for i := 0; i < 64; i++ {
+		p := ip.MustPrefix(ip.Addr(uint32(198)<<24|uint32(18)<<16|uint32(i)<<8), 24)
+		grown = append(grown, p)
+		if _, err := rt.Announce(p, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := rt.Stats()
+	if mid.PeakRoutes <= base.PeakRoutes {
+		t.Fatalf("PeakRoutes did not rise: %d -> %d", base.PeakRoutes, mid.PeakRoutes)
+	}
+	for _, p := range grown {
+		if _, err := rt.Withdraw(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := rt.Stats()
+	if end.PeakRoutes < mid.PeakRoutes {
+		t.Fatalf("PeakRoutes fell after storm: %d -> %d", mid.PeakRoutes, end.PeakRoutes)
+	}
+	if end.Routes >= int(end.PeakRoutes) {
+		t.Fatalf("table %d did not shrink below peak %d", end.Routes, end.PeakRoutes)
+	}
+	if end.PeakBatchOps < 1 || end.PeakPendingUpdates < 0 {
+		t.Fatalf("degenerate peaks: batch %d, pending %d", end.PeakBatchOps, end.PeakPendingUpdates)
+	}
+}

@@ -127,3 +127,61 @@ func TestWriterSteadyStateAllocs(t *testing.T) {
 		t.Errorf("writer path allocates %d B/update in steady state; want < 32 KiB (index or table slabs not reused?)", per)
 	}
 }
+
+// TestWriterDeaggregationAllocs holds the same per-update allocation
+// bound under a route-leak-shaped storm: a flood of fresh /24s that
+// grows the table well past its boot size (every op structural, the
+// arena must regrow), then the full retraction. Growth regrow is
+// amortised by the arena headroom and retired slabs come back through
+// the recycling pool, so a second leak cycle must stay in the same
+// steady-state budget as benign churn — a writer that copies the index
+// or reallocates slabs per batch while bloated trips this long before
+// it trips the benign-churn guard.
+func TestWriterDeaggregationAllocs(t *testing.T) {
+	fib, routes := testRoutes(t, 5000, 99)
+	rt, err := New(routes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// The leak: fresh /24s (absent from the FIB) across a few /16 spans.
+	var leak []ip.Prefix
+	for b := 0; len(leak) < 400; b++ {
+		p := ip.MustPrefix(ip.Addr(uint32(60+b)<<24|uint32(b%3)<<16|uint32(len(leak)%256)<<8), 24)
+		if fib.Get(p, nil) == ip.NoRoute {
+			leak = append(leak, p)
+		}
+	}
+	cycle := func(ps []ip.Prefix) {
+		for _, p := range ps {
+			if _, err := rt.Announce(p, 3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, p := range ps {
+			if _, err := rt.Withdraw(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	base := rt.Snapshot().Len()
+	cycle(leak) // warm the pool at leak-bloated sizes
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	cycle(leak)
+	runtime.ReadMemStats(&after)
+	per := (after.TotalAlloc - before.TotalAlloc) / uint64(2*len(leak))
+	t.Logf("deaggregation storm: %d B/update over %d leaked /24s", per, len(leak))
+	if per > 32<<10 {
+		t.Errorf("writer path allocates %d B/update under deaggregation; want < 32 KiB", per)
+	}
+	st := rt.Stats()
+	if st.PeakRoutes < int64(base+len(leak)*9/10) {
+		t.Errorf("peak-routes high-water mark %d did not track the leak (base %d, leak %d)", st.PeakRoutes, base, len(leak))
+	}
+	if got := rt.Snapshot().Len(); got != base {
+		t.Errorf("table did not return to %d routes after retraction: %d", base, got)
+	}
+}

@@ -267,6 +267,7 @@ func New(routes []ip.Route, cfg Config) (*Runtime, error) {
 	}
 	r.ep = newEpochs()
 	r.m.initHistograms(cfg.Workers)
+	r.m.peakRoutes.Store(int64(len(base)))
 	first := newSnapshot(1, sys.CompressedRoutes(), cfg.Workers, nil)
 	first.ar.refs = 1
 	r.snap.Store(first)
@@ -302,6 +303,18 @@ func (r *Runtime) Snapshot() *Snapshot {
 // escaping the snapshot (unlike Snapshot, this leaves the writer's
 // in-place patch and arena recycling paths available).
 func (r *Runtime) Version() uint64 { return r.snap.Load().Version }
+
+// TableHash returns the published snapshot's canonical-table digest
+// (Snapshot.CanonicalHash) without escaping the snapshot's arena. With
+// no update in flight the value is exact, so polling it against an
+// independently computed expectation is the scenario lab's
+// time-to-converge probe.
+func (r *Runtime) TableHash() uint64 {
+	slot := r.ep.enter(r.pinSeed.Add(1))
+	h := r.snap.Load().CanonicalHash()
+	slot.exit()
+	return h
+}
 
 // Lookup resolves addr on the snapshot path: an epoch pin, one atomic
 // load plus one two-level indexed probe, no locks, regardless of
@@ -656,8 +669,19 @@ func (r *Runtime) submit(op updateOp) (update.TTF, error) {
 	}
 	op.done = make(chan opResult, 1)
 	r.updates <- op
+	maxInt64(&r.m.peakPending, int64(len(r.updates)))
 	res := <-op.done
 	return res.ttf, res.err
+}
+
+// maxInt64 raises *a to v if v is larger (CAS loop: submitters race).
+func maxInt64(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // writer is the single goroutine that owns the core.System. It coalesces
@@ -751,6 +775,13 @@ func (r *Runtime) applyBatch(batch []updateOp) {
 	r.ws.stale = stale
 	r.m.batches.Add(1)
 	r.m.batchOps.Add(int64(len(batch)))
+	// Writer-owned peaks: plain store is fine, nobody else raises them.
+	if n := int64(len(batch)); n > r.m.peakBatchOps.Load() {
+		r.m.peakBatchOps.Store(n)
+	}
+	if n := int64(len(r.table)); n > r.m.peakRoutes.Load() {
+		r.m.peakRoutes.Store(n)
+	}
 	if !changed && !rehome {
 		// The batch made no structural or hop change to the compressed
 		// table (all-error ops, withdraw-of-absent, re-announce of an
@@ -988,6 +1019,7 @@ func (r *Runtime) Stats() Stats {
 	indexBytes := snap.IndexBytes()
 	subArrays := snap.SubArrays()
 	heapBytes := snap.HeapBytes()
+	tableHash := snap.CanonicalHash()
 	slot.exit()
 	epoch := r.ep.global.Load()
 	var lag uint64
@@ -1026,6 +1058,10 @@ func (r *Runtime) Stats() Stats {
 		NoopBatches:        r.m.noopBatches.Load(),
 		BatchOps:           r.m.batchOps.Load(),
 		PendingUpdates:     len(r.updates),
+		TableHash:          tableHash,
+		PeakRoutes:         r.m.peakRoutes.Load(),
+		PeakPendingUpdates: r.m.peakPending.Load(),
+		PeakBatchOps:       r.m.peakBatchOps.Load(),
 		TTFTotals: update.TTF{
 			Trie: r.m.ttfTrie.load(),
 			TCAM: r.m.ttfTCAM.load(),

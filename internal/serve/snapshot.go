@@ -77,6 +77,12 @@ type Snapshot struct {
 	// foreign prefixes may now be home prefixes (and vice versa) and the
 	// stale list cannot describe the change.
 	flushCaches bool
+	// hashVal/hashKnown cache CanonicalHash: the digest is O(routes), so
+	// it is computed on first demand and memoised per snapshot (hashVal
+	// is published before hashKnown; a racing second computation writes
+	// the same value).
+	hashVal   atomic.Uint64
+	hashKnown atomic.Bool
 }
 
 // LookupResult is one answer of a Snapshot.LookupBatch call.
@@ -231,6 +237,49 @@ func (s *Snapshot) cutPartitions(workers int, down []bool) {
 			next = s.starts[i]
 		}
 	}
+}
+
+// FNV-1a 64 parameters (hash/fnv's, inlined so the digest loop runs
+// over the packed slabs with zero allocation).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// CanonicalHash digests the compressed table: FNV-1a 64 over each
+// route's (bits, length, next hop) in table order, byte-compatible with
+// feed.CanonicalHash over Routes(). Two tables converged to the same
+// canonical compression hash identically, so the digest is the
+// convergence check the scenario lab and the feed protocol share. The
+// value is computed on first call and cached on the snapshot; while the
+// writer is still patching next hops in place (only ever on snapshots
+// that never escaped through Runtime.Snapshot()) a concurrent digest is
+// advisory — re-read the hash from the latest snapshot once the update
+// stream quiesces for an exact answer.
+func (s *Snapshot) CanonicalHash() uint64 {
+	if s.hashKnown.Load() {
+		return s.hashVal.Load()
+	}
+	h := uint64(fnvOffset64)
+	byte1a := func(b byte) {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	u32 := func(v uint32) {
+		byte1a(byte(v >> 24))
+		byte1a(byte(v >> 16))
+		byte1a(byte(v >> 8))
+		byte1a(byte(v))
+	}
+	for i, e := range s.rng {
+		p := rngRoutePrefix(e)
+		u32(uint32(p.Bits))
+		byte1a(p.Len)
+		u32(atomic.LoadUint32(&s.hop[i]))
+	}
+	s.hashVal.Store(h)
+	s.hashKnown.Store(true)
+	return h
 }
 
 // Len returns the compressed entry count.

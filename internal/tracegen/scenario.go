@@ -1,0 +1,435 @@
+package tracegen
+
+// Adversarial routing-plane scenarios: deterministic seeded programs
+// that script a whole control-plane failure — the base FIB, a warmup
+// churn, the storm itself and a cooldown — as phased update streams
+// plus a traffic spec per phase, with a declared quantitative contract.
+// The chaos scenario driver (internal/chaos) replays them against a
+// live serve.Runtime; these generators only decide *what happens*, so
+// the same seed always produces the byte-identical program (pinned by
+// the golden-trace tests).
+//
+// The four scenarios:
+//
+//   - session-reset: a full-table BGP session flap — every live route
+//     withdrawn in seeded shuffled order, then the exact table
+//     re-announced, all while serving. The compressed table collapses
+//     to (near) empty and is rebuilt route by route.
+//   - route-leak: MashUp's motivating failure — a handful of short
+//     covering prefixes suddenly deaggregate into /24 floods with
+//     foreign next hops (the shape that bloats a compressed, tiled
+//     table), then the leak retracts.
+//   - update-burst: the paper's RIS trace peak rate ×100, sustained in
+//     tight bursts interleaved with lookups.
+//   - flash-crowd: the routing plane stays calm but the traffic Zipf
+//     head inverts mid-run (same prefix population, reversed
+//     popularity), defeating the home-partition carve and every divert
+//     cache at once.
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"clue/internal/fibgen"
+	"clue/internal/ip"
+	"clue/internal/ribio"
+	"clue/internal/trie"
+)
+
+// Scenario names, as accepted by GenScenario and clue-chaos -scenario.
+const (
+	ScenarioSessionReset = "session-reset"
+	ScenarioRouteLeak    = "route-leak"
+	ScenarioUpdateBurst  = "update-burst"
+	ScenarioFlashCrowd   = "flash-crowd"
+)
+
+// ScenarioNames lists the known scenarios in a fixed order.
+func ScenarioNames() []string {
+	return []string{ScenarioSessionReset, ScenarioRouteLeak, ScenarioUpdateBurst, ScenarioFlashCrowd}
+}
+
+// TrafficSpec is the lookup-traffic shape a phase runs under (the
+// parameters of a Traffic generator; the driver supplies the seed and
+// prefix population).
+type TrafficSpec struct {
+	ZipfS  float64 `json:"zipf_s"`
+	Repeat float64 `json:"repeat"`
+	Invert bool    `json:"invert"`
+}
+
+// ScenarioContract is the scenario's declared quantitative bounds,
+// asserted by the driver over the whole run:
+//
+//   - MaxDegradedP99 bounds the runtime's end-to-end dispatch p99
+//     (worst outcome path) with the storm included — degraded mode may
+//     divert, it may not cliff.
+//   - MaxDivertRate bounds diverted/dispatched over the run.
+//   - MaxConverge bounds time-to-converge: the gap between the last
+//     storm update completing and the published table's canonical hash
+//     first matching the oracle's expectation.
+type ScenarioContract struct {
+	MaxDegradedP99 time.Duration `json:"max_degraded_p99"`
+	MaxDivertRate  float64       `json:"max_divert_rate"`
+	MaxConverge    time.Duration `json:"max_converge"`
+}
+
+// ScenarioPhase is one stretch of the program: an ordered update stream
+// (possibly empty — flash-crowd storms are traffic-only) and the
+// traffic spec in force while it plays.
+type ScenarioPhase struct {
+	Name    string
+	Storm   bool
+	Updates []Update
+	Traffic TrafficSpec
+}
+
+// Scenario is a fully generated program: the base FIB the runtime
+// boots from, the phases to replay in order, and the contract to hold
+// the run to.
+type Scenario struct {
+	Name     string
+	Cfg      ScenarioConfig
+	Base     []ip.Route
+	Phases   []ScenarioPhase
+	Contract ScenarioContract
+}
+
+// Ops returns the total update count across phases.
+func (s *Scenario) Ops() int {
+	n := 0
+	for _, ph := range s.Phases {
+		n += len(ph.Updates)
+	}
+	return n
+}
+
+// StormPhase returns the index of the storm phase (-1 if none — never
+// the case for generated scenarios).
+func (s *Scenario) StormPhase() int {
+	for i, ph := range s.Phases {
+		if ph.Storm {
+			return i
+		}
+	}
+	return -1
+}
+
+// ScenarioConfig parameterises scenario generation. Zero values take
+// scenario-calibrated defaults.
+type ScenarioConfig struct {
+	// Seed drives the FIB, every update choice and the storm ordering.
+	Seed int64
+	// Routes is the base FIB size (default 12000).
+	Routes int
+	// NextHops is the hop universe (default 16).
+	NextHops int
+	// WarmupOps/CooldownOps are the benign churn lengths bracketing the
+	// storm (defaults Routes/8 and Routes/16).
+	WarmupOps   int
+	CooldownOps int
+	// StormOps sizes storms that draw from the generic churn generator
+	// (update-burst's flood; flash-crowd's background churn). Default
+	// 4*WarmupOps for update-burst, WarmupOps/2 for flash-crowd.
+	StormOps int
+	// LeakCovers/LeakFanout shape the route-leak storm: how many short
+	// covering prefixes deaggregate, into at most how many /24s each
+	// (defaults 6 and 192).
+	LeakCovers int
+	LeakFanout int
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Routes == 0 {
+		c.Routes = 12000
+	}
+	if c.NextHops < 2 {
+		c.NextHops = 16
+	}
+	if c.WarmupOps == 0 {
+		c.WarmupOps = c.Routes / 8
+	}
+	if c.WarmupOps < 4 {
+		c.WarmupOps = 4
+	}
+	if c.CooldownOps == 0 {
+		c.CooldownOps = c.Routes / 16
+	}
+	if c.CooldownOps < 2 {
+		c.CooldownOps = 2
+	}
+	if c.LeakCovers == 0 {
+		c.LeakCovers = 6
+	}
+	if c.LeakFanout == 0 {
+		c.LeakFanout = 192
+	}
+	return c
+}
+
+// paperPeakPerSec is the RIS trace's peak update rate the paper's
+// evaluation cites (~1K updates/s); update-burst storms run at 100×
+// this in trace time.
+const paperPeakPerSec = 1000
+
+// benignTraffic is the calibrated traffic spec outside storms.
+var benignTraffic = TrafficSpec{ZipfS: 1.2, Repeat: 0.2}
+
+// GenScenario generates the named scenario. Same name + config ⇒
+// identical program, down to the byte in exported form.
+func GenScenario(name string, cfg ScenarioConfig) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	fib, err := fibgen.Generate(fibgen.Config{Seed: cfg.Seed, Routes: cfg.Routes, NextHops: cfg.NextHops})
+	if err != nil {
+		return nil, fmt.Errorf("tracegen: scenario base FIB: %w", err)
+	}
+	base := fib.Routes()
+	gen, err := NewUpdateGen(trie.FromRoutes(base), UpdateConfig{
+		Seed:     cfg.Seed + 1,
+		Messages: cfg.WarmupOps, // sets the trace-time step only
+		NextHops: cfg.NextHops,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc := &Scenario{Name: name, Cfg: cfg, Base: base}
+	b := &scenarioBuilder{
+		cfg: cfg,
+		gen: gen,
+		rng: rand.New(rand.NewSource(cfg.Seed + 2)),
+	}
+	switch name {
+	case ScenarioSessionReset:
+		b.buildSessionReset(sc)
+	case ScenarioRouteLeak:
+		if err := b.buildRouteLeak(sc); err != nil {
+			return nil, err
+		}
+	case ScenarioUpdateBurst:
+		b.buildUpdateBurst(sc)
+	case ScenarioFlashCrowd:
+		b.buildFlashCrowd(sc)
+	default:
+		return nil, fmt.Errorf("tracegen: unknown scenario %q (known: %v)", name, ScenarioNames())
+	}
+	return sc, nil
+}
+
+// scenarioBuilder threads the shared state through phase construction:
+// the churn generator (whose live view must stay consistent with what
+// the phases actually did to the table), the storm RNG and the trace
+// clock.
+type scenarioBuilder struct {
+	cfg ScenarioConfig
+	gen *UpdateGen
+	rng *rand.Rand
+	now time.Duration
+	seq int
+}
+
+// churn draws n benign updates from the generator and restamps them
+// onto the builder's clock.
+func (b *scenarioBuilder) churn(n int) []Update {
+	ups := b.gen.NextN(n)
+	for i := range ups {
+		b.stamp(&ups[i], time.Millisecond)
+	}
+	return ups
+}
+
+// stamp rewrites an update's Seq/At onto the program-wide clock.
+func (b *scenarioBuilder) stamp(u *Update, gap time.Duration) {
+	u.Seq = b.seq
+	b.seq++
+	b.now += gap
+	u.At = b.now
+}
+
+// storm emits one scripted storm update at burst pacing (the paper's
+// peak ×100 ⇒ 10µs spacing in trace time).
+func (b *scenarioBuilder) storm(kind UpdateKind, p ip.Prefix, hop ip.NextHop) Update {
+	u := Update{Kind: kind, Prefix: p, Hop: hop}
+	b.stamp(&u, time.Second/(100*paperPeakPerSec))
+	return u
+}
+
+func (b *scenarioBuilder) buildSessionReset(sc *Scenario) {
+	warm := b.churn(b.cfg.WarmupOps)
+	live := b.gen.LiveRoutes()
+	// Withdraw everything in one shuffled sweep, then re-announce the
+	// identical table in an independently shuffled order. The generator's
+	// live view is untouched — the storm restores exactly the set it
+	// found — so the cooldown churn below stays self-consistent.
+	storm := make([]Update, 0, 2*len(live))
+	for _, i := range b.rng.Perm(len(live)) {
+		storm = append(storm, b.storm(Withdraw, live[i].Prefix, 0))
+	}
+	for _, i := range b.rng.Perm(len(live)) {
+		storm = append(storm, b.storm(Announce, live[i].Prefix, live[i].NextHop))
+	}
+	sc.Phases = []ScenarioPhase{
+		{Name: "warmup", Updates: warm, Traffic: benignTraffic},
+		{Name: "reset", Storm: true, Updates: storm, Traffic: benignTraffic},
+		{Name: "cooldown", Updates: b.churn(b.cfg.CooldownOps), Traffic: benignTraffic},
+	}
+	sc.Contract = ScenarioContract{
+		MaxDegradedP99: 500 * time.Millisecond,
+		MaxDivertRate:  0.5,
+		MaxConverge:    10 * time.Second,
+	}
+}
+
+func (b *scenarioBuilder) buildRouteLeak(sc *Scenario) error {
+	warm := b.churn(b.cfg.WarmupOps)
+	live := b.gen.LiveRoutes()
+	// Leak sources: the shortest covering prefixes in the live set (the
+	// biggest deaggregation spans — a leak from a /12 floods far more
+	// /24s than one from a /22), ties broken by a seeded shuffle.
+	var candidates []ip.Route
+	for _, i := range b.rng.Perm(len(live)) {
+		if live[i].Prefix.Len >= 8 && live[i].Prefix.Len <= 22 {
+			candidates = append(candidates, live[i])
+		}
+	}
+	sort.SliceStable(candidates, func(i, j int) bool {
+		return candidates[i].Prefix.Len < candidates[j].Prefix.Len
+	})
+	covers := candidates
+	if len(covers) > b.cfg.LeakCovers {
+		covers = covers[:b.cfg.LeakCovers]
+	}
+	if len(covers) == 0 {
+		return fmt.Errorf("tracegen: route-leak needs a cover prefix (/8../22) in the live set; none at seed %d", b.cfg.Seed)
+	}
+	// Deaggregate: every cover floods a contiguous run of /24s whose
+	// next hops cycle through the hop universe (always skipping the
+	// cover's own) — adjacent /24s never share a hop, so ONRTC can
+	// neither absorb a leaked route into its cover nor merge neighbours
+	// back into one range. This is the worst case for a compressed
+	// table: every /24 must become its own entry. Skip /24s that are
+	// already live to keep the churn generator's view consistent.
+	var leaked []Update
+	seen := make(map[ip.Prefix]struct{})
+	for _, cover := range covers {
+		span := 1 << (24 - cover.Prefix.Len)
+		fanout := b.cfg.LeakFanout
+		if span < fanout {
+			fanout = span
+		}
+		var hops []ip.NextHop
+		for h := 1; h <= b.cfg.NextHops; h++ {
+			if ip.NextHop(h) != cover.NextHop {
+				hops = append(hops, ip.NextHop(h))
+			}
+		}
+		start := b.rng.Intn(len(hops))
+		for k := 0; k < fanout; k++ {
+			p := ip.MustPrefix(cover.Prefix.First()+ip.Addr(k)<<8, 24)
+			if _, dup := seen[p]; dup || b.gen.Has(p) {
+				// Nested covers can propose the same /24 twice; a live /24
+				// would desynchronise the churn generator's view.
+				continue
+			}
+			seen[p] = struct{}{}
+			leaked = append(leaked, Update{Kind: Announce, Prefix: p, Hop: hops[(start+k)%len(hops)]})
+		}
+	}
+	// Flood in globally shuffled order (the covers interleave), then
+	// retract the whole leak in a fresh shuffled order.
+	b.rng.Shuffle(len(leaked), func(i, j int) { leaked[i], leaked[j] = leaked[j], leaked[i] })
+	storm := make([]Update, 0, 2*len(leaked))
+	for i := range leaked {
+		storm = append(storm, b.storm(Announce, leaked[i].Prefix, leaked[i].Hop))
+	}
+	retract := b.rng.Perm(len(leaked))
+	for _, i := range retract {
+		storm = append(storm, b.storm(Withdraw, leaked[i].Prefix, 0))
+	}
+	sc.Phases = []ScenarioPhase{
+		{Name: "warmup", Updates: warm, Traffic: benignTraffic},
+		{Name: "leak", Storm: true, Updates: storm, Traffic: benignTraffic},
+		{Name: "cooldown", Updates: b.churn(b.cfg.CooldownOps), Traffic: benignTraffic},
+	}
+	sc.Contract = ScenarioContract{
+		MaxDegradedP99: 500 * time.Millisecond,
+		MaxDivertRate:  0.5,
+		MaxConverge:    10 * time.Second,
+	}
+	return nil
+}
+
+func (b *scenarioBuilder) buildUpdateBurst(sc *Scenario) {
+	warm := b.churn(b.cfg.WarmupOps)
+	stormOps := b.cfg.StormOps
+	if stormOps == 0 {
+		stormOps = 4 * b.cfg.WarmupOps
+	}
+	// The storm is the benign mix at 100× the paper's peak rate: the
+	// generator supplies the (self-consistent) update choices, the
+	// builder restamps them onto burst spacing.
+	storm := b.gen.NextN(stormOps)
+	for i := range storm {
+		b.stamp(&storm[i], time.Second/(100*paperPeakPerSec))
+	}
+	sc.Phases = []ScenarioPhase{
+		{Name: "warmup", Updates: warm, Traffic: benignTraffic},
+		{Name: "burst", Storm: true, Updates: storm, Traffic: benignTraffic},
+		{Name: "cooldown", Updates: b.churn(b.cfg.CooldownOps), Traffic: benignTraffic},
+	}
+	sc.Contract = ScenarioContract{
+		MaxDegradedP99: 500 * time.Millisecond,
+		MaxDivertRate:  0.5,
+		MaxConverge:    10 * time.Second,
+	}
+}
+
+func (b *scenarioBuilder) buildFlashCrowd(sc *Scenario) {
+	warm := b.churn(b.cfg.WarmupOps)
+	stormOps := b.cfg.StormOps
+	if stormOps == 0 {
+		stormOps = b.cfg.WarmupOps / 2
+	}
+	// The routing plane stays calm (light background churn); the attack
+	// is the traffic spec: same population, popularity ranking reversed
+	// and burstier — every divert cache goes cold at once and the
+	// hottest home partitions flip.
+	sc.Phases = []ScenarioPhase{
+		{Name: "warmup", Updates: warm, Traffic: benignTraffic},
+		{Name: "flip", Storm: true, Updates: b.churn(stormOps),
+			Traffic: TrafficSpec{ZipfS: 1.2, Repeat: 0.5, Invert: true}},
+		{Name: "cooldown", Updates: b.churn(b.cfg.CooldownOps), Traffic: benignTraffic},
+	}
+	sc.Contract = ScenarioContract{
+		// Inverted-head traffic is allowed to divert heavily — that is
+		// the mechanism under test — but the cascade must stay bounded
+		// and the tail must not cliff.
+		MaxDegradedP99: time.Second,
+		MaxDivertRate:  0.98,
+		MaxConverge:    10 * time.Second,
+	}
+}
+
+// ExportScenario writes the scenario as a deterministic text program:
+// a scenario header, then per phase a header line and the phase's
+// updates in the ribio interchange format. Same scenario ⇒ byte-
+// identical output (the golden tests pin this).
+func ExportScenario(w io.Writer, sc *Scenario) error {
+	if _, err := fmt.Fprintf(w,
+		"# clue scenario: name=%s seed=%d routes=%d hops=%d ops=%d\n# contract: p99<=%s divert<=%g converge<=%s\n",
+		sc.Name, sc.Cfg.Seed, sc.Cfg.Routes, sc.Cfg.NextHops, sc.Ops(),
+		sc.Contract.MaxDegradedP99, sc.Contract.MaxDivertRate, sc.Contract.MaxConverge); err != nil {
+		return fmt.Errorf("tracegen: %w", err)
+	}
+	for _, ph := range sc.Phases {
+		if _, err := fmt.Fprintf(w, "# phase: %s storm=%v updates=%d zipf=%g repeat=%g invert=%v\n",
+			ph.Name, ph.Storm, len(ph.Updates), ph.Traffic.ZipfS, ph.Traffic.Repeat, ph.Traffic.Invert); err != nil {
+			return fmt.Errorf("tracegen: %w", err)
+		}
+		if err := ribio.WriteUpdates(w, Records(ph.Updates)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -27,6 +27,13 @@ type TrafficConfig struct {
 	// packet's prefix — temporal locality / burstiness. Zero is valid
 	// (no extra locality beyond the Zipf skew).
 	Repeat float64
+	// Invert reverses the seeded popularity ranking: with the same seed,
+	// an inverted generator sends the Zipf head's mass to what the
+	// non-inverted generator made its coldest tail. Flash-crowd
+	// scenarios use this to defeat divert caches and the load-balance
+	// assumptions behind the home-partition carve without changing the
+	// prefix population.
+	Invert bool
 }
 
 // Traffic draws destination addresses over a fixed prefix population.
@@ -61,6 +68,13 @@ func NewTraffic(prefixes []ip.Prefix, cfg TrafficConfig) (*Traffic, error) {
 	rng.Shuffle(len(shuffled), func(i, j int) {
 		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
 	})
+	if cfg.Invert {
+		// Reverse after the seeded shuffle: rank r now draws what the
+		// same-seed non-inverted generator ranked len-1-r.
+		for i, j := 0, len(shuffled)-1; i < j; i, j = i+1, j-1 {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		}
+	}
 	z := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(shuffled)-1))
 	if z == nil {
 		return nil, fmt.Errorf("tracegen: bad Zipf parameters (s=%v)", cfg.ZipfS)

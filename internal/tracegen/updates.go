@@ -155,6 +155,21 @@ func (g *UpdateGen) NextN(n int) []Update {
 // Live returns the generator's current view of the table size.
 func (g *UpdateGen) Live() int { return len(g.live) }
 
+// LiveRoutes returns a copy of the generator's current table view. The
+// order is the generator's internal (seed-deterministic) order, so two
+// same-seed generators agree element for element — scenario programs
+// use it to script withdraw-all/re-announce storms over the exact live
+// set.
+func (g *UpdateGen) LiveRoutes() []ip.Route {
+	return append([]ip.Route(nil), g.live...)
+}
+
+// Has reports whether the prefix is live in the generator's view.
+func (g *UpdateGen) Has(p ip.Prefix) bool {
+	_, ok := g.idx[p]
+	return ok
+}
+
 // advanceClock moves trace time forward with bursty interarrivals: most
 // messages arrive in tight bursts (BGP table transfers, path hunting),
 // separated by longer quiet gaps.
