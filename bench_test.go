@@ -495,6 +495,65 @@ func BenchmarkServeLookupUnderUpdateStorm(b *testing.B) {
 	}
 }
 
+// BenchmarkServeRebalanceConvergence measures one full closed-loop
+// repartitioning cycle: a fresh runtime observes an inverted-Zipf
+// traffic skew through its worker sketches, then forced rebalance
+// passes recut until the movement-bounded weighted carve finds no
+// further improvement. ns/op is the observe-and-converge cycle;
+// recuts-to-stable and the imbalance drop are the controller's figure
+// of merit. Wall-clock shaped (sketch fill dominates), so it is not in
+// the bench regression gate.
+func BenchmarkServeRebalanceConvergence(b *testing.B) {
+	fib := benchFIB(b, 20000, 17)
+	routes := fib.Routes()
+	traffic, err := tracegen.NewTraffic(
+		tracegen.PrefixesFromRoutes(routes),
+		tracegen.TrafficConfig{Seed: 17, ZipfS: 1.2, Invert: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := traffic.NextN(1 << 16)
+
+	var recuts, moved int
+	var imbBefore, imbAfter float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rt, err := serve.New(routes, serve.Config{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, a := range addrs {
+			rt.Dispatch(a) //nolint:errcheck // runtime is open for the whole loop
+		}
+		passes := 0
+		for {
+			res, rerr := rt.Rebalance(true)
+			if rerr != nil {
+				b.Fatal(rerr)
+			}
+			if passes == 0 {
+				imbBefore += res.ImbalanceBefore
+			}
+			if !res.Recut || passes >= 16 {
+				imbAfter += res.ImbalanceAfter
+				break
+			}
+			passes++
+			moved += res.MovedRoutes
+		}
+		recuts += passes
+		b.StopTimer()
+		rt.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(recuts)/float64(b.N), "recuts-to-stable")
+	b.ReportMetric(float64(moved)/float64(b.N), "moved-routes")
+	b.ReportMetric(imbBefore/float64(b.N), "imbalance-before")
+	b.ReportMetric(imbAfter/float64(b.N), "imbalance-after")
+}
+
 // BenchmarkFeedThroughput measures end-to-end replication: b.N update
 // records stream from a collector through the length-prefixed wire
 // protocol into a follower applying them to its own serve runtime over

@@ -27,7 +27,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("clue-bench", flag.ContinueOnError)
 	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")
-	only := fs.String("only", "", "comma-separated subset: fig8,fig9,ttf,table2,fig15,sweep,ablations,extensions")
+	only := fs.String("only", "", "comma-separated subset: fig8,fig9,ttf,table2,fig15,sweep,ablations,rebalance,extensions")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,6 +118,13 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out, cp.Render())
+	}
+	if selected("rebalance") {
+		res, err := experiments.RebalanceClosedLoop(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res.Render())
 	}
 	if selected("extensions") {
 		ns, err := experiments.NSweep(scale, nil)

@@ -14,6 +14,8 @@
 //	           [-seed 7] [-routes 12000] [-workers 4] [-mutant none]
 //	           [-max-dispatch-p99 0] [-max-divert-rate 0] [-max-converge 0]
 //	           [-repro-dir DIR] [-v]
+//	clue-chaos -compare-rebalance [-seed 7] [-routes 4000] [-workers 4]
+//	           [-lookers 120] [-min-improvement 0.2] [-v]
 //
 // The report is printed as JSON on stdout; the exit status is non-zero
 // when any invariant broke (wrong answer vs the oracle, a dispatch that
@@ -37,6 +39,12 @@
 // the contract; 0 keeps the scenario default and a negative value
 // disables that bound. -repro-dir writes a shrunk JSON reproducer on
 // failure; -mutant plants a deliberate oracle defect (self-test).
+//
+// -compare-rebalance replays the flash-crowd scenario twice under
+// service-paced pressure traffic — repartitioning off, then on — and
+// fails unless the controller recut and improved the steady-state
+// divert rate by -min-improvement, with the off leg required to show
+// real divert pressure so the contract cannot pass vacuously.
 //
 // Exit status: 0 on a passing run, 1 when the run failed an invariant
 // or its contract, 2 on a usage error (unknown flag or scenario,
@@ -100,6 +108,8 @@ func run(args []string, out, errw io.Writer) error {
 	feedBatch := fs.Int("feed-batch", 0, "updates per replicated batch (feed mode; 0 = default)")
 	feedWindow := fs.Int("feed-window", 0, "collector replay window in batches (feed mode; 0 = default)")
 	scenario := fs.String("scenario", "", "replay a scenario-lab program (session-reset, route-leak, update-burst, flash-crowd)")
+	compareReb := fs.Bool("compare-rebalance", false, "run the paired flash-crowd rebalance comparison (off vs on)")
+	minImprove := fs.Float64("min-improvement", 0, "rebalance comparison contract margin (0 = default 0.2)")
 	stormOps := fs.Int("storm-ops", 0, "scenario storm size where generated from churn (0 = scenario default)")
 	maxDivert := fs.Float64("max-divert-rate", 0, "scenario bound on diverted/dispatched (0 = contract default, negative disables)")
 	maxConverge := fs.Duration("max-converge", 0, "scenario bound on time-to-converge after the storm (0 = contract default, negative disables)")
@@ -111,6 +121,46 @@ func run(args []string, out, errw io.Writer) error {
 			return err
 		}
 		return usageError{err.Error()}
+	}
+
+	if *compareReb {
+		if *feedMode || *scenario != "" || *sequential {
+			return usageError{"-compare-rebalance is its own mode: it excludes -feed, -scenario and -sequential"}
+		}
+		if *minImprove < 0 || *minImprove >= 1 {
+			return usageError{fmt.Sprintf("-min-improvement %v must be in [0,1)", *minImprove)}
+		}
+		ccfg := chaos.RebalanceCompareConfig{
+			Seed:           *seed,
+			Routes:         *routes,
+			Workers:        *workers,
+			Lookers:        *lookers,
+			MinImprovement: *minImprove,
+		}
+		// The shared defaults are sized for the soak; fall back to the
+		// comparison's calibrated defaults unless the caller overrode them.
+		if *routes == 12000 {
+			ccfg.Routes = 0
+		}
+		if *workers == 4 {
+			ccfg.Workers = 0
+		}
+		if *lookers == 4 {
+			ccfg.Lookers = 0
+		}
+		if *verbose {
+			ccfg.Log = errw
+		}
+		rep, err := chaos.CompareRebalance(ccfg)
+		doc, jerr := json.MarshalIndent(rep, "", "  ")
+		if jerr != nil {
+			return jerr
+		}
+		fmt.Fprintln(out, string(doc))
+		return err
+	}
+	if *minImprove != 0 {
+		return usageError{"-min-improvement requires -compare-rebalance"}
 	}
 
 	if *scenario != "" {

@@ -8,6 +8,8 @@
 //	clue-serve [-addr 127.0.0.1:8080] [-fib table.rib | -router rrc01 | -routes 20000]
 //	           [-workers 4] [-queue 256] [-batch 64] [-cache 1024]
 //	           [-tcams 4] [-buckets 32] [-router-scale 10] [-seed 42]
+//	           [-rebalance-interval 0] [-rebalance-threshold 1.25]
+//	           [-rebalance-max-move 0.25]
 //	clue-serve -follow 127.0.0.1:9090 [-addr ...] [-workers ...] ...
 //
 // With -follow the server runs as a read-only replica: instead of
@@ -42,6 +44,9 @@
 //	     and re-home its range across the survivors
 //	POST /admin/worker/recover {"worker":N} — return worker N to service
 //	GET  /admin/worker — per-worker health states
+//	POST /admin/rebalance — run one forced load-aware repartitioning
+//	     pass now and report its outcome (recut or skip reason,
+//	     imbalance before/after, routes moved)
 //
 // SIGINT/SIGTERM drain the listener and the update queue, then exit.
 package main
@@ -98,6 +103,9 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 	buckets := fs.Int("buckets", 32, "range partition count in the underlying system")
 	debugTrace := fs.Bool("debug-trace", false, "enable the /debug/trace runtime-trace capture endpoint")
 	follow := fs.String("follow", "", "run as a read-only replica of the clue-collector feed at this address")
+	rebInterval := fs.Duration("rebalance-interval", 0, "load-aware repartitioning pass interval (0 disables the loop; /admin/rebalance still works)")
+	rebThreshold := fs.Float64("rebalance-threshold", 0, "imbalance ratio (max partition traffic / mean) that triggers a recut (0 = default 1.25)")
+	rebMaxMove := fs.Float64("rebalance-max-move", 0, "max fraction of routes re-homed per recut (0 = default 0.25)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,7 +115,12 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(net.Addr)
 		QueueDepth: *queue,
 		BatchMax:   *batch,
 		CacheSize:  *cache,
-		System:     serve.SystemConfig{TCAMs: *tcams, Buckets: *buckets},
+		Rebalance: serve.RebalanceConfig{
+			Interval:           *rebInterval,
+			ImbalanceThreshold: *rebThreshold,
+			MaxMoveFraction:    *rebMaxMove,
+		},
+		System: serve.SystemConfig{TCAMs: *tcams, Buckets: *buckets},
 	}
 	var (
 		rt      *serve.Runtime
@@ -583,6 +596,18 @@ func newHandler(rt *serve.Runtime, traceCapture bool, fl *feed.Follower) http.Ha
 	mux.HandleFunc("POST /admin/worker/recover", adminWorker("recover", rt.RecoverWorker))
 	mux.HandleFunc("GET /admin/worker", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, map[string]any{"workers": workerStates()})
+	})
+	mux.HandleFunc("POST /admin/rebalance", func(w http.ResponseWriter, _ *http.Request) {
+		res, err := rt.Rebalance(true)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, serve.ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			httpError(w, status, err)
+			return
+		}
+		writeJSON(w, res)
 	})
 	return mux
 }

@@ -1,0 +1,332 @@
+package chaos
+
+// Rebalance comparison: the flash-crowd scenario run twice over the
+// identical seeded program — once with the static even-by-route-count
+// carve, once with the load-aware repartitioning controller on.
+//
+// The legs run under an explicit capacity model: Config.ServicePace
+// gives each worker a fixed service rate (the software stand-in for a
+// TCAM chip), and the lookers offer semi-open-loop load — each sleeps a
+// jittered think time between dispatches — tuned so the aggregate rate
+// fits inside the total service capacity while the inverted-Zipf storm
+// head overloads its home partition. Divert pressure is then a property
+// of the carve, not of host scheduling: the hot home queue fills because
+// its offered share exceeds 1/pace, and a recut that spreads the head
+// relieves it. That keeps the contract meaningful even on a single-CPU
+// host, where unpaced workers share one core and per-partition overload
+// cannot exist.
+//
+// The comparison holds the on-run to a declared contract: the
+// steady-state divert rate (measured over a window after the controller
+// has had time to converge) must improve on the off-run by at least
+// MinImprovement, and the off-run must have produced real divert
+// pressure in the first place so the assertion can never pass vacuously.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clue/internal/serve"
+	"clue/internal/tracegen"
+)
+
+// RebalanceCompareConfig parameterises the paired flash-crowd run.
+// Zero values take calibrated defaults.
+type RebalanceCompareConfig struct {
+	// Seed drives the scenario program and the lookup traffic; both legs
+	// share it, so they replay the identical trace.
+	Seed int64 `json:"seed"`
+	// Routes is the base FIB size (default 4000).
+	Routes int `json:"routes"`
+	// Workers is the partition worker count (default 4).
+	Workers int `json:"workers"`
+	// QueueDepth bounds each worker queue (default 6 — shallow, so an
+	// overloaded home partition shows up as diverts within tens of
+	// milliseconds instead of absorbing the excess silently, but deep
+	// enough that ordinary near-capacity queueing noise stays clear of
+	// the structural overload signal).
+	QueueDepth int `json:"queue_depth"`
+	// ServicePace is the per-address worker service time (default 2ms,
+	// i.e. 500 lookups/s of capacity per worker). See
+	// serve.Config.ServicePace.
+	ServicePace time.Duration `json:"service_pace_ns"`
+	// Lookers is the number of concurrent dispatch goroutines (default
+	// 120).
+	Lookers int `json:"lookers"`
+	// Think is the mean per-looker pause between dispatches (default
+	// 80ms; jittered ±25% per draw). Lookers/Think sets the offered
+	// rate: the defaults offer ~1500/s against 4×500/s of capacity, so
+	// an even spread fits with headroom but the storm's hot partition
+	// (~38% share) does not.
+	Think time.Duration `json:"think_ns"`
+	// Rebalance is the on-leg controller configuration. A zero Interval
+	// takes 500ms — long enough for each pass to drain a meaningful
+	// sketch sample at the offered rate; a zero MaxMoveFraction takes
+	// 0.5 so convergence fits inside Adapt.
+	Rebalance serve.RebalanceConfig `json:"rebalance"`
+	// Warmup is how long benign traffic runs before the storm (default
+	// 1.2s) — it seeds the sketches with the pre-flip popularity.
+	Warmup time.Duration `json:"warmup_ns"`
+	// Adapt is how long the inverted storm traffic runs before the
+	// measurement window opens (default 3.5s) — the controller's
+	// convergence budget (~7 passes at the default interval).
+	Adapt time.Duration `json:"adapt_ns"`
+	// Measure is the steady-state window the divert rates are computed
+	// over (default 1.5s).
+	Measure time.Duration `json:"measure_ns"`
+	// MinImprovement is the declared contract margin: the on-leg steady
+	// divert rate must be at most (1-MinImprovement) times the off-leg
+	// rate (default 0.2).
+	MinImprovement float64 `json:"min_improvement"`
+	// MinOffDivert is the pressure floor: the off-leg steady divert rate
+	// must reach it or the comparison errors as inconclusive rather than
+	// passing on a workload that never stressed the carve (default 0.02).
+	MinOffDivert float64 `json:"min_off_divert"`
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer `json:"-"`
+}
+
+func (c RebalanceCompareConfig) withDefaults() RebalanceCompareConfig {
+	if c.Routes == 0 {
+		c.Routes = 4000
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 6
+	}
+	if c.ServicePace == 0 {
+		c.ServicePace = 2 * time.Millisecond
+	}
+	if c.Lookers == 0 {
+		c.Lookers = 120
+	}
+	if c.Think == 0 {
+		c.Think = 80 * time.Millisecond
+	}
+	if c.Rebalance.Interval == 0 {
+		c.Rebalance.Interval = 500 * time.Millisecond
+	}
+	if c.Rebalance.MaxMoveFraction == 0 {
+		c.Rebalance.MaxMoveFraction = 0.5
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 1200 * time.Millisecond
+	}
+	if c.Adapt == 0 {
+		c.Adapt = 3500 * time.Millisecond
+	}
+	if c.Measure == 0 {
+		c.Measure = 1500 * time.Millisecond
+	}
+	if c.MinImprovement == 0 {
+		c.MinImprovement = 0.2
+	}
+	if c.MinOffDivert == 0 {
+		c.MinOffDivert = 0.02
+	}
+	return c
+}
+
+// RebalanceLeg is one half of the comparison: the steady-state window's
+// measurements plus the leg's repartitioning counters.
+type RebalanceLeg struct {
+	// SteadyDivertRate is diverted/dispatched inside the measurement
+	// window only — after Adapt, so the off-leg shows the static carve's
+	// equilibrium and the on-leg the controller's.
+	SteadyDivertRate float64 `json:"steady_divert_rate"`
+	// SteadyDispatches is the window's dispatch count (the denominator).
+	SteadyDispatches int64 `json:"steady_dispatches"`
+	// DispatchP99Ns is the leg's whole-run end-to-end dispatch p99.
+	DispatchP99Ns float64 `json:"dispatch_p99_ns"`
+	// DispatchErrors counts dispatches that exhausted their retry
+	// budget; under deliberate overload a few are legitimate.
+	DispatchErrors int64 `json:"dispatch_errors"`
+	// Rebalance carries the runtime's controller counters (zero on the
+	// off leg).
+	Rebalance serve.RebalanceStats `json:"rebalance"`
+}
+
+// RebalanceCompareReport is the machine-readable outcome of the paired
+// run (clue-chaos -compare-rebalance emits it as JSON).
+type RebalanceCompareReport struct {
+	Seed           int64        `json:"seed"`
+	Routes         int          `json:"routes"`
+	Workers        int          `json:"workers"`
+	MinImprovement float64      `json:"min_improvement"`
+	Off            RebalanceLeg `json:"off"`
+	On             RebalanceLeg `json:"on"`
+	// Improvement is 1 - on/off steady divert rate (1 when the on-leg
+	// diverted nothing, 0 when it matched the off-leg, negative when it
+	// regressed).
+	Improvement float64 `json:"improvement"`
+}
+
+// CompareRebalance generates the flash-crowd scenario once and replays
+// it twice — rebalancing off, then on — under pressure traffic, and
+// asserts the on-run's declared contract: the controller actually
+// recut, and the steady-state divert rate improved by MinImprovement.
+func CompareRebalance(cfg RebalanceCompareConfig) (RebalanceCompareReport, error) {
+	cfg = cfg.withDefaults()
+	rep := RebalanceCompareReport{
+		Seed:           cfg.Seed,
+		Routes:         cfg.Routes,
+		Workers:        cfg.Workers,
+		MinImprovement: cfg.MinImprovement,
+	}
+	sc, err := tracegen.GenScenario(tracegen.ScenarioFlashCrowd, tracegen.ScenarioConfig{
+		Seed:   cfg.Seed,
+		Routes: cfg.Routes,
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.Routes = len(sc.Base)
+
+	logf(cfg.Log, "rebalance compare: flash-crowd seed %d, %d routes — off leg", cfg.Seed, rep.Routes)
+	rep.Off, err = rebalanceLeg(cfg, sc, serve.RebalanceConfig{})
+	if err != nil {
+		return rep, fmt.Errorf("chaos: rebalance compare off leg: %w", err)
+	}
+	logf(cfg.Log, "rebalance compare: off steady divert %.3f over %d dispatches — on leg",
+		rep.Off.SteadyDivertRate, rep.Off.SteadyDispatches)
+	rep.On, err = rebalanceLeg(cfg, sc, cfg.Rebalance)
+	if err != nil {
+		return rep, fmt.Errorf("chaos: rebalance compare on leg: %w", err)
+	}
+	if rep.Off.SteadyDivertRate > 0 {
+		rep.Improvement = 1 - rep.On.SteadyDivertRate/rep.Off.SteadyDivertRate
+	}
+	logf(cfg.Log, "rebalance compare: on steady divert %.3f after %d recuts (%d routes moved) — improvement %.3f",
+		rep.On.SteadyDivertRate, rep.On.Rebalance.Recuts, rep.On.Rebalance.MovedRoutes, rep.Improvement)
+
+	switch {
+	case rep.Off.SteadyDivertRate < cfg.MinOffDivert:
+		return rep, fmt.Errorf("chaos: rebalance compare inconclusive: off-leg steady divert rate %.4f below the %.4f pressure floor — the workload never stressed the static carve",
+			rep.Off.SteadyDivertRate, cfg.MinOffDivert)
+	case rep.On.Rebalance.Recuts == 0:
+		return rep, fmt.Errorf("chaos: rebalance compare: the controller never recut under the flash crowd (skips: %d)", rep.On.Rebalance.Skips)
+	case rep.On.SteadyDivertRate > rep.Off.SteadyDivertRate*(1-cfg.MinImprovement):
+		return rep, fmt.Errorf("chaos: rebalance contract failed: on-leg steady divert rate %.4f is not %.0f%% below the off-leg's %.4f (improvement %.3f)",
+			rep.On.SteadyDivertRate, cfg.MinImprovement*100, rep.Off.SteadyDivertRate, rep.Improvement)
+	}
+	return rep, nil
+}
+
+// rebalanceLeg boots a paced runtime over the scenario base with the
+// given controller config and replays the program: warmup churn under
+// benign traffic, then the storm churn under the inverted spec, holding
+// the storm traffic through the adapt and measurement windows. The
+// divert rate is computed from stats snapshots bracketing the final
+// window.
+func rebalanceLeg(cfg RebalanceCompareConfig, sc *tracegen.Scenario, reb serve.RebalanceConfig) (RebalanceLeg, error) {
+	var leg RebalanceLeg
+	rt, err := serve.New(sc.Base, serve.Config{
+		Workers:     cfg.Workers,
+		QueueDepth:  cfg.QueueDepth,
+		ServicePace: cfg.ServicePace,
+		Rebalance:   reb,
+	})
+	if err != nil {
+		return leg, err
+	}
+	defer rt.Close()
+
+	population := tracegen.PrefixesFromRoutes(sc.Base)
+	var phaseIdx atomic.Int32
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var dispatchErrs atomic.Int64
+	for i := 0; i < cfg.Lookers; i++ {
+		// All lookers share one ranking seed — the popularity ranking is
+		// derived from it, so distinct per-looker seeds would give every
+		// looker a different hot prefix and flatten the aggregate skew
+		// the comparison depends on — while drawing from per-looker
+		// DrawSeeds, so the fleet does not march through one identical
+		// sequence in lockstep bursts.
+		traffics := make([]*tracegen.Traffic, len(sc.Phases))
+		for pi, ph := range sc.Phases {
+			tr, terr := tracegen.NewTraffic(population, tracegen.TrafficConfig{
+				Seed:     cfg.Seed + 1000,
+				DrawSeed: cfg.Seed + 9000 + int64(i),
+				ZipfS:  ph.Traffic.ZipfS,
+				Repeat: ph.Traffic.Repeat,
+				Invert: ph.Traffic.Invert,
+			})
+			if terr != nil {
+				close(stop)
+				wg.Wait()
+				return leg, terr
+			}
+			traffics[pi] = tr
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Stagger the start phases across one think period, then
+			// jitter every pause ±25%: synchronized lookers would arrive
+			// in waves that overflow every queue at once, making diverts
+			// insensitive to the carve. The jitter PRNG is seeded per
+			// looker, so both legs offer the identical pattern.
+			jit := rand.New(rand.NewSource(cfg.Seed + 7000 + int64(i)))
+			pause := cfg.Think * time.Duration(i) / time.Duration(cfg.Lookers)
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(pause):
+				}
+				if _, derr := rt.Dispatch(traffics[phaseIdx.Load()].Next()); derr != nil {
+					dispatchErrs.Add(1)
+				}
+				pause = cfg.Think/2 + cfg.Think/4 + time.Duration(jit.Int63n(int64(cfg.Think)/2))
+			}
+		}(i)
+	}
+
+	// Warmup phase: benign churn, benign traffic.
+	for _, u := range sc.Phases[0].Updates {
+		if _, uerr := applyOne(rt, u); uerr != nil {
+			close(stop)
+			wg.Wait()
+			return leg, uerr
+		}
+	}
+	time.Sleep(cfg.Warmup)
+
+	// Storm: flip the traffic, play the background churn, then hold the
+	// inverted load through the adapt window and the measurement window.
+	si := sc.StormPhase()
+	phaseIdx.Store(int32(si))
+	for _, u := range sc.Phases[si].Updates {
+		if _, uerr := applyOne(rt, u); uerr != nil {
+			close(stop)
+			wg.Wait()
+			return leg, uerr
+		}
+	}
+	time.Sleep(cfg.Adapt)
+	before := rt.Stats()
+	time.Sleep(cfg.Measure)
+	after := rt.Stats()
+
+	close(stop)
+	wg.Wait()
+	st := rt.Stats()
+	leg.SteadyDispatches = after.Dispatched - before.Dispatched
+	if leg.SteadyDispatches > 0 {
+		leg.SteadyDivertRate = float64(after.Diverted-before.Diverted) / float64(leg.SteadyDispatches)
+	}
+	leg.DispatchP99Ns = st.Latency.DispatchP99Ns()
+	leg.DispatchErrors = dispatchErrs.Load()
+	leg.Rebalance = st.Rebalance
+	if leg.SteadyDispatches == 0 {
+		return leg, fmt.Errorf("no dispatches landed in the measurement window")
+	}
+	return leg, nil
+}

@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCompareRebalanceFlashCrowd is the closed-loop contract: the same
+// flash-crowd program replayed with the static carve and with the
+// repartitioning controller must show the controller recutting and the
+// steady-state divert rate improving by the declared margin. The run is
+// wall-clock paced (the controller needs real time to converge), so it
+// is skipped in -short mode and the weekly scenario-lab job runs the
+// full-scale version through clue-chaos -compare-rebalance.
+func TestCompareRebalanceFlashCrowd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock paced comparison; covered at full scale by the weekly scenario lab")
+	}
+	rep, err := CompareRebalance(RebalanceCompareConfig{Seed: 7, Log: testWriter{t}})
+	if err != nil {
+		t.Fatalf("comparison failed: %v\nreport: %+v", err, rep)
+	}
+	// CompareRebalance asserted the contract; pin the report shape too.
+	if rep.Off.SteadyDispatches == 0 || rep.On.SteadyDispatches == 0 {
+		t.Fatalf("empty measurement windows: %+v", rep)
+	}
+	if rep.On.Rebalance.Recuts == 0 || rep.On.Rebalance.MovedRoutes == 0 {
+		t.Fatalf("controller counters empty on the on leg: %+v", rep.On.Rebalance)
+	}
+	if rep.Off.Rebalance.Recuts != 0 {
+		t.Fatalf("off leg recut: %+v", rep.Off.Rebalance)
+	}
+	if rep.Improvement < rep.MinImprovement {
+		t.Fatalf("improvement %.3f below declared margin %.3f", rep.Improvement, rep.MinImprovement)
+	}
+	buf, jerr := json.Marshal(rep)
+	if jerr != nil || !strings.Contains(string(buf), `"improvement"`) {
+		t.Fatalf("report does not serialise: %v %s", jerr, buf)
+	}
+}
+
+// TestCompareRebalancePressureFloor: an unreachable pressure floor must
+// turn the run into an explicit inconclusive error — the contract can
+// never pass on a workload that produced no divert pressure.
+func TestCompareRebalancePressureFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock paced comparison")
+	}
+	cfg := RebalanceCompareConfig{Seed: 7, MinOffDivert: 1.1}
+	// Keep the self-test cheap: the verdict only needs the windows to
+	// exist, not the controller to converge.
+	cfg.Warmup, cfg.Adapt, cfg.Measure = 50e6, 100e6, 100e6
+	_, err := CompareRebalance(cfg)
+	if err == nil || !strings.Contains(err.Error(), "inconclusive") {
+		t.Fatalf("impossible pressure floor did not trip: %v", err)
+	}
+}
+
+// testWriter adapts t.Logf for the comparison's progress log.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}

@@ -67,6 +67,9 @@ type ScenarioConfig struct {
 	MaxDegradedP99 time.Duration `json:"max_degraded_p99,omitempty"`
 	MaxDivertRate  float64       `json:"max_divert_rate,omitempty"`
 	MaxConverge    time.Duration `json:"max_converge,omitempty"`
+	// Rebalance enables the runtime's load-aware repartitioning
+	// controller for the run (zero value = off, the static even carve).
+	Rebalance serve.RebalanceConfig `json:"rebalance,omitempty"`
 	// Mutant plants a deliberate defect in the oracle model. The
 	// self-tests use it to prove a storm checkpoint catches real
 	// divergence; production runs use oracle.MutantNone.
@@ -168,6 +171,10 @@ type ScenarioReport struct {
 	FinalRoutes      int   `json:"final_routes"`
 	GoroutinesBefore int   `json:"goroutines_before"`
 	GoroutinesAfter  int   `json:"goroutines_after"`
+
+	// Rebalance carries the runtime's repartitioning counters (all zero
+	// when the controller was off).
+	Rebalance serve.RebalanceStats `json:"rebalance"`
 }
 
 // RunScenario generates the named scenario program and replays it. The
@@ -207,7 +214,7 @@ func runScenario(cfg ScenarioConfig) (ScenarioReport, error) {
 	probeRNG := rand.New(rand.NewSource(cfg.Seed + 3))
 
 	rep.GoroutinesBefore = runtime.NumGoroutine()
-	rt, err := serve.New(sc.Base, serve.Config{Workers: cfg.Workers})
+	rt, err := serve.New(sc.Base, serve.Config{Workers: cfg.Workers, Rebalance: cfg.Rebalance})
 	if err != nil {
 		return rep, err
 	}
@@ -390,6 +397,7 @@ func runScenario(cfg ScenarioConfig) (ScenarioReport, error) {
 	rep.TableHash = fmt.Sprintf("%016x", st.TableHash)
 	rep.PeakRoutes = st.PeakRoutes
 	rep.FinalRoutes = st.Routes
+	rep.Rebalance = st.Rebalance
 
 	rt.Close()
 	closed = true

@@ -110,6 +110,34 @@ func TestQuickInterruptSmoke(t *testing.T) {
 	}
 }
 
+func TestQuickRebalanceSmoke(t *testing.T) {
+	res, err := RebalanceClosedLoop(quickScale(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	off, on := res.Rows[0], res.Rows[1]
+	if off.Recuts != 0 || off.MovedRoutes != 0 {
+		t.Fatalf("off leg recut: %+v", off)
+	}
+	if on.Recuts == 0 || on.MovedRoutes == 0 {
+		t.Fatalf("controller never recut: %+v", on)
+	}
+	if off.DivertRate <= 0 {
+		t.Fatalf("off leg shows no divert pressure: %+v", off)
+	}
+	// The figure's claim: the recut strictly sheds structural diverts.
+	if res.Improvement <= 0 {
+		t.Errorf("rebalancing did not improve the divert rate: off %.4f on %.4f",
+			off.DivertRate, on.DivertRate)
+	}
+	if off.DispatchP99Ms <= 0 || on.DispatchP99Ms <= 0 {
+		t.Errorf("empty latency histograms: off %.2fms on %.2fms", off.DispatchP99Ms, on.DispatchP99Ms)
+	}
+}
+
 func TestQuickParallelSmoke(t *testing.T) {
 	scale := quickScale(t)
 	res, table, err := Table2Workload(scale)

@@ -35,6 +35,11 @@ const (
 	// CmdQuiesce runs a full checkpoint: the whole probe set against
 	// every engine plus all structural invariants.
 	CmdQuiesce
+	// CmdRebalance forces one load-aware repartitioning pass on engines
+	// with a rebalancer (the serve runtime): a live cut move interleaved
+	// with the rest of the lifecycle, which later lookups and checkpoints
+	// must not be able to observe in any answer.
+	CmdRebalance
 )
 
 // kindNames maps command kinds to their script keywords.
@@ -45,9 +50,10 @@ var kindNames = map[Kind]string{
 	CmdBatch:    "batch",
 	CmdFail:     "fail",
 	CmdRecover:  "recover",
-	CmdFlush:    "flush",
-	CmdSwap:     "swap",
-	CmdQuiesce:  "quiesce",
+	CmdFlush:     "flush",
+	CmdSwap:      "swap",
+	CmdQuiesce:   "quiesce",
+	CmdRebalance: "rebalance",
 }
 
 // Command is one step of a lifecycle sequence. Unused fields are zero.
@@ -79,7 +85,7 @@ func (c Command) String() string {
 		return fmt.Sprintf("fail %d", c.Worker)
 	case CmdRecover:
 		return fmt.Sprintf("recover %d", c.Worker)
-	case CmdFlush, CmdSwap, CmdQuiesce:
+	case CmdFlush, CmdSwap, CmdQuiesce, CmdRebalance:
 		return kindNames[c.Kind]
 	}
 	return fmt.Sprintf("Command(%d)", c.Kind)
@@ -230,6 +236,8 @@ func parseCommand(text string) (Command, error) {
 		return Command{Kind: CmdSwap}, nil
 	case "quiesce":
 		return Command{Kind: CmdQuiesce}, nil
+	case "rebalance":
+		return Command{Kind: CmdRebalance}, nil
 	}
 	return Command{}, fmt.Errorf("unknown command %q", word)
 }

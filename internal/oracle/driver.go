@@ -149,8 +149,10 @@ func Generate(cfg Config) []Command {
 			cmds = append(cmds, Command{Kind: CmdRecover, Worker: rng.Intn(cfg.Workers)})
 		case r < 0.97:
 			cmds = append(cmds, Command{Kind: CmdFlush})
-		case r < 0.997:
+		case r < 0.99:
 			cmds = append(cmds, Command{Kind: CmdSwap})
+		case r < 0.997:
+			cmds = append(cmds, Command{Kind: CmdRebalance})
 		default:
 			cmds = append(cmds, Command{Kind: CmdQuiesce})
 		}
@@ -451,6 +453,14 @@ func applyStep(cfg Config, model *Model, engines []Engine, pb *prober, step int,
 			if sw, ok := e.(swapper); ok {
 				if err := sw.Swap(); err != nil {
 					return fail(e.Name(), "swap: %v", err)
+				}
+			}
+		}
+	case CmdRebalance:
+		for _, e := range engines {
+			if rb, ok := e.(rebalancer); ok {
+				if err := rb.Rebalance(); err != nil {
+					return fail(e.Name(), "rebalance: %v", err)
 				}
 			}
 		}

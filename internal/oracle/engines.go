@@ -54,6 +54,10 @@ type (
 	}
 	flusher interface{ Flush() error }
 	swapper interface{ Swap() error }
+	// rebalancer forces one load-aware repartitioning pass — a live cut
+	// move the driver's subsequent lookups and checkpoints must not be
+	// able to observe in any answer.
+	rebalancer interface{ Rebalance() error }
 	// tableDumper exposes the engine's compressed-table contents; the
 	// driver cross-compares every dump against a fresh compression of
 	// the model's FIB, so the independent ONRTC replicas must agree
@@ -415,6 +419,15 @@ func ignoreStateRefusal(err error) error {
 
 func (e *serveEngine) Flush() error { return e.rt.FlushCaches() }
 func (e *serveEngine) Swap() error  { return e.rt.FlushCaches() }
+
+// Rebalance forces one repartitioning pass. The runtime legitimately
+// declines a recut (no traffic signal, degraded workers, too few
+// routes); that is hysteresis working, not a failure — only a real
+// error (closed runtime, publication fault) propagates.
+func (e *serveEngine) Rebalance() error {
+	_, err := e.rt.Rebalance(true)
+	return err
+}
 
 func (e *serveEngine) Check(*Model) error {
 	return onrtc.VerifyDisjoint(e.rt.Snapshot().Routes())

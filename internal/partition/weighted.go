@@ -1,0 +1,271 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Carve is the outcome of CarveWeighted: n monotone cut points over m
+// contiguous items. Cuts[j] is the index of the first item partition j
+// owns (Cuts[0] is always 0; partition j spans [Cuts[j], Cuts[j+1]),
+// the last one runs to m).
+type Carve struct {
+	Cuts []int
+	// MaxWeight is the heaviest partition's weight under Cuts.
+	MaxWeight float64
+	// Moved counts items whose partition changed relative to the prev
+	// cuts passed to CarveWeighted (0 when prev was nil).
+	Moved int
+}
+
+// CarveWeighted splits m contiguous weighted items into n partitions,
+// minimizing the maximum partition weight subject to monotone cuts —
+// the traffic-aware generalization of CLUE's even count split (the
+// range-partition objective of Sadeh et al.'s optimal-TCAM carve,
+// restricted to contiguous ranges so the cut points still double as the
+// Indexing Logic's range table).
+//
+// prev, when non-nil, must be a valid cut vector of the same shape
+// (len n, prev[0] == 0, strictly increasing, every partition
+// non-empty); maxMove then bounds the total cut movement — the number
+// of items re-homed by adopting the new cuts — and the result is
+// guaranteed never worse than prev: if the movement-bounded carve
+// cannot reach a max weight <= prev's, prev is returned unchanged.
+// maxMove <= 0 with a non-nil prev means "no movement allowed", which
+// degenerates to prev.
+//
+// All-zero weights carry no signal, so the carve falls back to the
+// even count split. Negative weights and m < n are errors.
+func CarveWeighted(weights []float64, n int, prev []int, maxMove int) (Carve, error) {
+	m := len(weights)
+	if n < 1 {
+		return Carve{}, fmt.Errorf("partition: need n >= 1, got %d", n)
+	}
+	if m < n {
+		return Carve{}, fmt.Errorf("partition: %d items cannot fill %d partitions", m, n)
+	}
+	if prev != nil {
+		if err := validCuts(prev, n, m); err != nil {
+			return Carve{}, err
+		}
+	}
+	// Prefix sums; reject negative weights on the way through.
+	pre := make([]float64, m+1)
+	maxItem := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return Carve{}, fmt.Errorf("partition: negative weight %g at %d", w, i)
+		}
+		pre[i+1] = pre[i] + w
+		if w > maxItem {
+			maxItem = w
+		}
+	}
+	total := pre[m]
+
+	var ideal []int
+	if total == 0 {
+		ideal = evenCuts(m, n)
+	} else {
+		ideal = carveByCap(pre, n, capFor(pre, n, maxItem))
+	}
+	cuts := ideal
+	if prev != nil {
+		cuts = boundMovement(pre, prev, ideal, maxMove)
+		// Never worse: a carve that raises the max partition weight over
+		// what prev already achieves is not an improvement — keep prev.
+		if maxCutWeight(pre, cuts) > maxCutWeight(pre, prev) {
+			cuts = append([]int(nil), prev...)
+		}
+	}
+	c := Carve{Cuts: cuts, MaxWeight: maxCutWeight(pre, cuts)}
+	if prev != nil {
+		c.Moved = movedItems(prev, cuts)
+	}
+	return c, nil
+}
+
+// validCuts checks the cut-vector shape CarveWeighted requires of prev.
+func validCuts(cuts []int, n, m int) error {
+	if len(cuts) != n {
+		return fmt.Errorf("partition: prev has %d cuts, want %d", len(cuts), n)
+	}
+	if cuts[0] != 0 {
+		return fmt.Errorf("partition: prev[0] must be 0, got %d", cuts[0])
+	}
+	for j := 1; j < n; j++ {
+		if cuts[j] <= cuts[j-1] {
+			return fmt.Errorf("partition: prev cuts not strictly increasing at %d", j)
+		}
+	}
+	if cuts[n-1] >= m {
+		return fmt.Errorf("partition: prev[%d] = %d leaves an empty last partition (m = %d)", n-1, cuts[n-1], m)
+	}
+	return nil
+}
+
+// evenCuts is the count split CLUE uses absent traffic information.
+func evenCuts(m, n int) []int {
+	cuts := make([]int, n)
+	for j := 1; j < n; j++ {
+		cuts[j] = j * m / n
+	}
+	return cuts
+}
+
+// capFor bisects the minimal feasible max-partition-weight. The answer
+// lies in [max(heaviest item, total/n), total]; ~60 rounds pin it to
+// float precision, and the final greedy placement uses a hair of slack
+// so rounding in the prefix sums cannot flip feasibility.
+func capFor(pre []float64, n int, maxItem float64) float64 {
+	total := pre[len(pre)-1]
+	lo := total / float64(n)
+	if maxItem > lo {
+		lo = maxItem
+	}
+	hi := total
+	for i := 0; i < 60 && hi-lo > 1e-9*total; i++ {
+		mid := lo + (hi-lo)/2
+		if feasible(pre, n, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi * (1 + 1e-12)
+}
+
+// feasible reports whether n partitions of weight <= cap cover all
+// items, each partition taking at least one item.
+func feasible(pre []float64, n int, cap float64) bool {
+	m := len(pre) - 1
+	s := 0
+	for j := 0; j < n; j++ {
+		if s >= m {
+			return true
+		}
+		e := furthest(pre, s, cap)
+		// Leave at least one item per remaining partition.
+		if room := m - (n - 1 - j); e > room {
+			e = room
+		}
+		if e <= s {
+			return false // single item over cap (cannot happen once cap >= maxItem)
+		}
+		s = e
+	}
+	return s >= m
+}
+
+// furthest returns the largest e with sum(weights[s:e]) <= cap.
+func furthest(pre []float64, s int, cap float64) int {
+	m := len(pre) - 1
+	return s + sort.Search(m-s, func(k int) bool {
+		return pre[s+k+1]-pre[s] > cap
+	})
+}
+
+// carveByCap materializes the greedy cut vector for a feasible cap.
+func carveByCap(pre []float64, n int, cap float64) []int {
+	m := len(pre) - 1
+	cuts := make([]int, n)
+	s := 0
+	for j := 0; j < n; j++ {
+		cuts[j] = s
+		e := furthest(pre, s, cap)
+		if room := m - (n - 1 - j); e > room {
+			e = room
+		}
+		if e <= s {
+			e = s + 1
+		}
+		s = e
+	}
+	return cuts
+}
+
+// boundMovement pulls the ideal cuts back toward prev until the total
+// cut movement fits maxMove. Every cut moves by the same fraction t of
+// its ideal displacement, so the candidate stays a (rounded) convex
+// combination of two strictly monotone cut vectors; the repair pass
+// fixes the off-by-one gaps rounding can close. If repairs push the
+// movement back over budget, t shrinks geometrically; t = 0 is prev
+// itself, so the loop always terminates within budget.
+func boundMovement(pre []float64, prev, ideal []int, maxMove int) []int {
+	if maxMove < 0 {
+		maxMove = 0
+	}
+	n, m := len(prev), len(pre)-1
+	totalMove := 0
+	for j := range prev {
+		totalMove += abs(ideal[j] - prev[j])
+	}
+	if totalMove <= maxMove {
+		return ideal
+	}
+	t := float64(maxMove) / float64(totalMove)
+	cand := make([]int, n)
+	for ; ; t *= 0.75 {
+		if t < 1e-6 {
+			return append(cand[:0], prev...)
+		}
+		cand[0] = 0
+		for j := 1; j < n; j++ {
+			d := float64(ideal[j]-prev[j]) * t
+			c := prev[j] + int(roundHalfAway(d))
+			if min := cand[j-1] + 1; c < min {
+				c = min
+			}
+			if max := m - (n - j); c > max {
+				c = max
+			}
+			cand[j] = c
+		}
+		if movedItems(prev, cand) <= maxMove {
+			return cand
+		}
+	}
+}
+
+// movedItems bounds the items whose owning partition differs between
+// two cut vectors of the same shape: the sum of boundary
+// displacements. An item crossed by two boundaries counts twice, so
+// this is an upper bound on distinct re-homed items — conservative in
+// the direction MaxMoveFraction cares about.
+func movedItems(a, b []int) int {
+	moved := 0
+	for j := 1; j < len(a); j++ {
+		moved += abs(a[j] - b[j])
+	}
+	return moved
+}
+
+// maxCutWeight is the heaviest partition weight under cuts.
+func maxCutWeight(pre []float64, cuts []int) float64 {
+	m := len(pre) - 1
+	max := 0.0
+	for j := range cuts {
+		end := m
+		if j+1 < len(cuts) {
+			end = cuts[j+1]
+		}
+		if w := pre[end] - pre[cuts[j]]; w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func roundHalfAway(v float64) float64 {
+	if v < 0 {
+		return -roundHalfAway(-v)
+	}
+	return float64(int(v + 0.5))
+}

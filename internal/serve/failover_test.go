@@ -121,7 +121,7 @@ func TestSnapshotHomeNeverReturnsEmptyWorker(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			s := snapshotShell(1, tc.routes, tc.workers, nil, tc.down)
+			s := snapshotShell(1, tc.routes, tc.workers, nil, tc.down, nil)
 			for _, a := range probes {
 				h := s.Home(a)
 				if h < 0 || h >= tc.workers {

@@ -108,7 +108,7 @@ func FuzzSnapshotIndex(f *testing.F) {
 			ar2 := newArena(len(routes))
 			rng2, hop2 := ar2.routeSlabs(len(routes))
 			fillSlabs(rng2, hop2, routes)
-			snapP = shellOnArena(ar2, 2, 4, nil, nil, false)
+			snapP = shellOnArena(ar2, 2, 4, nil, nil, nil, false)
 			snapP.index = patchIndexInto(ar2, snap1.index, rng2, insLast, delLast, len(routes))
 
 			// A patched index must be cut-for-cut the index a full

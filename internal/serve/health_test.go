@@ -506,7 +506,7 @@ func TestSnapshotShellDownMask(t *testing.T) {
 		if prev.index.empty() {
 			t.Fatal("test table below index threshold")
 		}
-		next := newSnapshotFrom(prev, 2, routes, 4, nil, nil, nil, []bool{false, true, false, false}, true)
+		next := newSnapshotFrom(prev, 2, routes, 4, nil, nil, nil, []bool{false, true, false, false}, nil, true)
 		if !next.flushCaches {
 			t.Fatal("flush flag lost")
 		}
@@ -516,7 +516,7 @@ func TestSnapshotShellDownMask(t *testing.T) {
 	})
 
 	t.Run("worker zero down", func(t *testing.T) {
-		s := snapshotShell(1, routes, 4, nil, []bool{true, false, false, false})
+		s := snapshotShell(1, routes, 4, nil, []bool{true, false, false, false}, nil)
 		counts := make([]int, 4)
 		for _, r := range routes {
 			counts[s.Home(r.Prefix.First())]++
@@ -532,7 +532,7 @@ func TestSnapshotShellDownMask(t *testing.T) {
 	})
 
 	t.Run("middle worker down keeps order", func(t *testing.T) {
-		s := snapshotShell(1, routes, 4, nil, []bool{false, false, true, false})
+		s := snapshotShell(1, routes, 4, nil, []bool{false, false, true, false}, nil)
 		for i := 1; i < len(s.starts); i++ {
 			if s.starts[i] < s.starts[i-1] {
 				t.Fatalf("starts not monotone at %d: %v", i, s.starts)
@@ -546,7 +546,7 @@ func TestSnapshotShellDownMask(t *testing.T) {
 	})
 
 	t.Run("all down keeps Home total", func(t *testing.T) {
-		s := snapshotShell(1, routes, 3, nil, []bool{true, true, true})
+		s := snapshotShell(1, routes, 3, nil, []bool{true, true, true}, nil)
 		for a := 0; a < 1000; a++ {
 			if h := s.Home(ip.Addr(a * 4_000_000)); h != 0 {
 				t.Fatalf("Home = %d with all workers down, want nominal 0", h)
@@ -556,7 +556,7 @@ func TestSnapshotShellDownMask(t *testing.T) {
 
 	t.Run("down with tiny table", func(t *testing.T) {
 		tiny := routes[:2]
-		s := snapshotShell(1, tiny, 4, nil, []bool{false, true, false, false})
+		s := snapshotShell(1, tiny, 4, nil, []bool{false, true, false, false}, nil)
 		counts := make([]int, 4)
 		for _, r := range tiny {
 			counts[s.Home(r.Prefix.First())]++

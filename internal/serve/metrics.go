@@ -15,6 +15,7 @@ import (
 type atomicFloat struct{ bits atomic.Uint64 }
 
 func (f *atomicFloat) add(v float64) { f.bits.Store(math.Float64bits(f.load() + v)) }
+func (f *atomicFloat) set(v float64) { f.bits.Store(math.Float64bits(v)) }
 func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
 
 // metrics is the runtime's live counter set. Lookup-path counters are
@@ -35,6 +36,16 @@ type metrics struct {
 	enqueueRetries  atomic.Int64
 	enqueueTimeouts atomic.Int64
 	workerPanics    atomic.Int64
+
+	// Rebalancer counters (bumped under rebalanceMu, read anywhere).
+	// rebalanceImbBefore/After are last-observed gauges, hence set not
+	// add.
+	rebalances         atomic.Int64
+	rebalanceSkips     atomic.Int64
+	rebalanceMoved     atomic.Int64
+	sketchSamples      atomic.Int64
+	rebalanceImbBefore atomicFloat
+	rebalanceImbAfter  atomicFloat
 
 	announces    atomic.Int64
 	withdraws    atomic.Int64
@@ -210,6 +221,9 @@ type Stats struct {
 	EnqueueRetries  int64 `json:"enqueue_retries"`
 	EnqueueTimeouts int64 `json:"enqueue_timeouts"`
 	WorkerPanics    int64 `json:"worker_panics"`
+	// Rebalance describes the load-aware repartitioning loop (see
+	// RebalanceStats).
+	Rebalance RebalanceStats `json:"rebalance"`
 
 	// Announces/Withdraws count applied update ops; UpdateErrors the ops
 	// that failed in the pipeline. Batches/BatchOps describe writer
@@ -327,6 +341,12 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 	emit("clue_serve_enqueue_retries_total", "counter", "Dispatch enqueue backoff retries.", float64(s.EnqueueRetries))
 	emit("clue_serve_enqueue_timeouts_total", "counter", "Dispatches whose enqueue retry/timeout budget expired.", float64(s.EnqueueTimeouts))
 	emit("clue_serve_worker_panics_total", "counter", "Panics recovered inside worker goroutines.", float64(s.WorkerPanics))
+	emit("clue_serve_rebalance_recuts_total", "counter", "Weighted recuts published by the rebalancer.", float64(s.Rebalance.Recuts))
+	emit("clue_serve_rebalance_skips_total", "counter", "Rebalance passes that published nothing (hysteresis, no signal, degraded).", float64(s.Rebalance.Skips))
+	emit("clue_serve_rebalance_moved_routes_total", "counter", "Routes re-homed by weighted recuts.", float64(s.Rebalance.MovedRoutes))
+	emit("clue_serve_rebalance_sketch_samples_total", "counter", "Traffic-sketch samples drained by the rebalancer.", float64(s.Rebalance.SketchSamples))
+	emit("clue_serve_rebalance_imbalance_before", "gauge", "Traffic imbalance (max partition weight / mean) at the last rebalance pass, before the carve.", s.Rebalance.LastImbalanceBefore)
+	emit("clue_serve_rebalance_imbalance_after", "gauge", "Projected traffic imbalance after the last published recut.", s.Rebalance.LastImbalanceAfter)
 	emit("clue_serve_announces_total", "counter", "Announce ops applied.", float64(s.Announces))
 	emit("clue_serve_withdraws_total", "counter", "Withdraw ops applied.", float64(s.Withdraws))
 	emit("clue_serve_update_errors_total", "counter", "Update ops that failed in the pipeline.", float64(s.UpdateErrors))

@@ -52,6 +52,18 @@ type Config struct {
 	// EnqueueRetries caps the backoff rounds a dispatch attempts within
 	// EnqueueTimeout (default 32).
 	EnqueueRetries int
+	// ServicePace, when positive, holds each worker busy for this long
+	// per address served — the software stand-in for a TCAM chip's fixed
+	// service rate. With a pace set, a partition genuinely has capacity
+	// 1/pace, so overload experiments (the rebalance comparison, the
+	// scenario lab) see load-dependent queue growth instead of
+	// scheduler-noise-driven diverts. 0 (the default) serves as fast as
+	// the host allows.
+	ServicePace time.Duration
+	// Rebalance configures the load-aware repartitioning loop (see
+	// RebalanceConfig; the zero value leaves periodic rebalancing off,
+	// with manual Runtime.Rebalance calls still available).
+	Rebalance RebalanceConfig
 	// System configures the underlying core.System.
 	System core.Config
 }
@@ -78,7 +90,10 @@ func (c Config) validate() error {
 	if c.EnqueueTimeout < 0 {
 		return fmt.Errorf("serve: Config.EnqueueTimeout must be >= 0 (0 means default), got %v", c.EnqueueTimeout)
 	}
-	return nil
+	if c.ServicePace < 0 {
+		return fmt.Errorf("serve: Config.ServicePace must be >= 0 (0 means unpaced), got %v", c.ServicePace)
+	}
+	return c.Rebalance.validate()
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +122,7 @@ func (c Config) withDefaults() Config {
 	if c.EnqueueRetries == 0 {
 		c.EnqueueRetries = 32
 	}
+	c.Rebalance = c.Rebalance.withDefaults()
 	return c
 }
 
@@ -134,12 +150,15 @@ const (
 
 // updateOp is one queued announce/withdraw with its completion channel.
 // ctl ops carry no route change: they force the writer to publish a
-// re-homed snapshot from the current worker health states.
+// re-homed snapshot from the current worker health states. A ctl op may
+// additionally carry a rebalancer cut plan, which the writer installs
+// as its persistent plan before publishing.
 type updateOp struct {
 	kind tracegen.UpdateKind
 	pfx  ip.Prefix
 	hop  ip.NextHop
 	ctl  bool
+	plan []ip.Addr
 	done chan opResult
 }
 
@@ -228,6 +247,20 @@ type Runtime struct {
 	// pinSeed spreads Snapshot() callers across epoch slots.
 	pinSeed atomic.Uint64
 
+	// cutPlan is the writer's persistent weighted cut plan (nil until the
+	// rebalancer publishes one): every publication re-applies it, so the
+	// weighted boundaries survive route churn between recuts. Writer-owned
+	// after installation via a ctl op.
+	cutPlan []ip.Addr
+
+	// rb is the rebalancer's aggregate state (decayed traffic weights and
+	// carve scratch), guarded by rebalanceMu so the periodic loop and
+	// manual Rebalance calls serialize.
+	rebalanceMu   sync.Mutex
+	rb            rebalanceState
+	rebalanceStop chan struct{}
+	rebalanceWG   sync.WaitGroup
+
 	inflight   atomic.Int64
 	closed     atomic.Bool
 	closeOnce  sync.Once
@@ -279,6 +312,11 @@ func New(routes []ip.Route, cfg Config) (*Runtime, error) {
 		go r.workers[i].run()
 	}
 	go r.writer()
+	if cfg.Rebalance.Interval > 0 {
+		r.rebalanceStop = make(chan struct{})
+		r.rebalanceWG.Add(1)
+		go r.rebalancer()
+	}
 	return r, nil
 }
 
@@ -727,6 +765,9 @@ func (r *Runtime) applyBatch(batch []updateOp) {
 	for _, op := range batch {
 		if op.ctl {
 			rehome = true
+			if op.plan != nil {
+				r.cutPlan = op.plan
+			}
 			results = append(results, opResult{})
 			continue
 		}
@@ -808,6 +849,11 @@ func (r *Runtime) applyBatch(batch []updateOp) {
 	r.publish(prev, staleOut, rehome)
 	if rehome {
 		r.m.rehomes.Add(1)
+		// The flush publication invalidates the sketches along with the
+		// caches (see worker.resetSketch).
+		for _, w := range r.workers {
+			w.resetSketch()
+		}
 	}
 	swapNs := time.Since(start).Nanoseconds()
 	r.m.swapNs.add(float64(swapNs))
@@ -842,13 +888,13 @@ func (r *Runtime) publish(prev *Snapshot, stale []ip.Prefix, rehome bool) {
 		for _, p := range r.ws.hopPatches {
 			atomic.StoreUint32(&prev.ar.hop[p.pos], p.hop)
 		}
-		next = prev.clonePatched(version, r.cfg.Workers, stale, r.downMask(), rehome)
+		next = prev.clonePatched(version, r.cfg.Workers, stale, r.downMask(), r.cutPlan, rehome)
 		r.m.inPlacePatches.Add(1)
 	default:
 		ar := r.takeArena(len(r.table))
 		rng, hop := ar.routeSlabs(len(r.table))
 		fillSlabs(rng, hop, r.table)
-		next = shellOnArena(ar, version, r.cfg.Workers, stale, r.downMask(), rehome)
+		next = shellOnArena(ar, version, r.cfg.Workers, stale, r.downMask(), r.cutPlan, rehome)
 		switch {
 		case len(r.table) < strideMinRoutes:
 			// Small table: binary-search fallback needs no index.
@@ -988,6 +1034,14 @@ func (r *Runtime) downMask() []bool {
 func (r *Runtime) Close() {
 	r.closeOnce.Do(func() {
 		r.closed.Store(true)
+		// Stop the periodic rebalancer first: a recut mid-close would race
+		// the update-channel close below. An in-progress Rebalance holds an
+		// inflight token, so the writer (still running) completes it before
+		// the drain loop can finish.
+		if r.rebalanceStop != nil {
+			close(r.rebalanceStop)
+			r.rebalanceWG.Wait()
+		}
 		// All submitters that got past the closed re-check hold an
 		// inflight token until their op is answered; once the count
 		// drains, nobody can send on the channels we are about to close.
@@ -1073,6 +1127,15 @@ func (r *Runtime) Stats() Stats {
 		EnqueueRetries:  r.m.enqueueRetries.Load(),
 		EnqueueTimeouts: r.m.enqueueTimeouts.Load(),
 		WorkerPanics:    r.m.workerPanics.Load(),
+		Rebalance: RebalanceStats{
+			Enabled:             r.cfg.Rebalance.Interval > 0,
+			Recuts:              r.m.rebalances.Load(),
+			Skips:               r.m.rebalanceSkips.Load(),
+			MovedRoutes:         r.m.rebalanceMoved.Load(),
+			LastImbalanceBefore: r.m.rebalanceImbBefore.load(),
+			LastImbalanceAfter:  r.m.rebalanceImbAfter.load(),
+			SketchSamples:       r.m.sketchSamples.Load(),
+		},
 		Latency: LatencyStats{
 			SnapshotLookup:   r.m.lookupLat.summary(),
 			DispatchHome:     r.m.dispatchHome.summary(),

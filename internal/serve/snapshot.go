@@ -120,7 +120,7 @@ func fillSlabs(rng []uint64, hop []uint32, routes []ip.Route) {
 // on a fresh arena, including the two-level index for tables above
 // strideMinRoutes.
 func newSnapshot(version uint64, routes []ip.Route, workers int, stale []ip.Prefix) *Snapshot {
-	s := snapshotShell(version, routes, workers, stale, nil)
+	s := snapshotShell(version, routes, workers, stale, nil, nil)
 	if len(routes) >= strideMinRoutes {
 		s.index = buildIndexInto(s.ar, s.rng)
 	}
@@ -134,10 +134,11 @@ func newSnapshot(version uint64, routes []ip.Route, workers int, stale []ip.Pref
 // from the table; insLast and delLast must be the ascending last
 // addresses of the routes the batch inserted into and deleted from
 // prev's table. down marks workers excluded from the partition recut
-// (nil when all are healthy); flush marks the snapshot as
-// cache-flushing (set for re-homed publications).
-func newSnapshotFrom(prev *Snapshot, version uint64, routes []ip.Route, workers int, stale []ip.Prefix, insLast, delLast []ip.Addr, down []bool, flush bool) *Snapshot {
-	s := snapshotShell(version, routes, workers, stale, down)
+// (nil when all are healthy); plan carries rebalancer-proposed cut
+// addresses (nil for the even count split); flush marks the snapshot
+// as cache-flushing (set for re-homed publications).
+func newSnapshotFrom(prev *Snapshot, version uint64, routes []ip.Route, workers int, stale []ip.Prefix, insLast, delLast []ip.Addr, down []bool, plan []ip.Addr, flush bool) *Snapshot {
+	s := snapshotShell(version, routes, workers, stale, down, plan)
 	s.flushCaches = flush
 	switch {
 	case len(routes) < strideMinRoutes:
@@ -158,11 +159,11 @@ func newSnapshotFrom(prev *Snapshot, version uint64, routes []ip.Route, workers 
 // snapshotShell builds everything but the index: a fresh arena holding
 // the struct-of-arrays table, and the partition range index with its
 // cut points.
-func snapshotShell(version uint64, routes []ip.Route, workers int, stale []ip.Prefix, down []bool) *Snapshot {
+func snapshotShell(version uint64, routes []ip.Route, workers int, stale []ip.Prefix, down []bool, plan []ip.Addr) *Snapshot {
 	ar := newArena(len(routes))
 	rng, hop := ar.routeSlabs(len(routes))
 	fillSlabs(rng, hop, routes)
-	return shellOnArena(ar, version, workers, stale, down, false)
+	return shellOnArena(ar, version, workers, stale, down, plan, false)
 }
 
 // shellOnArena builds a snapshot over ar's already-filled route slabs:
@@ -170,10 +171,11 @@ func snapshotShell(version uint64, routes []ip.Route, workers int, stale []ip.Pr
 // []ip.Route detour. down (nil when all workers are healthy) excludes
 // failed/draining workers from the recut: their ranges are re-split
 // exactly evenly across the survivors — the disjoint table makes this a
-// pure boundary move, no reordering.
-func shellOnArena(ar *arena, version uint64, workers int, stale []ip.Prefix, down []bool, flush bool) *Snapshot {
+// pure boundary move, no reordering. plan, when non-nil, carries the
+// rebalancer's weighted cut addresses (see cutPartitions).
+func shellOnArena(ar *arena, version uint64, workers int, stale []ip.Prefix, down []bool, plan []ip.Addr, flush bool) *Snapshot {
 	s := &Snapshot{Version: version, ar: ar, rng: ar.rng, hop: ar.hop, stale: stale, flushCaches: flush}
-	s.cutPartitions(workers, down)
+	s.cutPartitions(workers, down, plan)
 	return s
 }
 
@@ -181,9 +183,9 @@ func shellOnArena(ar *arena, version uint64, workers int, stale []ip.Prefix, dow
 // no table positions (hop-only batches, re-homes): the arena and index
 // are shared outright and only the snapshot shell — version, stale
 // list, partition cuts — is new.
-func (s *Snapshot) clonePatched(version uint64, workers int, stale []ip.Prefix, down []bool, flush bool) *Snapshot {
+func (s *Snapshot) clonePatched(version uint64, workers int, stale []ip.Prefix, down []bool, plan []ip.Addr, flush bool) *Snapshot {
 	n := &Snapshot{Version: version, ar: s.ar, rng: s.rng, hop: s.hop, index: s.index, stale: stale, flushCaches: flush}
-	n.cutPartitions(workers, down)
+	n.cutPartitions(workers, down, plan)
 	return n
 }
 
@@ -193,7 +195,19 @@ func (s *Snapshot) clonePatched(version uint64, workers int, stale []ip.Prefix, 
 // the cuts would collapse onto each other, so the split runs over
 // min(active, routes) partitions and the rest are marked empty — they
 // get no home range and no home traffic.
-func (s *Snapshot) cutPartitions(workers int, down []bool) {
+//
+// plan, when usable, overrides the even split with the rebalancer's
+// weighted cut addresses: each planned start is snapped to the first
+// route at or past it and clamped so cuts stay strictly increasing
+// with at least one route per worker. The plan is ignored — falling
+// back to the even split — whenever any worker is down, the plan's
+// shape does not match the worker count, or the table has fewer routes
+// than workers: degraded and degenerate states keep the hardened even
+// recut semantics, and the rebalancer re-proposes once they clear.
+func (s *Snapshot) cutPartitions(workers int, down []bool, plan []ip.Addr) {
+	if down == nil && len(plan) == workers && s.cutPlanned(workers, plan) {
+		return
+	}
 	s.starts = make([]ip.Addr, workers)
 	s.empty = make([]bool, workers)
 	active := make([]int, 0, workers)
@@ -237,6 +251,37 @@ func (s *Snapshot) cutPartitions(workers int, down []bool) {
 			next = s.starts[i]
 		}
 	}
+}
+
+// cutPlanned installs a rebalancer cut plan: plan[j] is worker j's
+// intended partition start address. Each planned start is snapped to
+// the first route beginning at or past it and clamped into
+// [prev+1, len(rng)-(workers-1-j)], so the realized cuts are strictly
+// increasing and every worker keeps at least one route even when route
+// churn since the plan was computed has shifted or removed the planned
+// boundaries. Returns false when the table cannot give each worker a
+// route — the caller falls back to the even count split.
+func (s *Snapshot) cutPlanned(workers int, plan []ip.Addr) bool {
+	m := len(s.rng)
+	if m < workers {
+		return false
+	}
+	s.starts = make([]ip.Addr, workers)
+	s.empty = make([]bool, workers)
+	prev := 0
+	for j := 1; j < workers; j++ {
+		want := uint32(plan[j])
+		idx := sort.Search(m, func(i int) bool { return rngFirst(s.rng[i]) >= want })
+		if min := prev + 1; idx < min {
+			idx = min
+		}
+		if max := m - (workers - 1 - j); idx > max {
+			idx = max
+		}
+		s.starts[j] = ip.Addr(rngFirst(s.rng[idx]))
+		prev = idx
+	}
+	return true
 }
 
 // FNV-1a 64 parameters (hash/fnv's, inlined so the digest loop runs

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"clue/internal/dred"
 	"clue/internal/ip"
@@ -71,14 +72,23 @@ type worker struct {
 	// empty-range workers only while their caches are cold).
 	cached atomic.Int64
 	served atomic.Int64
+	// sketch counts sampled served addresses per stride bucket — the
+	// traffic-weight signal the rebalancer drains (Swap(0)) on each pass.
+	// The worker goroutine only ever adds; the counters are atomic so the
+	// drain needs no coordination with the serve path.
+	sketch []atomic.Uint64
+	// skTick drives the 1-in-sketchSamplePeriod recording sample;
+	// worker-goroutine-owned, no atomics needed.
+	skTick uint64
 }
 
 func newWorker(id int, rt *Runtime) *worker {
 	return &worker{
-		id:    id,
-		rt:    rt,
-		queue: make(chan lookupReq, rt.cfg.QueueDepth),
-		cache: dred.NewCache(rt.cfg.CacheSize),
+		id:     id,
+		rt:     rt,
+		queue:  make(chan lookupReq, rt.cfg.QueueDepth),
+		cache:  dred.NewCache(rt.cfg.CacheSize),
+		sketch: make([]atomic.Uint64, sketchBuckets),
 	}
 }
 
@@ -115,10 +125,24 @@ func (w *worker) handle(req lookupReq) {
 	}
 	if req.batch != nil {
 		w.serveBatch(req)
+		w.pace(len(req.batch))
 		req.done <- Result{}
 		return
 	}
-	req.done <- w.serve(req)
+	res := w.serve(req)
+	w.pace(1)
+	req.done <- res
+}
+
+// pace holds the worker for ServicePace per address served, emulating a
+// chip's fixed service rate (see Config.ServicePace). It runs after the
+// snapshot work but before the answer is released, so a request's
+// end-to-end latency includes its service time and the queue drains at
+// the configured rate.
+func (w *worker) pace(n int) {
+	if p := w.rt.cfg.ServicePace; p > 0 {
+		time.Sleep(p * time.Duration(n))
+	}
 }
 
 // answerAfterPanic completes a request whose handler panicked before the
@@ -177,6 +201,10 @@ func (w *worker) serveBatch(req lookupReq) {
 // prefix's home is elsewhere, so caching it cannot duplicate this
 // worker's own partition).
 func (w *worker) answer(snap *Snapshot, addr ip.Addr, home int, diverted bool) Result {
+	w.skTick++
+	if w.skTick&(sketchSamplePeriod-1) == 0 {
+		w.sketch[uint32(addr)>>sketchShift].Add(1)
+	}
 	res := Result{Home: home, Worker: w.id, Diverted: diverted, Version: snap.Version}
 	if diverted {
 		if hop, pfx, ok := w.cache.Lookup(addr); ok {
@@ -218,4 +246,18 @@ func (w *worker) syncCache(snap *Snapshot) {
 		w.cached.Store(0)
 	}
 	w.cacheVersion = snap.Version
+}
+
+// resetSketch zeroes the traffic sketch. The writer calls it on every
+// worker when a cache-flushing (re-homed) snapshot publishes: samples
+// recorded under the old cut assignment must not feed the next recut
+// decision again. Doing it at publication rather than lazily in
+// syncCache matters — a worker that serves nothing between the flush
+// and the next rebalance pass would otherwise hand its stale samples
+// to the drain. The rebalancer's decayed aggregate (not this buffer)
+// carries the traffic estimate across recuts.
+func (w *worker) resetSketch() {
+	for i := range w.sketch {
+		w.sketch[i].Store(0)
+	}
 }

@@ -34,6 +34,13 @@ type TrafficConfig struct {
 	// assumptions behind the home-partition carve without changing the
 	// prefix population.
 	Invert bool
+	// DrawSeed, when non-zero, seeds the draw stream separately from the
+	// popularity ranking (which stays derived from Seed). A fleet of
+	// concurrent generators sharing Seed but holding distinct DrawSeeds
+	// agrees on which prefixes are hot while drawing independently — the
+	// aggregate keeps the Zipf skew without the lockstep repetition that
+	// fully identical generators would produce.
+	DrawSeed int64
 }
 
 // Traffic draws destination addresses over a fixed prefix population.
@@ -75,11 +82,15 @@ func NewTraffic(prefixes []ip.Prefix, cfg TrafficConfig) (*Traffic, error) {
 			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
 		}
 	}
-	z := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(shuffled)-1))
+	draw := rng
+	if cfg.DrawSeed != 0 {
+		draw = rand.New(rand.NewSource(cfg.DrawSeed))
+	}
+	z := rand.NewZipf(draw, cfg.ZipfS, 1, uint64(len(shuffled)-1))
 	if z == nil {
 		return nil, fmt.Errorf("tracegen: bad Zipf parameters (s=%v)", cfg.ZipfS)
 	}
-	return &Traffic{rng: rng, zipf: z, prefixes: shuffled, repeat: cfg.Repeat}, nil
+	return &Traffic{rng: draw, zipf: z, prefixes: shuffled, repeat: cfg.Repeat}, nil
 }
 
 // Next returns the next destination address.
